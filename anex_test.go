@@ -1,0 +1,341 @@
+package anex_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"anex"
+)
+
+// plantedDataset builds a small dataset through the public API with one
+// planted 2d subspace outlier structure.
+func plantedDataset(t *testing.T, seed int64) (*anex.Dataset, *anex.GroundTruth) {
+	t.Helper()
+	ds, gt, err := anex.GenerateSubspaceOutliers(anex.SubspaceOutlierConfig{
+		Name:                "api-test",
+		TotalDims:           8,
+		SubspaceDims:        []int{2, 2},
+		N:                   180,
+		OutliersPerSubspace: 3,
+		Seed:                seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, gt
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds, gt := plantedDataset(t, 1)
+	det := anex.CachedDetector(anex.NewLOF(15))
+
+	// Point explanation through the public API.
+	beam := anex.NewBeamFX(det)
+	p := gt.Outliers()[0]
+	list, err := beam.ExplainPoint(ds, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) == 0 {
+		t.Fatal("no explanations")
+	}
+	rel := gt.RelevantAt(p, 2)
+	res := anex.EvaluatePoint(p, anex.Subspaces(list), rel)
+	if res.AveP <= 0 {
+		t.Errorf("AveP = %v, planted subspace not found", res.AveP)
+	}
+
+	// Summarization through the public API.
+	lookout := anex.NewLookOut(det)
+	lookout.Budget = 10
+	summary, err := lookout.Summarize(ds, gt.Outliers(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summary) != 10 {
+		t.Errorf("summary size %d", len(summary))
+	}
+
+	// Pipeline helpers.
+	pres := anex.ExplainOutliers(ds, gt, "LOF", beam, 2)
+	if pres.Err != nil || pres.MAP <= 0 {
+		t.Errorf("ExplainOutliers: %+v", pres)
+	}
+	sres := anex.SummarizeOutliers(ds, gt, "LOF", lookout, 2)
+	if sres.Err != nil || sres.MAP <= 0 {
+		t.Errorf("SummarizeOutliers: %+v", sres)
+	}
+}
+
+func TestPublicAPISubspaceHelpers(t *testing.T) {
+	s := anex.NewSubspace(3, 1, 3)
+	if s.Key() != "1,3" {
+		t.Errorf("Key = %q", s.Key())
+	}
+	parsed, err := anex.ParseSubspace("1,3")
+	if err != nil || !parsed.Equal(s) {
+		t.Errorf("ParseSubspace: %v, %v", parsed, err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	r := anex.RandomSubspace(rng, 10, 3)
+	if r.Dim() != 3 {
+		t.Errorf("RandomSubspace dim %d", r.Dim())
+	}
+}
+
+func TestPublicAPIDataConstruction(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	ds, err := anex.FromRows("rows", rows, []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 3 || ds.D() != 2 || ds.FeatureName(1) != "y" {
+		t.Error("FromRows wrong")
+	}
+	cols := [][]float64{{1, 3, 5}, {2, 4, 6}}
+	ds2, err := anex.FromColumns("cols", cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if ds.Value(i, 0) != ds2.Value(i, 0) || ds.Value(i, 1) != ds2.Value(i, 1) {
+			t.Error("rows/columns disagree")
+		}
+	}
+	csv := "x,y\n1,2\n3,4\n"
+	ds3, err := anex.ReadCSV("csv", strings.NewReader(csv), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds3.N() != 2 || ds3.FeatureName(0) != "x" {
+		t.Error("ReadCSV wrong")
+	}
+}
+
+func TestPublicAPIMetrics(t *testing.T) {
+	rel := []anex.Subspace{anex.NewSubspace(0, 1)}
+	ret := []anex.Subspace{anex.NewSubspace(2, 3), anex.NewSubspace(0, 1)}
+	if got := anex.Recall(ret, rel); got != 1 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := anex.Precision(ret, rel); got != 0.5 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := anex.AveragePrecision(ret, rel); got != 0.5 {
+		t.Errorf("AveP = %v", got)
+	}
+	results := []anex.PointResult{{AveP: 1, Recall: 0.5}, {AveP: 0, Recall: 0.5}}
+	if anex.MAP(results) != 0.5 || anex.MeanRecall(results) != 0.5 {
+		t.Error("MAP/MeanRecall wrong")
+	}
+}
+
+func TestPublicAPIGroundTruth(t *testing.T) {
+	gt := anex.NewGroundTruth(map[int][]anex.Subspace{
+		4: {anex.NewSubspace(0, 1)},
+	})
+	if !gt.IsOutlier(4) || gt.NumOutliers() != 1 {
+		t.Error("NewGroundTruth wrong")
+	}
+	ds, outliers, err := anex.GenerateFullSpaceOutliers(anex.FullSpaceOutlierConfig{
+		Name: "full", N: 80, D: 6, NumOutliers: 8, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := anex.DeriveGroundTruth(ds, outliers, []int{2}, anex.NewLOF(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.NumOutliers() != 8 {
+		t.Errorf("derived outliers %d", derived.NumOutliers())
+	}
+}
+
+func TestPublicAPIDetectorConstructors(t *testing.T) {
+	ds, _ := plantedDataset(t, 3)
+	for _, det := range []anex.Detector{
+		anex.NewLOF(0),
+		anex.NewFastABOD(0),
+		anex.NewIsolationForest(1),
+	} {
+		scores := det.Scores(ds.FullView())
+		if len(scores) != ds.N() {
+			t.Errorf("%s returned %d scores", det.Name(), len(scores))
+		}
+	}
+	hics := anex.NewHiCSFX(anex.NewLOF(15), 1)
+	if hics.Name() != "HiCS_FX" {
+		t.Error("HiCS_FX name")
+	}
+	refout := anex.NewRefOut(anex.NewLOF(15), 1)
+	if refout.Name() != "RefOut" {
+		t.Error("RefOut name")
+	}
+}
+
+func TestPublicAPIGroupSummarizer(t *testing.T) {
+	ds, gt := plantedDataset(t, 9)
+	g := anex.NewGroupSummarizer(anex.CachedDetector(anex.NewLOF(15)))
+	groups, err := g.GroupOutliers(ds, gt.Outliers(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, grp := range groups {
+		total += len(grp.Points)
+	}
+	if total != gt.NumOutliers() {
+		t.Errorf("groups cover %d of %d outliers", total, gt.NumOutliers())
+	}
+	// It also serves as a Summarizer.
+	var _ anex.Summarizer = g
+}
+
+func TestPublicAPIRunGrid(t *testing.T) {
+	ds, gt := plantedDataset(t, 10)
+	results := anex.RunGrid(anex.GridSpec{
+		Dataset:     ds,
+		GroundTruth: gt,
+		Dims:        []int{2},
+		Seed:        1,
+		Options: anex.PipelineOptions{
+			BeamWidth: 8, RefOutPoolSize: 20, RefOutWidth: 8,
+			LookOutBudget: 8, HiCSCutoff: 20, HiCSIterations: 15, TopK: 8,
+		},
+		Detectors: []anex.NamedDetector{
+			{Name: "LOF", Detector: anex.CachedDetector(anex.NewLOF(15))},
+		},
+		Workers: 2,
+	})
+	if len(results) != 4 {
+		t.Fatalf("%d grid results, want 4 (one detector × four algorithms)", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s/%s: %v", r.Detector, r.Explainer, r.Err)
+		}
+	}
+}
+
+func TestPublicAPILODAAndStream(t *testing.T) {
+	ds, _ := plantedDataset(t, 11)
+	model := anex.FitLODA(ds.FullView().Points(), 50, 0, 1)
+	if model.Dim() != ds.D() {
+		t.Errorf("model dim %d", model.Dim())
+	}
+	feat := model.FeatureScores(ds.FullView().Point(0))
+	if len(feat) != ds.D() {
+		t.Errorf("feature scores %v", feat)
+	}
+	mon, err := anex.NewStreamMonitor(anex.StreamConfig{
+		WindowSize: 32,
+		Detector:   anex.NewLODA(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, ds.D())
+	for i := 0; i < 40; i++ {
+		if _, err := mon.Push(ds.Row(i, row)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mon.Seen() != 40 {
+		t.Errorf("Seen = %d", mon.Seen())
+	}
+}
+
+func TestPublicAPIDetectorQualityMetrics(t *testing.T) {
+	scores := []float64{5, 4, 3, 2, 1}
+	labels := []bool{true, true, false, false, false}
+	if auc := anex.ROCAUC(scores, labels); auc != 1 {
+		t.Errorf("AUC = %v", auc)
+	}
+	if p := anex.PrecisionAtN(scores, labels, 0); p != 1 {
+		t.Errorf("P@n = %v", p)
+	}
+	if ap := anex.AveragePrecisionScore(scores, labels); ap != 1 {
+		t.Errorf("AP = %v", ap)
+	}
+}
+
+func TestPublicAPISurrogate(t *testing.T) {
+	ds, gt := plantedDataset(t, 12)
+	forest, r2, err := anex.ExplainDetectorWithSurrogate(ds, anex.NewLOF(15), anex.SurrogateForestOptions{
+		Trees: 10, Seed: 1, Tree: anex.SurrogateTreeOptions{MaxDepth: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.Size() != 10 {
+		t.Errorf("forest size %d", forest.Size())
+	}
+	if r2 < -1 || r2 > 1 {
+		t.Errorf("R² = %v out of range", r2)
+	}
+	row := make([]float64, ds.D())
+	sig := forest.Signature(ds.Row(gt.Outliers()[0], row), 3)
+	if sig.Dim() > 3 {
+		t.Errorf("signature %v exceeds cap", sig)
+	}
+	tree, err := anex.FitSurrogateTree(ds, anex.NewLOF(15).Scores(ds.FullView()), anex.SurrogateTreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Dim() != ds.D() {
+		t.Errorf("tree dim %d", tree.Dim())
+	}
+}
+
+func TestPublicAPIPlotAndRankedSummaries(t *testing.T) {
+	ds, gt := plantedDataset(t, 14)
+	var buf strings.Builder
+	err := anex.PlotSubspace(&buf, ds, anex.NewSubspace(0, 1), anex.PlotOptions{
+		Highlight: gt.Outliers(), Width: 20, Height: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "✗") {
+		t.Error("plot missing highlight marker")
+	}
+	det := anex.CachedDetector(anex.NewLOF(15))
+	lo := anex.NewLookOut(det)
+	lo.Budget = 10
+	res := anex.SummarizeOutliersRanked(ds, gt, "LOF", lo, det, 2)
+	if res.Err != nil || res.MAP <= 0 {
+		t.Errorf("ranked summaries: %+v", res)
+	}
+	// LODA and kNN-dist constructors.
+	for _, d := range []anex.Detector{anex.NewLODA(1), anex.NewKNNDist(0)} {
+		if got := d.Scores(ds.FullView()); len(got) != ds.N() {
+			t.Errorf("%s scores %d", d.Name(), len(got))
+		}
+	}
+	// ReadGroundTruthJSON round trip through the public API.
+	var gtBuf strings.Builder
+	if err := gt.WriteJSON(&gtBuf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := anex.ReadGroundTruthJSON(strings.NewReader(gtBuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumOutliers() != gt.NumOutliers() {
+		t.Error("ground truth JSON round trip")
+	}
+	// CSV load/save through the public API.
+	path := t.TempDir() + "/api.csv"
+	if err := ds.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back2, err := anex.LoadCSV("api", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back2.N() != ds.N() {
+		t.Error("CSV round trip")
+	}
+}

@@ -1,0 +1,449 @@
+// Benchmarks regenerating (in miniature) every table and figure of the
+// paper's evaluation, plus ablation benches for the design choices called
+// out in DESIGN.md. The full-size experiment harness is cmd/anexbench;
+// these benches exercise the same code paths at benchmark-friendly sizes
+// and report MAP as a custom metric where effectiveness matters.
+package anex_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"anex"
+	"anex/internal/detector"
+	"anex/internal/experiments"
+	"anex/internal/explain"
+	"anex/internal/neighbors"
+	"anex/internal/pipeline"
+	"anex/internal/subspace"
+	"anex/internal/summarize"
+	"anex/internal/synth"
+)
+
+// benchDataset returns a 1000×10 view-friendly dataset with planted 2d/3d
+// subspace outliers — the sample size of the paper's timing experiments.
+func benchDataset(b *testing.B, n, d int) (*anex.Dataset, *anex.GroundTruth) {
+	b.Helper()
+	ds, gt, err := anex.GenerateSubspaceOutliers(anex.SubspaceOutlierConfig{
+		Name:                "bench",
+		TotalDims:           d,
+		SubspaceDims:        []int{2, 3},
+		N:                   n,
+		OutliersPerSubspace: 5,
+		Seed:                1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, gt
+}
+
+// BenchmarkDetectorPerSubspace reproduces the Section 4.3 measurement "to
+// score a single subspace LOF needed 0.05, iForest 0.2 and Fast ABOD 2
+// seconds approximately" — a 1000-point 3d view per detector.
+func BenchmarkDetectorPerSubspace(b *testing.B) {
+	ds, _ := benchDataset(b, 1000, 10)
+	view := ds.View(anex.NewSubspace(2, 3, 4))
+	dets := []anex.Detector{
+		anex.NewLOF(15),
+		anex.NewFastABOD(10),
+		anex.NewIsolationForest(1),
+	}
+	for _, det := range dets {
+		b.Run(det.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				det.Scores(view)
+			}
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates the dataset-characteristics table from a
+// freshly generated miniature testbed.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		td, err := synth.BuildSynthetic(synth.SubspaceConfig{
+			Name: "t1", TotalDims: 10, SubspaceDims: []int{2, 3},
+			N: 300, OutliersPerSubspace: 5, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := &experiments.Session{
+			Cfg: experiments.Config{Scale: synth.ScaleSmall, Seed: int64(i)},
+			TB:  &experiments.Testbed{Synthetic: []synth.TestbedDataset{td}},
+		}
+		if tbl := s.Table1(); len(tbl.Rows) != 1 {
+			b.Fatal("table 1 malformed")
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates the relevant-subspace-dimensionality figure.
+func BenchmarkFigure8(b *testing.B) {
+	td, err := synth.BuildSynthetic(synth.SubspaceConfig{
+		Name: "f8", TotalDims: 12, SubspaceDims: []int{2, 3, 4},
+		N: 300, OutliersPerSubspace: 5, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &experiments.Session{
+		Cfg: experiments.Config{Scale: synth.ScaleSmall},
+		TB:  &experiments.Testbed{Synthetic: []synth.TestbedDataset{td}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Figure8(); len(tbl.Rows) != 1 {
+			b.Fatal("figure 8 malformed")
+		}
+	}
+}
+
+// figure9Cell runs one (explainer, detector) cell of Figure 9 and reports
+// MAP alongside the timing.
+func figure9Cell(b *testing.B, mk func(det anex.Detector) anex.PointExplainer, det anex.Detector) {
+	ds, gt := benchDataset(b, 300, 10)
+	cached := anex.CachedDetector(det)
+	expl := mk(cached)
+	var mapSum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := anex.ExplainOutliers(ds, gt, det.Name(), expl, 2)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		mapSum += res.MAP
+	}
+	b.ReportMetric(mapSum/float64(b.N), "MAP")
+}
+
+// BenchmarkFigure9 regenerates Figure 9 cells: both point explainers with
+// each detector on a planted-subspace dataset.
+func BenchmarkFigure9(b *testing.B) {
+	beam := func(det anex.Detector) anex.PointExplainer {
+		e := anex.NewBeamFX(det)
+		e.Width = 30
+		e.TopK = 30
+		return e
+	}
+	refout := func(det anex.Detector) anex.PointExplainer {
+		e := anex.NewRefOut(det, 1)
+		e.PoolSize = 60
+		e.Width = 30
+		e.TopK = 30
+		return e
+	}
+	b.Run("Beam/LOF", func(b *testing.B) { figure9Cell(b, beam, anex.NewLOF(15)) })
+	b.Run("Beam/iForest", func(b *testing.B) {
+		figure9Cell(b, beam, &anex.IsolationForest{Trees: 50, Subsample: 128, Repetitions: 3})
+	})
+	b.Run("RefOut/LOF", func(b *testing.B) { figure9Cell(b, refout, anex.NewLOF(15)) })
+	b.Run("RefOut/FastABOD", func(b *testing.B) { figure9Cell(b, refout, anex.NewFastABOD(10)) })
+}
+
+// figure10Cell runs one (summarizer, detector) cell of Figure 10.
+func figure10Cell(b *testing.B, mk func(det anex.Detector) anex.Summarizer, det anex.Detector) {
+	ds, gt := benchDataset(b, 300, 10)
+	cached := anex.CachedDetector(det)
+	sum := mk(cached)
+	var mapSum float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := anex.SummarizeOutliers(ds, gt, det.Name(), sum, 2)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		mapSum += res.MAP
+	}
+	b.ReportMetric(mapSum/float64(b.N), "MAP")
+}
+
+// BenchmarkFigure10 regenerates Figure 10 cells: both summarizers with LOF
+// and FastABOD.
+func BenchmarkFigure10(b *testing.B) {
+	lookout := func(det anex.Detector) anex.Summarizer {
+		s := anex.NewLookOut(det)
+		s.Budget = 30
+		return s
+	}
+	hics := func(det anex.Detector) anex.Summarizer {
+		s := anex.NewHiCSFX(det, 1)
+		s.MCIterations = 40
+		s.CandidateCutoff = 100
+		s.TopK = 30
+		return s
+	}
+	b.Run("LookOut/LOF", func(b *testing.B) { figure10Cell(b, lookout, anex.NewLOF(15)) })
+	b.Run("LookOut/FastABOD", func(b *testing.B) { figure10Cell(b, lookout, anex.NewFastABOD(10)) })
+	b.Run("HiCS/LOF", func(b *testing.B) { figure10Cell(b, hics, anex.NewLOF(15)) })
+	b.Run("HiCS/FastABOD", func(b *testing.B) { figure10Cell(b, hics, anex.NewFastABOD(10)) })
+}
+
+// BenchmarkFigure11 measures the runtime of each pipeline family end to end
+// — the quantity Figure 11 plots — on a fixed dataset with uncached
+// detectors, explaining a bounded set of points.
+func BenchmarkFigure11(b *testing.B) {
+	ds, gt := benchDataset(b, 300, 10)
+	points := gt.Outliers()
+	if len(points) > 3 {
+		points = points[:3]
+	}
+	sub := make(map[int][]subspace.Subspace, len(points))
+	for _, p := range points {
+		sub[p] = gt.RelevantFor(p)
+	}
+	small := anex.NewGroundTruth(sub)
+
+	b.Run("Beam/LOF", func(b *testing.B) {
+		e := anex.NewBeamFX(anex.NewLOF(15))
+		e.Width = 30
+		for i := 0; i < b.N; i++ {
+			if res := anex.ExplainOutliers(ds, small, "LOF", e, 2); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+	b.Run("RefOut/LOF", func(b *testing.B) {
+		e := anex.NewRefOut(anex.NewLOF(15), 1)
+		e.PoolSize = 60
+		for i := 0; i < b.N; i++ {
+			if res := anex.ExplainOutliers(ds, small, "LOF", e, 2); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+	b.Run("LookOut/LOF", func(b *testing.B) {
+		s := anex.NewLookOut(anex.NewLOF(15))
+		s.Budget = 30
+		for i := 0; i < b.N; i++ {
+			if res := anex.SummarizeOutliers(ds, small, "LOF", s, 2); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+	b.Run("HiCS/LOF", func(b *testing.B) {
+		s := anex.NewHiCSFX(anex.NewLOF(15), 1)
+		s.MCIterations = 40
+		for i := 0; i < b.N; i++ {
+			if res := anex.SummarizeOutliers(ds, small, "LOF", s, 2); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable2 measures the trade-off aggregation over precomputed
+// pipeline results (the pipelines themselves are benched above).
+func BenchmarkTable2(b *testing.B) {
+	td, err := synth.BuildSynthetic(synth.SubspaceConfig{
+		Name: "t2", TotalDims: 8, SubspaceDims: []int{2}, N: 200,
+		OutliersPerSubspace: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rw, err := synth.BuildRealWorld(
+		synth.FullSpaceConfig{Name: "t2-real", N: 100, D: 6, NumOutliers: 8, Seed: 2},
+		[]int{2}, detector.NewLOF(detector.DefaultLOFK))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &experiments.Session{
+		Cfg: experiments.Config{Scale: synth.ScaleSmall, Seed: 1},
+		TB: &experiments.Testbed{
+			Synthetic: []synth.TestbedDataset{td},
+			RealWorld: []synth.TestbedDataset{rw},
+		},
+	}
+	s.PointResults() // populate caches outside the timed loop
+	s.SummaryResults()
+	s.TimingResults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.Table2(); len(tbl.Rows) == 0 {
+			b.Fatal("table 2 empty")
+		}
+	}
+}
+
+// --- Ablation benches (design decisions from DESIGN.md) ---
+
+// BenchmarkAblationRawVsZScore compares Beam's effectiveness with the
+// paper's Z-score standardisation against raw detector scores. The MAP
+// metric is the point: raw scores carry dimensionality bias.
+func BenchmarkAblationRawVsZScore(b *testing.B) {
+	ds, gt := benchDataset(b, 300, 10)
+	run := func(b *testing.B, score explain.ScoreFunc) {
+		det := anex.CachedDetector(anex.NewLOF(15))
+		e := &explain.Beam{Detector: det, Width: 30, TopK: 30, FixedDim: true, Score: score}
+		var mapSum float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := pipeline.RunPointExplanation(ds, gt, pipeline.PointPipeline{Detector: "LOF", Explainer: e}, 3)
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			mapSum += res.MAP
+		}
+		b.ReportMetric(mapSum/float64(b.N), "MAP")
+	}
+	b.Run("zscore", func(b *testing.B) { run(b, explain.ZScored()) })
+	b.Run("raw", func(b *testing.B) { run(b, explain.Raw()) })
+}
+
+// BenchmarkKNNBruteVsKDTree quantifies the KD-tree-vs-brute-force crossover
+// on the low-dimensional views explainers query.
+func BenchmarkKNNBruteVsKDTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{2, 4, 8, 16} {
+		points := make([][]float64, 1000)
+		for i := range points {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			points[i] = p
+		}
+		b.Run("brute/"+itoa(dim)+"d", func(b *testing.B) {
+			ix := neighbors.NewBruteForce(points)
+			for i := 0; i < b.N; i++ {
+				neighbors.AllKNN(ix, 15)
+			}
+		})
+		b.Run("kdtree/"+itoa(dim)+"d", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tree := neighbors.NewKDTree(points)
+				neighbors.AllKNN(tree, 15)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHiCSTest compares the Welch and Kolmogorov–Smirnov
+// contrast tests inside HiCS.
+func BenchmarkAblationHiCSTest(b *testing.B) {
+	ds, gt := benchDataset(b, 400, 10)
+	run := func(b *testing.B, test summarize.ContrastTest) {
+		det := anex.CachedDetector(anex.NewLOF(15))
+		h := &summarize.HiCS{
+			Detector: det, MCIterations: 40, CandidateCutoff: 100,
+			Test: test, FixedDim: true, TopK: 30, Seed: 1,
+		}
+		var mapSum float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := pipeline.RunSummarization(ds, gt, pipeline.SummaryPipeline{Detector: "LOF", Summarizer: h}, 2)
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			mapSum += res.MAP
+		}
+		b.ReportMetric(mapSum/float64(b.N), "MAP")
+	}
+	b.Run("welch", func(b *testing.B) { run(b, summarize.WelchTest) })
+	b.Run("ks", func(b *testing.B) { run(b, summarize.KSTest) })
+}
+
+// BenchmarkAblationIForestAveraging measures the cost of the paper's
+// 10-repetition iForest averaging against a single forest.
+func BenchmarkAblationIForestAveraging(b *testing.B) {
+	ds, _ := benchDataset(b, 500, 10)
+	view := ds.View(anex.NewSubspace(0, 1, 2))
+	b.Run("reps=1", func(b *testing.B) {
+		f := &anex.IsolationForest{Trees: 100, Subsample: 256, Repetitions: 1, Seed: 1}
+		for i := 0; i < b.N; i++ {
+			f.Scores(view)
+		}
+	})
+	b.Run("reps=10", func(b *testing.B) {
+		f := &anex.IsolationForest{Trees: 100, Subsample: 256, Repetitions: 10, Seed: 1}
+		for i := 0; i < b.N; i++ {
+			f.Scores(view)
+		}
+	})
+}
+
+// BenchmarkContrastVsLOF reproduces the Section 4.3 insight that, at
+// n ≈ 1000, HiCS's Monte-Carlo statistical test costs more per subspace
+// than LOF's distance computation.
+func BenchmarkContrastVsLOF(b *testing.B) {
+	ds, _ := benchDataset(b, 1000, 10)
+	// Same unit of work for both: assess every 2d subspace of the dataset
+	// once — HiCS by Monte-Carlo contrast, LOF by outlyingness scoring.
+	b.Run("hics-contrast", func(b *testing.B) {
+		h := &summarize.HiCS{Detector: anex.NewLOF(15), MCIterations: 100, Seed: 1, FixedDim: true}
+		for i := 0; i < b.N; i++ {
+			h.SearchContrastSubspaces(ds, 2)
+		}
+	})
+	b.Run("lof-score", func(b *testing.B) {
+		lof := anex.NewLOF(15)
+		want := subspace.Count(ds.D(), 2)
+		for i := 0; i < b.N; i++ {
+			e := subspace.NewEnumerator(ds.D(), 2)
+			n := int64(0)
+			for s := e.Next(); s != nil; s = e.Next() {
+				lof.Scores(ds.View(s))
+				n++
+			}
+			if n != want {
+				b.Fatal("enumeration mismatch")
+			}
+		}
+	})
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkSurrogateVsBeamPerPoint contrasts the cost of one predictive
+// explanation (surrogate signature) with one descriptive explanation (Beam
+// subspace search) — the trade-off the paper's conclusions propose.
+func BenchmarkSurrogateVsBeamPerPoint(b *testing.B) {
+	ds, gt := benchDataset(b, 300, 10)
+	p := gt.Outliers()[0]
+	row := make([]float64, ds.D())
+	b.Run("surrogate-signature", func(b *testing.B) {
+		forest, _, err := anex.ExplainDetectorWithSurrogate(ds, anex.NewLOF(15), anex.SurrogateForestOptions{
+			Trees: 20, Seed: 1, Tree: anex.SurrogateTreeOptions{MaxDepth: 5},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			forest.Signature(ds.Row(p, row), 3)
+		}
+	})
+	b.Run("beam-search", func(b *testing.B) {
+		beam := anex.NewBeamFX(anex.NewLOF(15))
+		beam.Width = 30
+		for i := 0; i < b.N; i++ {
+			if _, err := beam.ExplainPoint(ds, p, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("surrogate-fit", func(b *testing.B) {
+		scores := anex.NewLOF(15).Scores(ds.FullView())
+		for i := 0; i < b.N; i++ {
+			if _, err := anex.FitSurrogateForest(ds, scores, anex.SurrogateForestOptions{
+				Trees: 20, Seed: 1, Tree: anex.SurrogateTreeOptions{MaxDepth: 5},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Command anexbench regenerates the tables and figures of the paper
+// "A Comparative Evaluation of Anomaly Explanation Algorithms" (EDBT 2021)
+// on a freshly generated testbed.
+//
+// Usage:
+//
+//	anexbench [-scale small|paper] [-seed N] [-exp all|table1|figure8|figure9|figure10|figure11|table2|ablation|conformance] [-csv dir] [-quiet]
+//
+// At the default small scale the full run finishes in minutes on a laptop;
+// paper scale matches the dataset shapes of the paper's Table 1 and can
+// take hours for the heaviest cells, exactly like the original study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"anex/internal/experiments"
+	"anex/internal/synth"
+)
+
+func main() {
+	var (
+		scaleFlag = flag.String("scale", "small", "testbed scale: small or paper")
+		seed      = flag.Int64("seed", 42, "random seed for data generation and stochastic algorithms")
+		exp       = flag.String("exp", "all", "experiment to run: all, table1, figure8, figure9, figure10, figure11, table2, ablation, conformance")
+		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		only      = flag.String("only", "", "comma-separated dataset names to restrict the testbed to (e.g. hics-14d)")
+		mdPath    = flag.String("md", "", "also write all rendered tables as one Markdown report to this file")
+		journal   = flag.String("journal", "", "persist completed pipeline cells to this file and resume from it (one file per scale+seed)")
+		detectors = flag.String("detectors", "", "comma-separated detector names to restrict pipelines to (LOF, FastABOD, iForest)")
+		metric    = flag.String("metric", "map", "effectiveness metric for figures 9/10: map or recall")
+	)
+	flag.Parse()
+
+	if err := run(*scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric); err != nil {
+		fmt.Fprintln(os.Stderr, "anexbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdPath, journalPath, detectors, metric string) error {
+	scale, err := synth.ParseScale(scaleFlag)
+	if err != nil {
+		return err
+	}
+	var progress io.Writer = os.Stderr
+	if quiet {
+		progress = nil
+	}
+	var filter []string
+	if only != "" {
+		for _, name := range strings.Split(only, ",") {
+			filter = append(filter, strings.TrimSpace(name))
+		}
+	}
+	if metric != "map" && metric != "recall" {
+		return fmt.Errorf("unknown metric %q (want map or recall)", metric)
+	}
+	var detFilter []string
+	if detectors != "" {
+		for _, name := range strings.Split(detectors, ",") {
+			detFilter = append(detFilter, strings.TrimSpace(name))
+		}
+	}
+	var journal *experiments.Journal
+	if journalPath != "" {
+		var err error
+		journal, err = experiments.OpenJournal(journalPath)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if n := journal.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d cells journalled in %s\n", n, journalPath)
+		}
+	}
+	session, err := experiments.NewSession(experiments.Config{
+		Scale:          scale,
+		Seed:           seed,
+		Progress:       progress,
+		DatasetFilter:  filter,
+		Journal:        journal,
+		DetectorFilter: detFilter,
+		UseMeanRecall:  metric == "recall",
+	})
+	if err != nil {
+		return err
+	}
+
+	type gen struct {
+		name  string
+		build func() *experiments.Table
+	}
+	gens := []gen{
+		{"table1", session.Table1},
+		{"figure8", session.Figure8},
+		{"figure9", session.Figure9},
+		{"figure10", session.Figure10},
+		{"figure11", session.Figure11},
+		{"table2", session.Table2},
+		{"ablation", session.Ablations},
+		{"conformance", session.Conformance},
+	}
+
+	var md *os.File
+	if mdPath != "" {
+		var err error
+		md, err = os.Create(mdPath)
+		if err != nil {
+			return err
+		}
+		defer md.Close()
+		fmt.Fprintf(md, "# anexbench report (scale %s, seed %d)\n\n", scale, seed)
+	}
+
+	want := strings.ToLower(exp)
+	matched := false
+	for _, g := range gens {
+		if want != "all" && want != g.name {
+			continue
+		}
+		matched = true
+		table := g.build()
+		fmt.Println()
+		if err := table.Render(os.Stdout); err != nil {
+			return err
+		}
+		if md != nil {
+			if err := table.RenderMarkdown(md); err != nil {
+				return err
+			}
+		}
+		if csvDir != "" {
+			if err := os.MkdirAll(csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(csvDir, g.name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := table.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q (want all, table1, figure8, figure9, figure10, figure11, table2, ablation or conformance)", exp)
+	}
+	return nil
+}

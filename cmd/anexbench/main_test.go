@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownScale(t *testing.T) {
+	if err := run("huge", 1, "table1", "", true, "", "", "", "", "map"); err == nil {
+		t.Error("unknown scale should fail")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("small", 1, "figure99", "", true, "", "", "", "", "map"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunTable1AndCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates the small-scale testbed")
+	}
+	dir := t.TempDir()
+	// Capture stdout.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run("small", 1, "table1", dir, true, "", "", "", "", "map")
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	out := make([]byte, 1<<16)
+	n, _ := r.Read(out)
+	text := string(out[:n])
+	if !strings.Contains(text, "Table 1") || !strings.Contains(text, "hics-8d") {
+		t.Errorf("unexpected output:\n%s", text)
+	}
+	csvPath := filepath.Join(dir, "table1.csv")
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	if !strings.Contains(string(data), "dataset,") {
+		t.Errorf("CSV malformed: %s", data)
+	}
+	// figure8 shares the session-generation path.
+	if err := run("small", 1, "figure8", "", true, "", "", "", "", "map"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDatasetFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates datasets")
+	}
+	// A single-dataset filter skips generating the rest (in particular
+	// the real-like ground-truth derivation).
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run("small", 1, "table1", "", true, "hics-8d", "", "", "", "map")
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	text := string(buf[:n])
+	if !strings.Contains(text, "hics-8d") || strings.Contains(text, "hics-12d") {
+		t.Errorf("filter not applied:\n%s", text)
+	}
+	if err := run("small", 1, "table1", "", true, "no-such-dataset", "", "", "", "map"); err == nil {
+		t.Error("unmatched filter should fail")
+	}
+}
+
+func TestRunMarkdownReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates datasets")
+	}
+	dir := t.TempDir()
+	mdPath := filepath.Join(dir, "report.md")
+	old := os.Stdout
+	_, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run("small", 1, "table1", "", true, "hics-8d", mdPath, "", "", "map")
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	data, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.Contains(text, "# anexbench report") || !strings.Contains(text, "### Table 1") {
+		t.Errorf("markdown report malformed:\n%s", text)
+	}
+}

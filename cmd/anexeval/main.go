@@ -1,0 +1,105 @@
+// Command anexeval runs the paper's full detector × explainer pipeline grid
+// (Figure 7) against YOUR dataset: a CSV of numeric features plus a
+// ground-truth JSON mapping outlier indices to their relevant subspaces
+// (the format written by anexgen / dataset.GroundTruth.WriteJSON). It
+// prints MAP, mean recall and runtime per pipeline — the tool for deciding
+// which detector/explainer combination fits a new dataset.
+//
+// Usage:
+//
+//	anexeval -data d.csv -gt d.groundtruth.json [-dims 2,3] [-seed N]
+//	         [-workers N] [-topk 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"anex"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "CSV dataset (header row with feature names)")
+		gtPath   = flag.String("gt", "", "ground-truth JSON (point index → relevant subspace keys)")
+		dims     = flag.String("dims", "2", "comma-separated explanation dimensionalities")
+		seed     = flag.Int64("seed", 1, "random seed for stochastic algorithms")
+		workers  = flag.Int("workers", 0, "parallel pipeline workers (0 = GOMAXPROCS)")
+		topK     = flag.Int("topk", 0, "result-list bound per explainer (0 = paper default 100)")
+	)
+	flag.Parse()
+
+	if err := run(*dataPath, *gtPath, *dims, *seed, *workers, *topK); err != nil {
+		fmt.Fprintln(os.Stderr, "anexeval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, gtPath, dimsArg string, seed int64, workers, topK int) error {
+	if dataPath == "" || gtPath == "" {
+		return fmt.Errorf("both -data and -gt are required")
+	}
+	ds, err := anex.LoadCSV(strings.TrimSuffix(dataPath, ".csv"), dataPath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(gtPath)
+	if err != nil {
+		return err
+	}
+	gt, err := readGroundTruth(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if gt.NumOutliers() == 0 {
+		return fmt.Errorf("ground truth contains no outliers")
+	}
+	var dims []int
+	for _, part := range strings.Split(dimsArg, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 2 || d > ds.D() {
+			return fmt.Errorf("bad dimensionality %q (want 2..%d)", part, ds.D())
+		}
+		dims = append(dims, d)
+	}
+
+	fmt.Printf("%s: %d points × %d features, %d outliers; dims %v\n\n",
+		ds.Name(), ds.N(), ds.D(), gt.NumOutliers(), dims)
+
+	start := time.Now()
+	results := anex.RunGrid(anex.GridSpec{
+		Dataset:     ds,
+		GroundTruth: gt,
+		Dims:        dims,
+		Seed:        seed,
+		Options:     anex.PipelineOptions{TopK: topK},
+		Cached:      true,
+		Workers:     workers,
+	})
+	fmt.Printf("%-4s %-10s %-9s %8s %8s %12s\n", "dim", "explainer", "detector", "MAP", "recall", "runtime")
+	fmt.Println(strings.Repeat("-", 56))
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-4d %-10s %-9s %8s %8s %12s  (%v)\n", r.TargetDim, r.Explainer, r.Detector, "err", "err", "-", r.Err)
+			continue
+		}
+		if r.PointsEvaluated == 0 {
+			fmt.Printf("%-4d %-10s %-9s %8s %8s %12s\n", r.TargetDim, r.Explainer, r.Detector, "-", "-", "-")
+			continue
+		}
+		fmt.Printf("%-4d %-10s %-9s %8.3f %8.3f %12s\n",
+			r.TargetDim, r.Explainer, r.Detector, r.MAP, r.MeanRecall, r.Duration.Round(time.Millisecond))
+	}
+	fmt.Printf("\ntotal %s over %d pipeline cells\n", time.Since(start).Round(time.Millisecond), len(results))
+	return nil
+}
+
+// readGroundTruth parses the JSON format of dataset.GroundTruth.
+func readGroundTruth(f *os.File) (*anex.GroundTruth, error) {
+	return anex.ReadGroundTruthJSON(f)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"anex/internal/dataset"
+)
+
+func TestRunSyntheticFamily(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("small", 1, dir, "synthetic", false); err != nil {
+		t.Fatal(err)
+	}
+	// Five synthetic datasets, each with CSV + ground truth.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 10 {
+		t.Fatalf("%d files, want 10", len(entries))
+	}
+	// Round-trip one dataset and its ground truth.
+	ds, err := dataset.LoadCSV("hics-8d", filepath.Join(dir, "hics-8d.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 250 || ds.D() != 8 {
+		t.Errorf("shape %dx%d", ds.N(), ds.D())
+	}
+	f, err := os.Open(filepath.Join(dir, "hics-8d.groundtruth.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	gt, err := dataset.ReadGroundTruthJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.NumOutliers() == 0 {
+		t.Error("empty ground truth")
+	}
+}
+
+func TestRunRealFamilyWithDerivation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("derives ground truth exhaustively")
+	}
+	dir := t.TempDir()
+	if err := run("small", 1, dir, "real", true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "breast-like.groundtruth.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	gt, err := dataset.ReadGroundTruthJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 outliers, 2 relevant subspaces each (dims 2 and 3).
+	if gt.NumOutliers() != 12 {
+		t.Errorf("outliers = %d", gt.NumOutliers())
+	}
+	for _, p := range gt.Outliers() {
+		if len(gt.RelevantFor(p)) != 2 {
+			t.Errorf("point %d has %d relevant subspaces", p, len(gt.RelevantFor(p)))
+		}
+	}
+}
+
+func TestRunRealFamilyWithoutDerivation(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("small", 1, dir, "real", false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "electricity-like.groundtruth.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	gt, err := dataset.ReadGroundTruthJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.NumOutliers() != 30 {
+		t.Errorf("outliers = %d", gt.NumOutliers())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("huge", 1, t.TempDir(), "all", false); err == nil {
+		t.Error("unknown scale should fail")
+	}
+	if err := run("small", 1, t.TempDir(), "imaginary", false); err == nil {
+		t.Error("unknown family should fail")
+	}
+}

@@ -1,0 +1,139 @@
+// Command anexplain explains the outlyingness of points in a CSV dataset:
+// it ranks, for each requested point, the feature subspaces where that
+// point deviates most from the rest of the data.
+//
+// Usage:
+//
+//	anexplain -data data.csv -points 17,42 [-algo beam|refout|lookout|hics]
+//	          [-detector lof|abod|iforest] [-dim 2] [-top 5] [-seed N]
+//
+// Point algorithms (beam, refout) explain each point individually; summary
+// algorithms (lookout, hics) produce one ranked list jointly covering all
+// the points.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"anex"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "CSV dataset (header row with feature names)")
+		points   = flag.String("points", "", "comma-separated point indices to explain")
+		algo     = flag.String("algo", "beam", "explanation algorithm: beam, refout, lookout or hics")
+		detName  = flag.String("detector", "lof", "outlier detector: lof, abod or iforest")
+		dim      = flag.Int("dim", 2, "explanation dimensionality")
+		top      = flag.Int("top", 5, "number of subspaces to print")
+		seed     = flag.Int64("seed", 1, "random seed for stochastic algorithms")
+		plot     = flag.Bool("plot", false, "render the top explaining subspace of each point as a terminal scatter plot (2d explanations only)")
+	)
+	flag.Parse()
+
+	if err := run(*dataPath, *points, *algo, *detName, *dim, *top, *seed, *plot); err != nil {
+		fmt.Fprintln(os.Stderr, "anexplain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, pointsArg, algo, detName string, dim, top int, seed int64, plotTop bool) error {
+	if dataPath == "" {
+		return fmt.Errorf("missing -data")
+	}
+	if pointsArg == "" {
+		return fmt.Errorf("missing -points")
+	}
+	ds, err := anex.LoadCSV(strings.TrimSuffix(dataPath, ".csv"), dataPath)
+	if err != nil {
+		return err
+	}
+	var points []int
+	for _, part := range strings.Split(pointsArg, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad point index %q: %w", part, err)
+		}
+		points = append(points, p)
+	}
+
+	var det anex.Detector
+	switch detName {
+	case "lof":
+		det = anex.NewLOF(0)
+	case "abod":
+		det = anex.NewFastABOD(0)
+	case "iforest":
+		det = anex.NewIsolationForest(seed)
+	default:
+		return fmt.Errorf("unknown detector %q (want lof, abod or iforest)", detName)
+	}
+	det = anex.CachedDetector(det)
+
+	printList := func(list []anex.ScoredSubspace) {
+		if len(list) > top {
+			list = list[:top]
+		}
+		for rank, s := range list {
+			names := make([]string, s.Subspace.Dim())
+			for i, f := range s.Subspace {
+				names[i] = ds.FeatureName(f)
+			}
+			fmt.Printf("  %2d. {%s}  score %.4f\n", rank+1, strings.Join(names, ", "), s.Score)
+		}
+	}
+
+	maybePlot := func(list []anex.ScoredSubspace, highlight []int, title string) error {
+		if !plotTop || len(list) == 0 || list[0].Subspace.Dim() != 2 {
+			return nil
+		}
+		return anex.PlotSubspace(os.Stdout, ds, list[0].Subspace, anex.PlotOptions{
+			Highlight: highlight,
+			Title:     title,
+		})
+	}
+
+	switch algo {
+	case "beam", "refout":
+		var explainer anex.PointExplainer
+		if algo == "beam" {
+			explainer = anex.NewBeamFX(det)
+		} else {
+			explainer = anex.NewRefOut(det, seed)
+		}
+		for _, p := range points {
+			list, err := explainer.ExplainPoint(ds, p, dim)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("point %d — %dd subspaces ranked by %s with %s:\n", p, dim, explainer.Name(), det.Name())
+			printList(list)
+			if err := maybePlot(list, []int{p}, fmt.Sprintf("point %d in its top subspace", p)); err != nil {
+				return err
+			}
+		}
+	case "lookout", "hics":
+		var summarizer anex.Summarizer
+		if algo == "lookout" {
+			summarizer = anex.NewLookOut(det)
+		} else {
+			summarizer = anex.NewHiCSFX(det, seed)
+		}
+		list, err := summarizer.Summarize(ds, points, dim)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("summary for points %v — %dd subspaces ranked by %s with %s:\n", points, dim, summarizer.Name(), det.Name())
+		printList(list)
+		if err := maybePlot(list, points, "points of interest in the top summary subspace"); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q (want beam, refout, lookout or hics)", algo)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anex"
+)
+
+// writeTestCSV builds the quickstart geometry (coupled pair + noise) with
+// an anomaly at index 0 and saves it as CSV.
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	const n = 150
+	rows := make([][]float64, n)
+	for i := range rows {
+		base := 0.25
+		if rng.Intn(2) == 1 {
+			base = 0.75
+		}
+		rows[i] = []float64{
+			base + rng.NormFloat64()*0.03,
+			base + rng.NormFloat64()*0.03,
+			rng.Float64(),
+			rng.Float64(),
+		}
+	}
+	rows[0] = []float64{0.25, 0.75, 0.5, 0.5}
+	ds, err := anex.FromRows("test", rows, []string{"a", "b", "c", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := ds.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunBeamExplainsPlantedPair(t *testing.T) {
+	path := writeTestCSV(t)
+	out, err := captureStdout(t, func() error {
+		return run(path, "0", "beam", "lof", 2, 3, 1, false)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "point 0") || !strings.Contains(out, "{a, b}") {
+		t.Errorf("output missing planted pair:\n%s", out)
+	}
+}
+
+func TestRunSummaryAlgorithms(t *testing.T) {
+	path := writeTestCSV(t)
+	for _, algo := range []string{"lookout", "hics"} {
+		out, err := captureStdout(t, func() error {
+			return run(path, "0", algo, "lof", 2, 3, 1, false)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out, "summary for points") {
+			t.Errorf("%s output: %s", algo, out)
+		}
+	}
+}
+
+func TestRunAllDetectors(t *testing.T) {
+	path := writeTestCSV(t)
+	for _, det := range []string{"lof", "abod", "iforest"} {
+		if _, err := captureStdout(t, func() error {
+			return run(path, "0", "refout", det, 2, 2, 1, false)
+		}); err != nil {
+			t.Fatalf("%s: %v", det, err)
+		}
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	path := writeTestCSV(t)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"missing data", func() error { return run("", "0", "beam", "lof", 2, 3, 1, false) }},
+		{"missing points", func() error { return run(path, "", "beam", "lof", 2, 3, 1, false) }},
+		{"bad point", func() error { return run(path, "x", "beam", "lof", 2, 3, 1, false) }},
+		{"bad algo", func() error { return run(path, "0", "nope", "lof", 2, 3, 1, false) }},
+		{"bad detector", func() error { return run(path, "0", "beam", "nope", 2, 3, 1, false) }},
+		{"missing file", func() error { return run("/nonexistent.csv", "0", "beam", "lof", 2, 3, 1, false) }},
+	}
+	for _, c := range cases {
+		if _, err := captureStdout(t, c.fn); err == nil {
+			t.Errorf("%s should fail", c.name)
+		}
+	}
+}
+
+func TestRunWithPlot(t *testing.T) {
+	path := writeTestCSV(t)
+	out, err := captureStdout(t, func() error {
+		return run(path, "0", "beam", "lof", 2, 3, 1, true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "✗") {
+		t.Errorf("plot marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "└") {
+		t.Errorf("plot frame missing:\n%s", out)
+	}
+}

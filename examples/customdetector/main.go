@@ -1,0 +1,119 @@
+// Customdetector: plug your own outlier detector into the explanation
+// algorithms.
+//
+// Every explainer in anex is detector-agnostic: anything implementing
+//
+//	Name() string
+//	Scores(v *anex.View) []float64   // higher = more outlying
+//
+// slots into Beam, RefOut, LookOut and HiCS. This example implements a
+// tiny Mahalanobis-style detector (distance from the per-view mean, scaled
+// by per-feature standard deviation), runs it through Beam next to the
+// library's detectors, and compares detector quality with ROC AUC — the
+// workflow for deciding whether a custom detector is worth pairing with an
+// explainer on your data.
+//
+// Run with: go run ./examples/customdetector
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"anex"
+)
+
+// zDistance scores each point by its root-mean-squared per-feature z-score
+// within the view — a cheap global detector that works when outliers
+// deviate on raw feature values rather than local density.
+type zDistance struct{}
+
+func (zDistance) Name() string { return "z-dist" }
+
+func (zDistance) Scores(v *anex.View) []float64 {
+	n, d := v.N(), v.Dim()
+	means := make([]float64, d)
+	for i := 0; i < n; i++ {
+		p := v.Point(i)
+		for j := 0; j < d; j++ {
+			means[j] += p[j]
+		}
+	}
+	for j := range means {
+		means[j] /= float64(n)
+	}
+	stds := make([]float64, d)
+	for i := 0; i < n; i++ {
+		p := v.Point(i)
+		for j := 0; j < d; j++ {
+			diff := p[j] - means[j]
+			stds[j] += diff * diff
+		}
+	}
+	for j := range stds {
+		stds[j] = math.Sqrt(stds[j] / float64(n))
+		if stds[j] == 0 {
+			stds[j] = 1
+		}
+	}
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p := v.Point(i)
+		var sum float64
+		for j := 0; j < d; j++ {
+			z := (p[j] - means[j]) / stds[j]
+			sum += z * z
+		}
+		scores[i] = math.Sqrt(sum / float64(d))
+	}
+	return scores
+}
+
+func main() {
+	// Full-space outliers: the regime where a global deviation detector
+	// has a fair chance.
+	ds, outliers, err := anex.GenerateFullSpaceOutliers(anex.FullSpaceOutlierConfig{
+		Name: "ops-metrics", N: 300, D: 8, NumOutliers: 20, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	isOutlier := make([]bool, ds.N())
+	for _, p := range outliers {
+		isOutlier[p] = true
+	}
+
+	// Step 1: detector quality — is the custom detector competitive?
+	detectors := []anex.Detector{
+		zDistance{},
+		anex.NewLOF(15),
+		anex.NewKNNDist(10),
+		anex.NewLODA(1),
+		anex.NewIsolationForest(1),
+	}
+	fmt.Println("detector quality on the full space:")
+	for _, det := range detectors {
+		scores := det.Scores(ds.FullView())
+		fmt.Printf("  %-9s ROC AUC %.3f   P@n %.3f\n",
+			det.Name(), anex.ROCAUC(scores, isOutlier), anex.PrecisionAtN(scores, isOutlier, 0))
+	}
+
+	// Step 2: pair the custom detector with Beam and evaluate the
+	// explanations against a LOF-derived ground truth, exactly as the
+	// paper pairs every detector with every explainer.
+	gt, err := anex.DeriveGroundTruth(ds, outliers, []int{2}, anex.NewLOF(15))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nexplanation quality (Beam at 2d, LOF-derived ground truth):")
+	for _, det := range []anex.Detector{zDistance{}, anex.NewLOF(15)} {
+		res := anex.ExplainOutliers(ds, gt, det.Name(), anex.NewBeamFX(anex.CachedDetector(det)), 2)
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		fmt.Printf("  Beam + %-7s MAP %.2f  mean recall %.2f  (%s)\n",
+			det.Name(), res.MAP, res.MeanRecall, res.Duration.Round(1e7))
+	}
+	fmt.Println("\nany Scores-implementing type participates in the full pipeline grid.")
+}

@@ -1,0 +1,3 @@
+module anex
+
+go 1.22

@@ -1,0 +1,125 @@
+// Package core defines the shared vocabulary of the testbed — the paper's
+// Figure 7 pipeline contracts. A Detector assigns outlyingness scores to
+// every point of a subspace view; a PointExplainer ranks subspaces
+// explaining one point's outlyingness (Beam, RefOut); a Summarizer ranks
+// subspaces jointly explaining a set of outliers (LookOut, HiCS). All
+// algorithms exchange results as ranked ScoredSubspace lists.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"anex/internal/dataset"
+	"anex/internal/subspace"
+)
+
+// Detector is an unsupervised outlier detector. Scores returns one
+// outlyingness score per point of the view, where HIGHER means MORE
+// outlying. Detectors whose native score is inverted (ABOD) must negate or
+// transform internally so every consumer can assume this orientation.
+type Detector interface {
+	// Name identifies the detector in experiment output ("LOF", …).
+	Name() string
+	// Scores computes an outlyingness score for every point of the view.
+	Scores(v *dataset.View) []float64
+}
+
+// PointExplainer ranks the subspaces of the requested dimensionality that
+// best explain the outlyingness of a single point.
+type PointExplainer interface {
+	// Name identifies the explainer in experiment output ("Beam", …).
+	Name() string
+	// ExplainPoint returns subspaces ranked by how well they explain the
+	// outlyingness of point p, best first. targetDim is the requested
+	// explanation dimensionality.
+	ExplainPoint(ds *dataset.Dataset, p, targetDim int) ([]ScoredSubspace, error)
+}
+
+// Summarizer ranks the subspaces of the requested dimensionality that
+// jointly separate as many of the given outlier points from the inliers as
+// possible.
+type Summarizer interface {
+	// Name identifies the summarizer in experiment output ("LookOut", …).
+	Name() string
+	// Summarize returns subspaces ranked by collective explanation
+	// quality for the given points, best first.
+	Summarize(ds *dataset.Dataset, points []int, targetDim int) ([]ScoredSubspace, error)
+}
+
+// ScoredSubspace pairs a subspace with the score its producer assigned.
+// Score semantics are producer-specific (Z-scored outlyingness for Beam,
+// t-statistic discrepancy for RefOut, marginal gain for LookOut, contrast
+// for HiCS); only the ranking is comparable across producers.
+type ScoredSubspace struct {
+	Subspace subspace.Subspace
+	Score    float64
+}
+
+func (s ScoredSubspace) String() string {
+	return fmt.Sprintf("%v: %.4f", s.Subspace, s.Score)
+}
+
+// SortByScore orders the list by descending score; ties break on the
+// canonical subspace key so results are deterministic.
+func SortByScore(list []ScoredSubspace) {
+	sort.SliceStable(list, func(i, j int) bool {
+		if list[i].Score != list[j].Score {
+			return list[i].Score > list[j].Score
+		}
+		return list[i].Subspace.Key() < list[j].Subspace.Key()
+	})
+}
+
+// TopK truncates the list to its first k entries (after the caller has
+// ordered it); it returns the list unchanged when k ≤ 0 or k ≥ len(list).
+func TopK(list []ScoredSubspace, k int) []ScoredSubspace {
+	if k <= 0 || k >= len(list) {
+		return list
+	}
+	return list[:k]
+}
+
+// Subspaces projects the ranked list onto its subspaces, preserving order.
+func Subspaces(list []ScoredSubspace) []subspace.Subspace {
+	out := make([]subspace.Subspace, len(list))
+	for i, s := range list {
+		out[i] = s.Subspace
+	}
+	return out
+}
+
+// ValidateExplainArgs checks the common preconditions of ExplainPoint
+// implementations.
+func ValidateExplainArgs(ds *dataset.Dataset, p, targetDim int) error {
+	if ds == nil {
+		return fmt.Errorf("explain: nil dataset")
+	}
+	if p < 0 || p >= ds.N() {
+		return fmt.Errorf("explain: point %d out of range [0, %d)", p, ds.N())
+	}
+	if targetDim < 1 || targetDim > ds.D() {
+		return fmt.Errorf("explain: target dimensionality %d out of range [1, %d]", targetDim, ds.D())
+	}
+	return nil
+}
+
+// ValidateSummarizeArgs checks the common preconditions of Summarize
+// implementations.
+func ValidateSummarizeArgs(ds *dataset.Dataset, points []int, targetDim int) error {
+	if ds == nil {
+		return fmt.Errorf("summarize: nil dataset")
+	}
+	if len(points) == 0 {
+		return fmt.Errorf("summarize: no points of interest")
+	}
+	for _, p := range points {
+		if p < 0 || p >= ds.N() {
+			return fmt.Errorf("summarize: point %d out of range [0, %d)", p, ds.N())
+		}
+	}
+	if targetDim < 1 || targetDim > ds.D() {
+		return fmt.Errorf("summarize: target dimensionality %d out of range [1, %d]", targetDim, ds.D())
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"anex/internal/dataset"
+	"anex/internal/subspace"
+)
+
+func scored(key string, score float64) ScoredSubspace {
+	s, err := subspace.Parse(key)
+	if err != nil {
+		panic(err)
+	}
+	return ScoredSubspace{Subspace: s, Score: score}
+}
+
+func TestSortByScore(t *testing.T) {
+	list := []ScoredSubspace{
+		scored("0,1", 0.5),
+		scored("2,3", 0.9),
+		scored("4,5", 0.5),
+		scored("1,2", 0.1),
+	}
+	SortByScore(list)
+	if list[0].Score != 0.9 || list[3].Score != 0.1 {
+		t.Fatalf("order: %v", list)
+	}
+	// Equal scores tie-break on key: "0,1" before "4,5".
+	if list[1].Subspace.Key() != "0,1" || list[2].Subspace.Key() != "4,5" {
+		t.Errorf("tie-break: %v", list)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	list := []ScoredSubspace{scored("0", 3), scored("1", 2), scored("2", 1)}
+	if got := TopK(list, 2); len(got) != 2 {
+		t.Errorf("TopK(2) = %v", got)
+	}
+	if got := TopK(list, 0); len(got) != 3 {
+		t.Errorf("TopK(0) should keep all, got %v", got)
+	}
+	if got := TopK(list, 10); len(got) != 3 {
+		t.Errorf("TopK(10) should keep all, got %v", got)
+	}
+}
+
+func TestSubspaces(t *testing.T) {
+	list := []ScoredSubspace{scored("0,1", 1), scored("2", 0)}
+	subs := Subspaces(list)
+	if len(subs) != 2 || !subs[0].Equal(subspace.New(0, 1)) || !subs[1].Equal(subspace.New(2)) {
+		t.Errorf("Subspaces = %v", subs)
+	}
+}
+
+func TestScoredSubspaceString(t *testing.T) {
+	if got := scored("0,2", 0.5).String(); got != "{F0, F2}: 0.5000" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestValidateExplainArgs(t *testing.T) {
+	ds, err := dataset.New("d", [][]float64{{1, 2, 3}, {4, 5, 6}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExplainArgs(ds, 0, 2); err != nil {
+		t.Errorf("valid args rejected: %v", err)
+	}
+	cases := []struct {
+		ds   *dataset.Dataset
+		p, d int
+	}{
+		{nil, 0, 2},
+		{ds, -1, 2},
+		{ds, 3, 2},
+		{ds, 0, 0},
+		{ds, 0, 3},
+	}
+	for i, c := range cases {
+		if err := ValidateExplainArgs(c.ds, c.p, c.d); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestValidateSummarizeArgs(t *testing.T) {
+	ds, err := dataset.New("d", [][]float64{{1, 2, 3}, {4, 5, 6}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSummarizeArgs(ds, []int{0, 2}, 2); err != nil {
+		t.Errorf("valid args rejected: %v", err)
+	}
+	cases := []struct {
+		ds   *dataset.Dataset
+		pts  []int
+		dim  int
+		name string
+	}{
+		{nil, []int{0}, 2, "nil dataset"},
+		{ds, nil, 2, "no points"},
+		{ds, []int{5}, 2, "out-of-range point"},
+		{ds, []int{0}, 0, "zero dim"},
+		{ds, []int{0}, 9, "dim > D"},
+	}
+	for _, c := range cases {
+		if err := ValidateSummarizeArgs(c.ds, c.pts, c.dim); err == nil {
+			t.Errorf("%s should fail", c.name)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteCSV writes the dataset as CSV with a header row of feature names.
+func (ds *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(ds.features); err != nil {
+		return fmt.Errorf("dataset %q: write header: %w", ds.name, err)
+	}
+	record := make([]string, ds.D())
+	for i := 0; i < ds.n; i++ {
+		for f := 0; f < ds.D(); f++ {
+			record[f] = strconv.FormatFloat(ds.cols[f][i], 'g', -1, 64)
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("dataset %q: write row %d: %w", ds.name, i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset from CSV. If header is true the first record is
+// interpreted as feature names; otherwise names F0…F(d−1) are generated.
+func ReadCSV(name string, r io.Reader, header bool) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var features []string
+	var cols [][]float64
+	row := 0
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset %q: read: %w", name, err)
+		}
+		if features == nil && cols == nil {
+			if header {
+				features = make([]string, len(record))
+				copy(features, record)
+				continue
+			}
+		}
+		if cols == nil {
+			cols = make([][]float64, len(record))
+		}
+		if len(record) != len(cols) {
+			return nil, fmt.Errorf("dataset %q: row %d has %d fields, want %d", name, row, len(record), len(cols))
+		}
+		for f, field := range record {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset %q: row %d field %d: %w", name, row, f, err)
+			}
+			cols[f] = append(cols[f], v)
+		}
+		row++
+	}
+	if cols == nil {
+		return nil, fmt.Errorf("dataset %q: empty CSV", name)
+	}
+	return New(name, cols, features)
+}
+
+// SaveCSV writes the dataset to the named file.
+func (ds *Dataset) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset %q: %w", ds.name, err)
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads a dataset from the named file, expecting a header row.
+func LoadCSV(name, path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	defer f.Close()
+	return ReadCSV(name, f, true)
+}

@@ -1,0 +1,153 @@
+// Package dataset provides the in-memory data model of the testbed: an
+// immutable numeric dataset with named features, cheap subspace projection
+// (views), CSV persistence, and the ground-truth model associating each
+// outlier with its relevant explaining subspaces.
+package dataset
+
+import (
+	"fmt"
+
+	"anex/internal/subspace"
+)
+
+// Dataset is an immutable collection of n points over d numeric features.
+// Data is stored column-major, which makes subspace projection — the hot
+// operation of every explanation algorithm — a simple gather of k columns.
+type Dataset struct {
+	name     string
+	features []string    // feature names, len d
+	cols     [][]float64 // cols[f][i] = value of feature f at point i
+	n        int
+}
+
+// New builds a dataset from column-major data. The columns are not copied;
+// the caller must not mutate them afterwards. Feature names may be nil, in
+// which case F0…F(d−1) are generated.
+func New(name string, cols [][]float64, features []string) (*Dataset, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("dataset %q: no columns", name)
+	}
+	n := len(cols[0])
+	for f, c := range cols {
+		if len(c) != n {
+			return nil, fmt.Errorf("dataset %q: column %d has %d values, want %d", name, f, len(c), n)
+		}
+	}
+	if features == nil {
+		features = make([]string, len(cols))
+		for f := range features {
+			features[f] = fmt.Sprintf("F%d", f)
+		}
+	}
+	if len(features) != len(cols) {
+		return nil, fmt.Errorf("dataset %q: %d feature names for %d columns", name, len(features), len(cols))
+	}
+	return &Dataset{name: name, features: features, cols: cols, n: n}, nil
+}
+
+// FromRows builds a dataset from row-major data, copying it into
+// column-major storage.
+func FromRows(name string, rows [][]float64, features []string) (*Dataset, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset %q: no rows", name)
+	}
+	d := len(rows[0])
+	cols := make([][]float64, d)
+	for f := range cols {
+		cols[f] = make([]float64, len(rows))
+	}
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("dataset %q: row %d has %d values, want %d", name, i, len(r), d)
+		}
+		for f, v := range r {
+			cols[f][i] = v
+		}
+	}
+	return New(name, cols, features)
+}
+
+// Name returns the dataset's name.
+func (ds *Dataset) Name() string { return ds.name }
+
+// N returns the number of points.
+func (ds *Dataset) N() int { return ds.n }
+
+// D returns the number of features.
+func (ds *Dataset) D() int { return len(ds.cols) }
+
+// FeatureName returns the name of feature f.
+func (ds *Dataset) FeatureName(f int) string { return ds.features[f] }
+
+// FeatureNames returns a copy of all feature names.
+func (ds *Dataset) FeatureNames() []string {
+	out := make([]string, len(ds.features))
+	copy(out, ds.features)
+	return out
+}
+
+// Value returns the value of feature f at point i.
+func (ds *Dataset) Value(i, f int) float64 { return ds.cols[f][i] }
+
+// Column returns the values of feature f for all points. The returned slice
+// is shared with the dataset and must not be mutated.
+func (ds *Dataset) Column(f int) []float64 { return ds.cols[f] }
+
+// Row copies point i's full-space values into dst (which must have length
+// ≥ d) and returns dst[:d].
+func (ds *Dataset) Row(i int, dst []float64) []float64 {
+	for f := range ds.cols {
+		dst[f] = ds.cols[f][i]
+	}
+	return dst[:len(ds.cols)]
+}
+
+// View materialises the projection of the dataset onto the given subspace as
+// row-major points, the layout detectors consume. Views are cheap relative
+// to detector work (O(n·k) gather) but see Pool for reuse across calls.
+func (ds *Dataset) View(s subspace.Subspace) *View {
+	k := len(s)
+	flat := make([]float64, ds.n*k)
+	rows := make([][]float64, ds.n)
+	for j, f := range s {
+		col := ds.cols[f]
+		for i := 0; i < ds.n; i++ {
+			flat[i*k+j] = col[i]
+		}
+	}
+	for i := range rows {
+		rows[i] = flat[i*k : (i+1)*k : (i+1)*k]
+	}
+	return &View{sub: s.Clone(), rows: rows, dataset: ds}
+}
+
+// FullView returns the view over all features.
+func (ds *Dataset) FullView() *View {
+	return ds.View(subspace.Full(ds.D()))
+}
+
+// View is the row-major projection of a dataset onto one subspace.
+type View struct {
+	sub     subspace.Subspace
+	rows    [][]float64
+	dataset *Dataset
+}
+
+// Subspace returns the subspace this view projects onto.
+func (v *View) Subspace() subspace.Subspace { return v.sub }
+
+// N returns the number of points in the view.
+func (v *View) N() int { return len(v.rows) }
+
+// Dim returns the dimensionality of the view.
+func (v *View) Dim() int { return len(v.sub) }
+
+// Point returns the projected coordinates of point i. The returned slice is
+// shared with the view and must not be mutated.
+func (v *View) Point(i int) []float64 { return v.rows[i] }
+
+// Points returns all projected points. Shared storage; do not mutate.
+func (v *View) Points() [][]float64 { return v.rows }
+
+// Dataset returns the dataset this view was projected from.
+func (v *View) Dataset() *Dataset { return v.dataset }

@@ -1,0 +1,239 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"anex/internal/subspace"
+)
+
+func mustNew(t *testing.T, name string, cols [][]float64) *Dataset {
+	t.Helper()
+	ds, err := New(name, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", nil, nil); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := New("x", [][]float64{{1, 2}, {1}}, nil); err == nil {
+		t.Error("ragged columns should fail")
+	}
+	if _, err := New("x", [][]float64{{1}}, []string{"a", "b"}); err == nil {
+		t.Error("mismatched feature names should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	ds := mustNew(t, "d", [][]float64{{1, 2, 3}, {4, 5, 6}})
+	if ds.N() != 3 || ds.D() != 2 || ds.Name() != "d" {
+		t.Fatalf("shape %dx%d name %q", ds.N(), ds.D(), ds.Name())
+	}
+	if ds.Value(1, 0) != 2 || ds.Value(2, 1) != 6 {
+		t.Error("Value wrong")
+	}
+	if ds.FeatureName(1) != "F1" {
+		t.Errorf("feature name %q", ds.FeatureName(1))
+	}
+	row := ds.Row(1, make([]float64, 2))
+	if row[0] != 2 || row[1] != 5 {
+		t.Errorf("Row = %v", row)
+	}
+	col := ds.Column(1)
+	if col[0] != 4 || col[2] != 6 {
+		t.Errorf("Column = %v", col)
+	}
+}
+
+func TestFromRowsEqualsNew(t *testing.T) {
+	rows := [][]float64{{1, 4}, {2, 5}, {3, 6}}
+	ds, err := FromRows("r", rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustNew(t, "r", [][]float64{{1, 2, 3}, {4, 5, 6}})
+	for i := 0; i < 3; i++ {
+		for f := 0; f < 2; f++ {
+			if ds.Value(i, f) != want.Value(i, f) {
+				t.Fatalf("mismatch at (%d,%d)", i, f)
+			}
+		}
+	}
+	if _, err := FromRows("r", [][]float64{{1, 2}, {1}}, nil); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}
+
+func TestView(t *testing.T) {
+	ds := mustNew(t, "d", [][]float64{{1, 2}, {3, 4}, {5, 6}})
+	v := ds.View(subspace.New(0, 2))
+	if v.N() != 2 || v.Dim() != 2 {
+		t.Fatalf("view shape %dx%d", v.N(), v.Dim())
+	}
+	if p := v.Point(0); p[0] != 1 || p[1] != 5 {
+		t.Errorf("point 0 = %v", p)
+	}
+	if p := v.Point(1); p[0] != 2 || p[1] != 6 {
+		t.Errorf("point 1 = %v", p)
+	}
+	if !v.Subspace().Equal(subspace.New(0, 2)) {
+		t.Error("subspace lost")
+	}
+	if v.Dataset() != ds {
+		t.Error("dataset backref lost")
+	}
+	full := ds.FullView()
+	if full.Dim() != 3 {
+		t.Errorf("full view dim %d", full.Dim())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := mustNew(t, "d", [][]float64{{1.5, -2.25}, {0, 1e-9}})
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("d", &buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.D() != ds.D() {
+		t.Fatalf("shape changed: %dx%d", back.N(), back.D())
+	}
+	for i := 0; i < ds.N(); i++ {
+		for f := 0; f < ds.D(); f++ {
+			if back.Value(i, f) != ds.Value(i, f) {
+				t.Errorf("value (%d,%d) changed: %v vs %v", i, f, back.Value(i, f), ds.Value(i, f))
+			}
+		}
+	}
+	if back.FeatureName(0) != "F0" {
+		t.Errorf("feature name %q", back.FeatureName(0))
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	ds := mustNew(t, "d", [][]float64{{1, 2, 3}})
+	path := t.TempDir() + "/data.csv"
+	if err := ds.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV("d", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 3 || back.D() != 1 {
+		t.Fatalf("shape %dx%d", back.N(), back.D())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader(""), false); err == nil {
+		t.Error("empty CSV should fail")
+	}
+	if _, err := ReadCSV("x", strings.NewReader("a,b\n1,notanumber\n"), true); err == nil {
+		t.Error("non-numeric field should fail")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	ds := mustNew(t, "d", [][]float64{{1, 2, 3, 4}, {7, 7, 7, 7}})
+	std := ds.Standardize()
+	col := std.Column(0)
+	var mean float64
+	for _, v := range col {
+		mean += v
+	}
+	mean /= float64(len(col))
+	if math.Abs(mean) > 1e-12 {
+		t.Errorf("standardised mean = %v", mean)
+	}
+	for _, v := range std.Column(1) {
+		if v != 0 {
+			t.Errorf("constant column should standardise to 0, got %v", v)
+		}
+	}
+}
+
+func TestMinMaxScale(t *testing.T) {
+	ds := mustNew(t, "d", [][]float64{{-2, 0, 2}, {5, 5, 5}})
+	scaled := ds.MinMaxScale()
+	if scaled.Value(0, 0) != 0 || scaled.Value(2, 0) != 1 || scaled.Value(1, 0) != 0.5 {
+		t.Errorf("column 0 = %v", scaled.Column(0))
+	}
+	for _, v := range scaled.Column(1) {
+		if v != 0.5 {
+			t.Errorf("constant column scaled to %v, want 0.5", v)
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := mustNew(t, "d", [][]float64{{1, 2, 3}, {4, 5, 6}})
+	sub, err := ds.Subset("s", []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 2 || sub.Value(0, 0) != 3 || sub.Value(1, 1) != 4 {
+		t.Errorf("subset wrong: %v %v", sub.Column(0), sub.Column(1))
+	}
+	if _, err := ds.Subset("s", []int{5}); err == nil {
+		t.Error("out-of-range subset should fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := mustNew(t, "d", [][]float64{{1, 2}})
+	if err := ok.Validate(); err != nil {
+		t.Errorf("clean dataset flagged: %v", err)
+	}
+	bad := mustNew(t, "d", [][]float64{{1, math.NaN()}})
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN not detected")
+	}
+	inf := mustNew(t, "d", [][]float64{{math.Inf(1), 1}})
+	if err := inf.Validate(); err == nil {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestPropertyViewMatchesValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(nRaw, dRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		d := int(dRaw%8) + 2
+		cols := make([][]float64, d)
+		for f := range cols {
+			cols[f] = make([]float64, n)
+			for i := range cols[f] {
+				cols[f][i] = rng.NormFloat64()
+			}
+		}
+		ds, err := New("p", cols, nil)
+		if err != nil {
+			return false
+		}
+		s := subspace.Random(rng, d, 1+rng.Intn(d))
+		v := ds.View(s)
+		for i := 0; i < n; i++ {
+			for j, feat := range s {
+				if v.Point(i)[j] != ds.Value(i, feat) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

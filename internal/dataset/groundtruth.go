@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"anex/internal/subspace"
+)
+
+// GroundTruth associates each outlier point of a dataset with the
+// subspace(s) that are relevant to its explanation (REL_p in the paper).
+type GroundTruth struct {
+	relevant map[int][]subspace.Subspace
+	outliers []int // sorted point indices
+}
+
+// NewGroundTruth builds a ground truth from a point→relevant-subspaces map.
+// Subspaces are stored in canonical form, deduplicated per point.
+func NewGroundTruth(relevant map[int][]subspace.Subspace) *GroundTruth {
+	gt := &GroundTruth{relevant: make(map[int][]subspace.Subspace, len(relevant))}
+	for p, subs := range relevant {
+		seen := make(map[string]bool, len(subs))
+		var clean []subspace.Subspace
+		for _, s := range subs {
+			c := subspace.New(s...)
+			if k := c.Key(); !seen[k] {
+				seen[k] = true
+				clean = append(clean, c)
+			}
+		}
+		if len(clean) > 0 {
+			gt.relevant[p] = clean
+			gt.outliers = append(gt.outliers, p)
+		}
+	}
+	sort.Ints(gt.outliers)
+	return gt
+}
+
+// Outliers returns the sorted indices of all outlier points.
+func (gt *GroundTruth) Outliers() []int {
+	out := make([]int, len(gt.outliers))
+	copy(out, gt.outliers)
+	return out
+}
+
+// NumOutliers returns the number of outlier points.
+func (gt *GroundTruth) NumOutliers() int { return len(gt.outliers) }
+
+// IsOutlier reports whether point p is an outlier.
+func (gt *GroundTruth) IsOutlier(p int) bool {
+	_, ok := gt.relevant[p]
+	return ok
+}
+
+// RelevantFor returns all subspaces relevant to point p (REL_p), or nil if p
+// is not an outlier.
+func (gt *GroundTruth) RelevantFor(p int) []subspace.Subspace {
+	return gt.relevant[p]
+}
+
+// RelevantAt returns the subspaces of dimensionality dim relevant to p.
+func (gt *GroundTruth) RelevantAt(p, dim int) []subspace.Subspace {
+	var out []subspace.Subspace
+	for _, s := range gt.relevant[p] {
+		if s.Dim() == dim {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// PointsExplainedAt returns the outliers that have at least one relevant
+// subspace of dimensionality dim — the population over which the paper's
+// MAP at a given explanation dimensionality is averaged.
+func (gt *GroundTruth) PointsExplainedAt(dim int) []int {
+	var out []int
+	for _, p := range gt.outliers {
+		if len(gt.RelevantAt(p, dim)) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AllSubspaces returns the distinct relevant subspaces across all outliers.
+func (gt *GroundTruth) AllSubspaces() []subspace.Subspace {
+	seen := make(map[string]bool)
+	var out []subspace.Subspace
+	for _, p := range gt.outliers {
+		for _, s := range gt.relevant[p] {
+			if k := s.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Dimensionalities returns the sorted distinct dimensionalities occurring in
+// the ground truth.
+func (gt *GroundTruth) Dimensionalities() []int {
+	seen := make(map[int]bool)
+	for _, p := range gt.outliers {
+		for _, s := range gt.relevant[p] {
+			seen[s.Dim()] = true
+		}
+	}
+	var out []int
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OutliersPerSubspace returns the mean number of outliers explained per
+// relevant subspace — the "# Outliers per Relevant Subspace" row of Table 1.
+func (gt *GroundTruth) OutliersPerSubspace() float64 {
+	counts := make(map[string]int)
+	for _, p := range gt.outliers {
+		for _, s := range gt.relevant[p] {
+			counts[s.Key()]++
+		}
+	}
+	if len(counts) == 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return float64(total) / float64(len(counts))
+}
+
+// gtJSON is the serialised form of a ground truth.
+type gtJSON struct {
+	Relevant map[string][]string `json:"relevant"` // point index → subspace keys
+}
+
+// WriteJSON serialises the ground truth.
+func (gt *GroundTruth) WriteJSON(w io.Writer) error {
+	out := gtJSON{Relevant: make(map[string][]string, len(gt.relevant))}
+	for p, subs := range gt.relevant {
+		keys := make([]string, len(subs))
+		for i, s := range subs {
+			keys[i] = s.Key()
+		}
+		sort.Strings(keys)
+		out.Relevant[fmt.Sprintf("%d", p)] = keys
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadGroundTruthJSON deserialises a ground truth written by WriteJSON.
+func ReadGroundTruthJSON(r io.Reader) (*GroundTruth, error) {
+	var in gtJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("ground truth: decode: %w", err)
+	}
+	relevant := make(map[int][]subspace.Subspace, len(in.Relevant))
+	for pStr, keys := range in.Relevant {
+		var p int
+		if _, err := fmt.Sscanf(pStr, "%d", &p); err != nil {
+			return nil, fmt.Errorf("ground truth: bad point index %q", pStr)
+		}
+		for _, k := range keys {
+			s, err := subspace.Parse(k)
+			if err != nil {
+				return nil, fmt.Errorf("ground truth: point %d: %w", p, err)
+			}
+			relevant[p] = append(relevant[p], s)
+		}
+	}
+	return NewGroundTruth(relevant), nil
+}

@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"anex/internal/subspace"
+)
+
+func sampleGT() *GroundTruth {
+	return NewGroundTruth(map[int][]subspace.Subspace{
+		3: {subspace.New(0, 1), subspace.New(2, 3, 4)},
+		7: {subspace.New(0, 1)},
+		1: {subspace.New(5, 6)},
+	})
+}
+
+func TestGroundTruthBasics(t *testing.T) {
+	gt := sampleGT()
+	if got := gt.Outliers(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 7 {
+		t.Fatalf("Outliers = %v", got)
+	}
+	if gt.NumOutliers() != 3 {
+		t.Errorf("NumOutliers = %d", gt.NumOutliers())
+	}
+	if !gt.IsOutlier(3) || gt.IsOutlier(2) {
+		t.Error("IsOutlier wrong")
+	}
+	if rel := gt.RelevantFor(3); len(rel) != 2 {
+		t.Errorf("RelevantFor(3) = %v", rel)
+	}
+	if rel := gt.RelevantFor(99); rel != nil {
+		t.Errorf("RelevantFor(non-outlier) = %v", rel)
+	}
+}
+
+func TestGroundTruthDeduplicates(t *testing.T) {
+	gt := NewGroundTruth(map[int][]subspace.Subspace{
+		0: {subspace.New(1, 0), subspace.New(0, 1)},
+	})
+	if rel := gt.RelevantFor(0); len(rel) != 1 {
+		t.Errorf("duplicates not removed: %v", rel)
+	}
+}
+
+func TestRelevantAt(t *testing.T) {
+	gt := sampleGT()
+	if rel := gt.RelevantAt(3, 2); len(rel) != 1 || !rel[0].Equal(subspace.New(0, 1)) {
+		t.Errorf("RelevantAt(3,2) = %v", rel)
+	}
+	if rel := gt.RelevantAt(3, 3); len(rel) != 1 {
+		t.Errorf("RelevantAt(3,3) = %v", rel)
+	}
+	if rel := gt.RelevantAt(3, 4); rel != nil {
+		t.Errorf("RelevantAt(3,4) = %v", rel)
+	}
+}
+
+func TestPointsExplainedAt(t *testing.T) {
+	gt := sampleGT()
+	if pts := gt.PointsExplainedAt(2); len(pts) != 3 {
+		t.Errorf("PointsExplainedAt(2) = %v", pts)
+	}
+	if pts := gt.PointsExplainedAt(3); len(pts) != 1 || pts[0] != 3 {
+		t.Errorf("PointsExplainedAt(3) = %v", pts)
+	}
+	if pts := gt.PointsExplainedAt(5); pts != nil {
+		t.Errorf("PointsExplainedAt(5) = %v", pts)
+	}
+}
+
+func TestAllSubspacesAndDims(t *testing.T) {
+	gt := sampleGT()
+	all := gt.AllSubspaces()
+	if len(all) != 3 {
+		t.Errorf("AllSubspaces = %v", all)
+	}
+	dims := gt.Dimensionalities()
+	if len(dims) != 2 || dims[0] != 2 || dims[1] != 3 {
+		t.Errorf("Dimensionalities = %v", dims)
+	}
+}
+
+func TestOutliersPerSubspace(t *testing.T) {
+	gt := sampleGT()
+	// {0,1} explains 2 points, {2,3,4} 1, {5,6} 1 → mean 4/3.
+	got := gt.OutliersPerSubspace()
+	if got < 1.333 || got > 1.334 {
+		t.Errorf("OutliersPerSubspace = %v", got)
+	}
+	empty := NewGroundTruth(nil)
+	if empty.OutliersPerSubspace() != 0 {
+		t.Error("empty ground truth should report 0")
+	}
+}
+
+func TestGroundTruthJSONRoundTrip(t *testing.T) {
+	gt := sampleGT()
+	var buf bytes.Buffer
+	if err := gt.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGroundTruthJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumOutliers() != gt.NumOutliers() {
+		t.Fatalf("outlier count changed")
+	}
+	for _, p := range gt.Outliers() {
+		want := gt.RelevantFor(p)
+		got := back.RelevantFor(p)
+		if len(want) != len(got) {
+			t.Fatalf("point %d: %v vs %v", p, got, want)
+		}
+	}
+}
+
+func TestReadGroundTruthJSONErrors(t *testing.T) {
+	if _, err := ReadGroundTruthJSON(bytes.NewReader([]byte("{bad"))); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+	if _, err := ReadGroundTruthJSON(bytes.NewReader([]byte(`{"relevant":{"x":["0,1"]}}`))); err == nil {
+		t.Error("non-numeric point index should fail")
+	}
+	if _, err := ReadGroundTruthJSON(bytes.NewReader([]byte(`{"relevant":{"1":["bad"]}}`))); err == nil {
+		t.Error("malformed subspace key should fail")
+	}
+}

@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"anex/internal/stats"
+)
+
+// Standardize returns a new dataset whose columns are z-score standardised
+// (zero mean, unit variance). Constant columns become all zeros. The paper's
+// detectors consume raw feature values, but standardisation is the common
+// preprocessing step for distance-based detectors on heterogeneous scales.
+func (ds *Dataset) Standardize() *Dataset {
+	cols := make([][]float64, ds.D())
+	for f := range cols {
+		cols[f] = stats.ZScores(ds.cols[f])
+	}
+	out, err := New(ds.name+"-std", cols, ds.FeatureNames())
+	if err != nil {
+		panic(fmt.Sprintf("dataset: standardize: %v", err)) // shapes preserved; unreachable
+	}
+	return out
+}
+
+// MinMaxScale returns a new dataset with every column rescaled to [0, 1].
+// Constant columns become all 0.5.
+func (ds *Dataset) MinMaxScale() *Dataset {
+	cols := make([][]float64, ds.D())
+	for f := range cols {
+		src := ds.cols[f]
+		dst := make([]float64, len(src))
+		lo, hi := stats.MinMax(src)
+		span := hi - lo
+		for i, v := range src {
+			if span == 0 {
+				dst[i] = 0.5
+			} else {
+				dst[i] = (v - lo) / span
+			}
+		}
+		cols[f] = dst
+	}
+	out, err := New(ds.name+"-minmax", cols, ds.FeatureNames())
+	if err != nil {
+		panic(fmt.Sprintf("dataset: minmax: %v", err)) // shapes preserved; unreachable
+	}
+	return out
+}
+
+// Subset returns a new dataset containing only the given points, in order.
+func (ds *Dataset) Subset(name string, points []int) (*Dataset, error) {
+	cols := make([][]float64, ds.D())
+	for f := range cols {
+		src := ds.cols[f]
+		dst := make([]float64, len(points))
+		for j, p := range points {
+			if p < 0 || p >= ds.n {
+				return nil, fmt.Errorf("dataset %q: subset point %d out of range [0, %d)", ds.name, p, ds.n)
+			}
+			dst[j] = src[p]
+		}
+		cols[f] = dst
+	}
+	return New(name, cols, ds.FeatureNames())
+}
+
+// Validate checks the dataset for NaN and infinite values, returning an
+// error naming the first offending cell.
+func (ds *Dataset) Validate() error {
+	for f, col := range ds.cols {
+		for i, v := range col {
+			if math.IsNaN(v) {
+				return fmt.Errorf("dataset %q: NaN at point %d feature %s", ds.name, i, ds.features[f])
+			}
+			if math.IsInf(v, 0) {
+				return fmt.Errorf("dataset %q: infinity at point %d feature %s", ds.name, i, ds.features[f])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package detector implements the three unsupervised outlier detectors of
+// the paper's testbed (Section 2.1): the density-based Local Outlier Factor
+// (LOF), the angle-based Fast ABOD, and the isolation-based Isolation
+// Forest — plus a repetition-averaging wrapper and a score cache that
+// memoises per-subspace scores across explainers.
+//
+// All detectors return scores where higher means more outlying, as required
+// by the core.Detector contract.
+package detector
+
+import (
+	"fmt"
+	"sync"
+
+	"anex/internal/core"
+	"anex/internal/dataset"
+)
+
+// Cached wraps a detector with a subspace-keyed memo. Pipelines score the
+// same subspaces repeatedly — e.g. Beam and LookOut both score every 2d
+// subspace of a dataset — so the cache collapses that duplicated work. It is
+// safe for concurrent use.
+type Cached struct {
+	inner core.Detector
+
+	mu    sync.Mutex
+	memo  map[string][]float64
+	hits  int
+	calls int
+}
+
+// NewCached wraps d with a score memo keyed by (dataset name, subspace);
+// datasets scored through one cache must therefore carry distinct names.
+func NewCached(d core.Detector) *Cached {
+	return &Cached{inner: d, memo: make(map[string][]float64)}
+}
+
+// Name returns the wrapped detector's name.
+func (c *Cached) Name() string { return c.inner.Name() }
+
+// Scores returns memoised scores for the view's subspace, computing them on
+// first access. The returned slice is shared; callers must not mutate it.
+func (c *Cached) Scores(v *dataset.View) []float64 {
+	key := v.Dataset().Name() + "|" + v.Subspace().Key()
+	c.mu.Lock()
+	c.calls++
+	if s, ok := c.memo[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return s
+	}
+	c.mu.Unlock()
+	s := c.inner.Scores(v)
+	c.mu.Lock()
+	c.memo[key] = s
+	c.mu.Unlock()
+	return s
+}
+
+// Stats returns cache calls and hits since construction.
+func (c *Cached) Stats() (calls, hits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls, c.hits
+}
+
+// Reset drops all memoised scores.
+func (c *Cached) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.memo = make(map[string][]float64)
+	c.calls, c.hits = 0, 0
+}
+
+func checkView(name string, v *dataset.View) error {
+	if v == nil || v.N() == 0 {
+		return fmt.Errorf("%s: empty view", name)
+	}
+	if v.Dim() == 0 {
+		return fmt.Errorf("%s: zero-dimensional view", name)
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package detector
+
+import (
+	"math"
+	"math/rand"
+
+	"anex/internal/dataset"
+)
+
+// Isolation Forest hyper-parameters used throughout the paper's experiments
+// (Section 3.1).
+const (
+	DefaultIForestTrees       = 100
+	DefaultIForestSubsample   = 256
+	DefaultIForestRepetitions = 10
+)
+
+// IsolationForest is the isolation-based detector of Liu et al. (ICDM 2008).
+// A forest of random trees partitions subsamples of the data by uniformly
+// chosen features and split values; points isolated by short paths score
+// close to 1 and inliers close to 0 via s(x) = 2^(−E(h(x))/c(ψ)).
+//
+// The paper runs iForest for 10 repetitions per subspace and averages the
+// scores to reduce variance; Repetitions reproduces that protocol.
+type IsolationForest struct {
+	// Trees is the number of trees per forest; zero means 100.
+	Trees int
+	// Subsample is the per-tree sample size ψ; zero means 256.
+	Subsample int
+	// Repetitions is the number of independent forests whose scores are
+	// averaged; zero means 10. Set to 1 for a single forest.
+	Repetitions int
+	// Seed makes scoring deterministic. Each (subspace, repetition) pair
+	// derives its own stream from it, so scores are reproducible
+	// regardless of evaluation order.
+	Seed int64
+}
+
+// NewIsolationForest returns an Isolation Forest with the paper's settings
+// (100 trees, subsample 256, 10 repetitions) and the given seed.
+func NewIsolationForest(seed int64) *IsolationForest {
+	return &IsolationForest{Seed: seed}
+}
+
+func (f *IsolationForest) Name() string { return "iForest" }
+
+func (f *IsolationForest) trees() int {
+	if f.Trees <= 0 {
+		return DefaultIForestTrees
+	}
+	return f.Trees
+}
+
+func (f *IsolationForest) subsample() int {
+	if f.Subsample <= 0 {
+		return DefaultIForestSubsample
+	}
+	return f.Subsample
+}
+
+func (f *IsolationForest) repetitions() int {
+	if f.Repetitions <= 0 {
+		return DefaultIForestRepetitions
+	}
+	return f.Repetitions
+}
+
+// Scores computes the averaged isolation score of every point of the view.
+func (f *IsolationForest) Scores(v *dataset.View) []float64 {
+	if err := checkView("iForest", v); err != nil {
+		panic(err) // contract violation, not a data error
+	}
+	n := v.N()
+	psi := f.subsample()
+	if psi > n {
+		psi = n
+	}
+	reps := f.repetitions()
+	scores := make([]float64, n)
+	// Derive a per-view stream so scores do not depend on the order in
+	// which subspaces are evaluated.
+	base := f.Seed ^ hashString(v.Dataset().Name()+"|"+v.Subspace().Key())
+	for r := 0; r < reps; r++ {
+		rng := rand.New(rand.NewSource(base + int64(r)*int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)))
+		forest := buildForest(v, f.trees(), psi, rng)
+		c := averagePathLength(float64(psi))
+		for i := 0; i < n; i++ {
+			var sum float64
+			for _, t := range forest {
+				sum += t.pathLength(v.Point(i))
+			}
+			e := sum / float64(len(forest))
+			scores[i] += math.Pow(2, -e/c)
+		}
+	}
+	for i := range scores {
+		scores[i] /= float64(reps)
+	}
+	return scores
+}
+
+// hashString is FNV-1a folded to int64, used to derive per-subspace seeds.
+func hashString(s string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}
+
+// iTree is one isolation tree stored as a flat node array.
+type iTree struct {
+	nodes []iNode
+}
+
+type iNode struct {
+	// Interior: feature ≥ 0, split value, children indexes.
+	// Leaf: feature == -1, size = number of training points in the leaf.
+	feature     int
+	split       float64
+	left, right int
+	size        int
+}
+
+func buildForest(v *dataset.View, trees, psi int, rng *rand.Rand) []*iTree {
+	n := v.N()
+	heightLimit := int(math.Ceil(math.Log2(float64(psi))))
+	if heightLimit < 1 {
+		heightLimit = 1
+	}
+	forest := make([]*iTree, trees)
+	sample := make([]int, n)
+	for i := range sample {
+		sample[i] = i
+	}
+	for t := range forest {
+		// Uniform subsample without replacement (partial Fisher–Yates).
+		for i := 0; i < psi; i++ {
+			j := i + rng.Intn(n-i)
+			sample[i], sample[j] = sample[j], sample[i]
+		}
+		tree := &iTree{}
+		tree.build(v, append([]int(nil), sample[:psi]...), 0, heightLimit, rng)
+		forest[t] = tree
+	}
+	return forest
+}
+
+// build appends the subtree over idx and returns its node index.
+func (t *iTree) build(v *dataset.View, idx []int, depth, limit int, rng *rand.Rand) int {
+	nodeID := len(t.nodes)
+	t.nodes = append(t.nodes, iNode{})
+	if depth >= limit || len(idx) <= 1 || allIdentical(v, idx) {
+		t.nodes[nodeID] = iNode{feature: -1, size: len(idx)}
+		return nodeID
+	}
+	dim := v.Dim()
+	// Pick a feature with a non-degenerate range; give up after a few
+	// attempts (points can coincide on random features).
+	var feature int
+	var lo, hi float64
+	found := false
+	for attempt := 0; attempt < 8 && !found; attempt++ {
+		feature = rng.Intn(dim)
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, i := range idx {
+			val := v.Point(i)[feature]
+			if val < lo {
+				lo = val
+			}
+			if val > hi {
+				hi = val
+			}
+		}
+		found = hi > lo
+	}
+	if !found {
+		t.nodes[nodeID] = iNode{feature: -1, size: len(idx)}
+		return nodeID
+	}
+	split := lo + rng.Float64()*(hi-lo)
+	var left, right []int
+	for _, i := range idx {
+		if v.Point(i)[feature] < split {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		t.nodes[nodeID] = iNode{feature: -1, size: len(idx)}
+		return nodeID
+	}
+	l := t.build(v, left, depth+1, limit, rng)
+	r := t.build(v, right, depth+1, limit, rng)
+	t.nodes[nodeID] = iNode{feature: feature, split: split, left: l, right: r}
+	return nodeID
+}
+
+func allIdentical(v *dataset.View, idx []int) bool {
+	if len(idx) < 2 {
+		return true
+	}
+	first := v.Point(idx[0])
+	for _, i := range idx[1:] {
+		p := v.Point(i)
+		for d := range p {
+			if p[d] != first[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pathLength returns h(x): the depth at which x lands in a leaf plus the
+// c(size) adjustment for unbuilt subtrees.
+func (t *iTree) pathLength(x []float64) float64 {
+	nodeID := 0
+	depth := 0
+	for {
+		node := t.nodes[nodeID]
+		if node.feature == -1 {
+			return float64(depth) + averagePathLength(float64(node.size))
+		}
+		if x[node.feature] < node.split {
+			nodeID = node.left
+		} else {
+			nodeID = node.right
+		}
+		depth++
+	}
+}
+
+// averagePathLength is c(n), the average path length of an unsuccessful BST
+// search over n points: 2·H(n−1) − 2(n−1)/n with H the harmonic number.
+func averagePathLength(n float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	if n == 2 {
+		return 1
+	}
+	h := math.Log(n-1) + 0.5772156649015329
+	return 2*h - 2*(n-1)/n
+}

@@ -1,0 +1,186 @@
+package detector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anex/internal/dataset"
+)
+
+// randomDataset builds an n×d dataset with a couple of duplicated points to
+// stress tie handling.
+func randomDataset(rng *rand.Rand, n, d int) *dataset.Dataset {
+	cols := make([][]float64, d)
+	for f := range cols {
+		cols[f] = make([]float64, n)
+		for i := range cols[f] {
+			cols[f][i] = rng.NormFloat64() * 3
+		}
+	}
+	// Duplicate a point.
+	if n > 3 {
+		for f := range cols {
+			cols[f][1] = cols[f][0]
+		}
+	}
+	ds, err := dataset.New("inv", cols, nil)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// transform applies x → x*scale + shift to every value.
+func transform(ds *dataset.Dataset, scale, shift float64) *dataset.Dataset {
+	cols := make([][]float64, ds.D())
+	for f := range cols {
+		src := ds.Column(f)
+		dst := make([]float64, len(src))
+		for i, v := range src {
+			dst[i] = v*scale + shift
+		}
+		cols[f] = dst
+	}
+	out, err := dataset.New("inv-t", cols, nil)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TestLOFSimilarityInvariance: LOF is a ratio of local densities, so it is
+// exactly invariant under global scaling and translation of the data.
+func TestLOFSimilarityInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(scaleSeed, shiftSeed uint8) bool {
+		scale := 0.25 + float64(scaleSeed%40)/4 // 0.25 … 10
+		shift := float64(int(shiftSeed)-128) / 4
+		ds := randomDataset(rng, 60, 3)
+		lof := NewLOF(10)
+		a := lof.Scores(ds.FullView())
+		b := lof.Scores(transform(ds, scale, shift).FullView())
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-9*(1+math.Abs(a[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestABODRankingScaleInvariance: the ABOF value changes under scaling
+// (the 1/|x|² weights scale), but the RANKING of points is preserved under
+// translation and uniform scaling.
+func TestABODRankingScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ds := randomDataset(rng, 80, 3)
+	abod := NewFastABOD(10)
+	a := abod.Scores(ds.FullView())
+	b := abod.Scores(transform(ds, 3.5, -2).FullView())
+	ra := rankOf(a)
+	rb := rankOf(b)
+	mismatches := 0
+	for i := range ra {
+		if ra[i] != rb[i] {
+			mismatches++
+		}
+	}
+	// Exact rank preservation can be broken by floating-point ties; allow
+	// a small number of swaps.
+	if mismatches > 4 {
+		t.Errorf("%d rank mismatches under affine transform", mismatches)
+	}
+}
+
+// TestIForestScoreBounds: isolation scores are probabilities-like values in
+// (0, 1) for any input.
+func TestIForestScoreBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(nRaw, dRaw uint8, seed int64) bool {
+		n := int(nRaw%60) + 4
+		d := int(dRaw%5) + 1
+		ds := randomDataset(rng, n, d)
+		det := &IsolationForest{Trees: 10, Subsample: 32, Repetitions: 1, Seed: seed}
+		for _, s := range det.Scores(ds.FullView()) {
+			if s <= 0 || s >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLOFSubspacePermutationInvariance: scoring a view must not depend on
+// feature order within the subspace (Euclidean distance is symmetric).
+func TestLOFSubspacePermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ds := randomDataset(rng, 50, 4)
+	lof := NewLOF(8)
+	// The canonical subspace type always sorts, so build two datasets
+	// with swapped columns instead.
+	swapped, err := dataset.New("swap", [][]float64{ds.Column(1), ds.Column(0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := dataset.New("orig", [][]float64{ds.Column(0), ds.Column(1)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lof.Scores(orig.FullView())
+	b := lof.Scores(swapped.FullView())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("score[%d] differs under feature permutation", i)
+		}
+	}
+}
+
+// TestDetectorsDeterministicAcrossCalls: every built-in detector must return
+// identical scores for identical views.
+func TestDetectorsDeterministicAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds := randomDataset(rng, 70, 3)
+	dets := []struct {
+		name string
+		det  interface {
+			Scores(*dataset.View) []float64
+		}
+	}{
+		{"LOF", NewLOF(10)},
+		{"FastABOD", NewFastABOD(8)},
+		{"iForest", &IsolationForest{Trees: 10, Subsample: 32, Repetitions: 2, Seed: 1}},
+		{"LODA", NewLODA(1)},
+		{"kNN-dist", NewKNNDist(5)},
+	}
+	for _, d := range dets {
+		a := d.det.Scores(ds.FullView())
+		b := d.det.Scores(ds.FullView())
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: nondeterministic score at %d", d.name, i)
+				break
+			}
+		}
+	}
+}
+
+// rankOf returns, per point, the number of scores strictly above it.
+func rankOf(scores []float64) []int {
+	ranks := make([]int, len(scores))
+	for i := range scores {
+		for j := range scores {
+			if scores[j] > scores[i] {
+				ranks[i]++
+			}
+		}
+	}
+	return ranks
+}

@@ -1,0 +1,93 @@
+package detector
+
+import (
+	"anex/internal/dataset"
+	"anex/internal/neighbors"
+)
+
+// DefaultLOFK is the neighbourhood size used throughout the paper's
+// experiments (Section 3.1).
+const DefaultLOFK = 15
+
+// LOF is the Local Outlier Factor detector of Breunig et al. (SIGMOD 2000).
+// It compares each point's local reachability density with that of its
+// k nearest neighbours; inliers score ≈ 1 and outliers substantially more.
+type LOF struct {
+	// K is the neighbourhood size; zero means DefaultLOFK.
+	K int
+}
+
+// NewLOF returns a LOF detector with neighbourhood size k (0 → default 15).
+func NewLOF(k int) *LOF { return &LOF{K: k} }
+
+func (l *LOF) Name() string { return "LOF" }
+
+func (l *LOF) k() int {
+	if l.K <= 0 {
+		return DefaultLOFK
+	}
+	return l.K
+}
+
+// Scores computes the LOF score of every point in the view. With n points
+// the complexity is O(n²) for the neighbourhood computation (O(n log n)
+// expected with the KD-tree on low-dimensional views) plus O(n·k) for the
+// density aggregation.
+func (l *LOF) Scores(v *dataset.View) []float64 {
+	if err := checkView("LOF", v); err != nil {
+		panic(err) // contract violation, not a data error
+	}
+	n := v.N()
+	k := l.k()
+	if k > n-1 {
+		k = n - 1
+	}
+	if k < 1 {
+		// A single point has no neighbours; call it a perfect inlier.
+		return []float64{1}
+	}
+	ix := neighbors.NewIndex(v.Points())
+	nnIdx, nnDist := neighbors.AllKNN(ix, k)
+
+	// k-distance of each point = distance to its k-th nearest neighbour.
+	kdist := make([]float64, n)
+	for i := range kdist {
+		kdist[i] = nnDist[i][len(nnDist[i])-1]
+	}
+
+	// Local reachability density:
+	// lrd(p) = 1 / mean_{o ∈ kNN(p)} max(kdist(o), d(p, o)).
+	lrd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j, o := range nnIdx[i] {
+			reach := nnDist[i][j]
+			if kdist[o] > reach {
+				reach = kdist[o]
+			}
+			sum += reach
+		}
+		mean := sum / float64(len(nnIdx[i]))
+		if mean == 0 {
+			// Duplicate points: infinite density, representable as a
+			// large finite value to keep downstream arithmetic clean.
+			lrd[i] = maxDensity
+		} else {
+			lrd[i] = 1 / mean
+		}
+	}
+
+	// LOF(p) = mean_{o ∈ kNN(p)} lrd(o) / lrd(p).
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for _, o := range nnIdx[i] {
+			sum += lrd[o]
+		}
+		scores[i] = sum / (float64(len(nnIdx[i])) * lrd[i])
+	}
+	return scores
+}
+
+// maxDensity caps the local reachability density of duplicated points.
+const maxDensity = 1e12

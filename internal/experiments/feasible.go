@@ -1,0 +1,57 @@
+package experiments
+
+import "anex/internal/synth"
+
+// The paper could not run every pipeline at every setting on its testbed
+// (Section 4.1/4.2): the slow detectors were capped at lower explanation
+// dimensionalities on the 70d and 100d datasets, and LookOut's exhaustive
+// enumeration was capped similarly. These predicates reproduce exactly
+// those caps at paper scale; at small scale every cell is feasible.
+
+// feasiblePoint reports whether a (dataset dimensionality, explanation
+// dimensionality, detector, point explainer) cell is run.
+func feasiblePoint(scale synth.Scale, datasetD, dim int, det, explainer string) bool {
+	if scale != synth.ScalePaper {
+		return true
+	}
+	if explainer == "Beam" || explainer == "Beam_FX" {
+		switch det {
+		case "iForest":
+			// iForest ran up to 4d explanations on the 70d and 100d sets.
+			if datasetD >= 70 && dim > 4 {
+				return false
+			}
+		case "FastABOD":
+			// Fast ABOD up to 4d on 70d and up to 3d on 100d.
+			if datasetD >= 100 && dim > 3 {
+				return false
+			}
+			if datasetD >= 70 && dim > 4 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// feasibleSummary reports whether a summarization cell is run.
+func feasibleSummary(scale synth.Scale, datasetD, dim int, det, summarizer string) bool {
+	if scale != synth.ScalePaper {
+		return true
+	}
+	if summarizer == "LookOut" {
+		switch det {
+		case "LOF":
+			// LookOut with LOF ran up to 4d explanations at 100d.
+			if datasetD >= 100 && dim > 4 {
+				return false
+			}
+		default:
+			// Fast ABOD and iForest only up to 3d on 70d and 100d.
+			if datasetD >= 70 && dim > 3 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"anex/internal/pipeline"
+	"anex/internal/synth"
+)
+
+// resultKey indexes pipeline results by everything but the metric.
+type resultKey struct {
+	dataset, detector, explainer string
+	dim                          int
+}
+
+func indexResults(results []pipeline.Result) map[resultKey]pipeline.Result {
+	out := make(map[resultKey]pipeline.Result, len(results))
+	for _, r := range results {
+		out[resultKey{r.Dataset, r.Detector, r.Explainer, r.TargetDim}] = r
+	}
+	return out
+}
+
+// mapTable renders a Figure 9/10-style grid: one row per (dataset,
+// explainer, detector), one metric column per explanation dimensionality.
+// The metric is MAP unless the session is configured for Mean Recall — the
+// paper's two effectiveness measures (Section 3.3).
+func (s *Session) mapTable(id, title string, results []pipeline.Result, explainers []string) *Table {
+	idx := indexResults(results)
+	allDims := synth.ExplanationDims(s.Cfg.Scale, true)
+	metric := "MAP"
+	if s.Cfg.UseMeanRecall {
+		metric = "recall"
+	}
+	header := []string{"dataset", "explainer", "detector"}
+	for _, d := range allDims {
+		header = append(header, fmt.Sprintf("%s@%dd", metric, d))
+	}
+	t := &Table{ID: id, Title: title, Header: header}
+	detNames := []string{"LOF", "FastABOD", "iForest"}
+	for _, td := range s.TB.All() {
+		dims := s.explanationDims(td.Synthetic)
+		dimSet := make(map[int]bool, len(dims))
+		for _, d := range dims {
+			dimSet[d] = true
+		}
+		for _, expl := range explainers {
+			for _, det := range detNames {
+				row := []string{td.Dataset.Name(), expl, det}
+				for _, d := range allDims {
+					if !dimSet[d] {
+						row = append(row, "-")
+						continue
+					}
+					r, ok := idx[resultKey{td.Dataset.Name(), det, expl, d}]
+					switch {
+					case !ok:
+						row = append(row, "-")
+					case r.Err != nil:
+						row = append(row, "err")
+					case r.MAP >= 0 && r.PointsEvaluated == 0:
+						// No outlier is explained at this dimensionality
+						// per the ground truth; nothing to average.
+						row = append(row, "-")
+					case s.Cfg.UseMeanRecall:
+						row = append(row, fmtFloat(r.MeanRecall))
+					default:
+						row = append(row, fmtFloat(r.MAP))
+					}
+				}
+				t.Rows = append(t.Rows, row)
+			}
+		}
+	}
+	t.Notes = append(t.Notes, `"-" marks cells the paper (and this harness) skips as infeasible, or dimensionalities outside the dataset family's range`)
+	return t
+}
+
+// Figure9 reproduces the paper's Figure 9: MAP of Beam and RefOut with each
+// detector across all datasets and explanation dimensionalities.
+func (s *Session) Figure9() *Table {
+	return s.mapTable("Figure 9",
+		"MAP of Beam and RefOut per detector and explanation dimensionality",
+		s.PointResults(), []string{"Beam_FX", "RefOut"})
+}
+
+// Figure10 reproduces the paper's Figure 10: MAP of HiCS and LookOut with
+// each detector across all datasets and explanation dimensionalities.
+func (s *Session) Figure10() *Table {
+	return s.mapTable("Figure 10",
+		"MAP of HiCS and LookOut per detector and explanation dimensionality",
+		s.SummaryResults(), []string{"LookOut", "HiCS_FX"})
+}
+
+// Figure11 reproduces the paper's Figure 11: wall-clock runtime of every
+// detection+explanation pipeline on the timing datasets (synthetic family
+// up to ~39d and the Electricity-like dataset).
+func (s *Session) Figure11() *Table {
+	point, summary := s.TimingResults()
+	results := append(append([]pipeline.Result{}, point...), summary...)
+	idx := indexResults(results)
+	allDims := synth.ExplanationDims(s.Cfg.Scale, true)
+	header := []string{"dataset", "explainer", "detector"}
+	for _, d := range allDims {
+		header = append(header, fmt.Sprintf("time@%dd", d))
+	}
+	t := &Table{
+		ID:     "Figure 11",
+		Title:  "Runtime of detection and explanation pipelines",
+		Header: header,
+	}
+	detNames := []string{"LOF", "FastABOD", "iForest"}
+	explainers := []string{"Beam_FX", "RefOut", "LookOut", "HiCS_FX"}
+	for _, td := range s.timingDatasets() {
+		dims := s.explanationDims(td.Synthetic)
+		dimSet := make(map[int]bool, len(dims))
+		for _, d := range dims {
+			dimSet[d] = true
+		}
+		for _, expl := range explainers {
+			for _, det := range detNames {
+				row := []string{td.Dataset.Name(), expl, det}
+				for _, d := range allDims {
+					r, ok := idx[resultKey{td.Dataset.Name(), det, expl, d}]
+					switch {
+					case !dimSet[d] || !ok:
+						row = append(row, "-")
+					case r.Err != nil:
+						row = append(row, "err")
+					case r.MAP < 0:
+						row = append(row, "-") // skipped cell
+					case r.PointsEvaluated == 0:
+						row = append(row, "-") // nothing to time at this dim
+					default:
+						row = append(row, r.Duration.Round(time.Millisecond).String())
+					}
+				}
+				t.Rows = append(t.Rows, row)
+			}
+		}
+	}
+	if s.Cfg.Scale == synth.ScaleSmall {
+		t.Notes = append(t.Notes, "small scale explains 3 outliers per dataset; paper scale explains all of them")
+	}
+	return t
+}

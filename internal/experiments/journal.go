@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"anex/internal/pipeline"
+)
+
+// Journal persists completed pipeline cells as JSON lines so that a long
+// experiment run — paper scale takes hours, like the original study — can
+// be interrupted and resumed without recomputing finished cells. A journal
+// is only valid for one (scale, seed) configuration; the caller encodes
+// that in the file path.
+type Journal struct {
+	path string
+
+	mu      sync.Mutex
+	file    *os.File
+	w       *bufio.Writer
+	entries map[string]journalEntry
+}
+
+type journalEntry struct {
+	Kind            string        `json:"kind"` // "point", "summary" or "timing"
+	Dataset         string        `json:"dataset"`
+	Detector        string        `json:"detector"`
+	Explainer       string        `json:"explainer"`
+	Dim             int           `json:"dim"`
+	MAP             float64       `json:"map"`
+	MeanRecall      float64       `json:"mean_recall"`
+	PointsEvaluated int           `json:"points_evaluated"`
+	DurationNS      time.Duration `json:"duration_ns"`
+	Err             string        `json:"err,omitempty"`
+}
+
+func (e journalEntry) key() string {
+	return fmt.Sprintf("%s|%s|%s|%s|%d", e.Kind, e.Dataset, e.Detector, e.Explainer, e.Dim)
+}
+
+// OpenJournal opens (creating if absent) the journal at path and loads all
+// previously recorded cells. Corrupt trailing lines (a crash mid-write) are
+// ignored.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{path: path, entries: make(map[string]journalEntry)}
+	if data, err := os.ReadFile(path); err == nil {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for {
+			var e journalEntry
+			if err := dec.Decode(&e); err != nil {
+				break // EOF or trailing corruption
+			}
+			j.entries[e.key()] = e
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.file = f
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.file == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		j.file.Close()
+		return err
+	}
+	err := j.file.Close()
+	j.file = nil
+	return err
+}
+
+// Len returns the number of recorded cells.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Get returns a previously recorded cell, if any.
+func (j *Journal) Get(kind string, key resultKey) (pipeline.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[journalEntry{
+		Kind: kind, Dataset: key.dataset, Detector: key.detector,
+		Explainer: key.explainer, Dim: key.dim,
+	}.key()]
+	if !ok {
+		return pipeline.Result{}, false
+	}
+	res := pipeline.Result{
+		Dataset:         e.Dataset,
+		Detector:        e.Detector,
+		Explainer:       e.Explainer,
+		TargetDim:       e.Dim,
+		MAP:             e.MAP,
+		MeanRecall:      e.MeanRecall,
+		PointsEvaluated: e.PointsEvaluated,
+		Duration:        e.DurationNS,
+	}
+	if e.Err != "" {
+		res.Err = fmt.Errorf("%s", e.Err)
+	}
+	return res, true
+}
+
+// Put records a completed cell and flushes it to disk immediately, so a
+// crash loses at most the cell in flight.
+func (j *Journal) Put(kind string, res pipeline.Result) error {
+	e := journalEntry{
+		Kind:            kind,
+		Dataset:         res.Dataset,
+		Detector:        res.Detector,
+		Explainer:       res.Explainer,
+		Dim:             res.TargetDim,
+		MAP:             res.MAP,
+		MeanRecall:      res.MeanRecall,
+		PointsEvaluated: res.PointsEvaluated,
+		DurationNS:      res.Duration,
+	}
+	if res.Err != nil {
+		e.Err = res.Err.Error()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries[e.key()] = e
+	if j.file == nil {
+		return nil // in-memory only after Close
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}

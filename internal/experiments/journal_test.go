@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"anex/internal/pipeline"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := pipeline.Result{
+		Dataset: "d", Detector: "LOF", Explainer: "Beam_FX", TargetDim: 2,
+		MAP: 0.75, MeanRecall: 0.5, PointsEvaluated: 8, Duration: 123 * time.Millisecond,
+	}
+	if err := j.Put("point", res); err != nil {
+		t.Fatal(err)
+	}
+	failed := pipeline.Result{
+		Dataset: "d", Detector: "LOF", Explainer: "LookOut", TargetDim: 3,
+		Err: errors.New("boom"),
+	}
+	if err := j.Put("summary", failed); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and look up.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("reloaded %d entries", j2.Len())
+	}
+	got, ok := j2.Get("point", resultKey{"d", "LOF", "Beam_FX", 2})
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if got.MAP != 0.75 || got.MeanRecall != 0.5 || got.PointsEvaluated != 8 || got.Duration != 123*time.Millisecond {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	gotErr, ok := j2.Get("summary", resultKey{"d", "LOF", "LookOut", 3})
+	if !ok || gotErr.Err == nil || gotErr.Err.Error() != "boom" {
+		t.Errorf("error entry: %+v ok=%v", gotErr, ok)
+	}
+	// Kind is part of the key.
+	if _, ok := j2.Get("summary", resultKey{"d", "LOF", "Beam_FX", 2}); ok {
+		t.Error("kind not separating entries")
+	}
+	if _, ok := j2.Get("point", resultKey{"x", "LOF", "Beam_FX", 2}); ok {
+		t.Error("phantom entry")
+	}
+}
+
+func TestJournalSurvivesTrailingCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Put("point", pipeline.Result{Dataset: "d", Detector: "LOF", Explainer: "Beam_FX", TargetDim: 2, MAP: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"kind":"point","dataset":"trunc`)
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 {
+		t.Errorf("%d entries after corruption, want the 1 intact one", j2.Len())
+	}
+}
+
+func TestSessionResumesFromJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs pipelines")
+	}
+	path := filepath.Join(t.TempDir(), "session.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tinySession(t)
+	s.Cfg.Journal = j
+	first := s.PointResults()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh session with the reloaded journal must reproduce the exact
+	// results without recomputation (identical MAP incl. stochastic
+	// algorithms' draws).
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() == 0 {
+		t.Fatal("journal empty after session run")
+	}
+	s2 := tinySession(t)
+	s2.Cfg.Journal = j2
+	second := s2.PointResults()
+	if len(first) != len(second) {
+		t.Fatalf("result counts differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].MAP != second[i].MAP || first[i].Explainer != second[i].Explainer {
+			t.Errorf("cell %d differs after resume: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}

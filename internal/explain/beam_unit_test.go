@@ -1,0 +1,159 @@
+package explain
+
+import (
+	"testing"
+
+	"anex/internal/core"
+	"anex/internal/dataset"
+	"anex/internal/subspace"
+)
+
+// scriptedDetector returns crafted scores per subspace: every point scores
+// 0 except the target point, which scores the value scripted for the
+// subspace key (default 0). The target's Z-score is then a strictly
+// increasing function of the scripted value, so beam mechanics can be
+// verified exactly.
+type scriptedDetector struct {
+	target int
+	script map[string]float64
+	calls  []string
+}
+
+func (s *scriptedDetector) Name() string { return "scripted" }
+
+func (s *scriptedDetector) Scores(v *dataset.View) []float64 {
+	s.calls = append(s.calls, v.Subspace().Key())
+	scores := make([]float64, v.N())
+	scores[s.target] = s.script[v.Subspace().Key()]
+	return scores
+}
+
+// unitDataset returns a featureless-content dataset of n points × d
+// features (values irrelevant — the scripted detector ignores them).
+func unitDataset(t testing.TB, n, d int) *dataset.Dataset {
+	t.Helper()
+	cols := make([][]float64, d)
+	for f := range cols {
+		cols[f] = make([]float64, n)
+		for i := range cols[f] {
+			cols[f][i] = float64(i * (f + 1) % 7)
+		}
+	}
+	ds, err := dataset.New("unit", cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBeamStageOneIsExhaustive(t *testing.T) {
+	ds := unitDataset(t, 10, 5)
+	det := &scriptedDetector{target: 3, script: map[string]float64{}}
+	beam := &Beam{Detector: det, Width: 4, TopK: 4, FixedDim: true}
+	if _, err := beam.ExplainPoint(ds, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	// All C(5,2) = 10 pairs must have been scored.
+	seen := map[string]bool{}
+	for _, k := range det.calls {
+		seen[k] = true
+	}
+	enum := subspace.NewEnumerator(5, 2)
+	for s := enum.Next(); s != nil; s = enum.Next() {
+		if !seen[s.Key()] {
+			t.Errorf("stage 1 skipped %v", s)
+		}
+	}
+}
+
+func TestBeamFollowsScriptedPath(t *testing.T) {
+	ds := unitDataset(t, 10, 6)
+	// Plant: {1,4} is the best pair; its extension {1,2,4} the best triple.
+	det := &scriptedDetector{target: 0, script: map[string]float64{
+		"1,4":   10,
+		"0,3":   5,
+		"1,2,4": 20,
+		"0,1,3": 6,
+	}}
+	beam := &Beam{Detector: det, Width: 2, TopK: 5, FixedDim: true}
+	got, err := beam.ExplainPoint(ds, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Subspace.Key() != "1,2,4" {
+		t.Errorf("top 3d subspace %v, want {F1, F2, F4}", got[0].Subspace)
+	}
+}
+
+func TestBeamWidthPrunesSearch(t *testing.T) {
+	ds := unitDataset(t, 10, 6)
+	// {0,1} scores best at 2d but its extensions score 0; {2,3} is second
+	// best and its extension {2,3,4} is excellent. With width 1 the beam
+	// keeps only {0,1} and never finds {2,3,4}; with width 2 it does.
+	script := map[string]float64{
+		"0,1":   10,
+		"2,3":   9,
+		"2,3,4": 50,
+	}
+	run := func(width int) string {
+		det := &scriptedDetector{target: 0, script: script}
+		beam := &Beam{Detector: det, Width: width, TopK: 1, FixedDim: true}
+		got, err := beam.ExplainPoint(ds, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got[0].Subspace.Key()
+	}
+	if top := run(1); top == "2,3,4" {
+		t.Errorf("width 1 found %s — beam should have pruned it", top)
+	}
+	if top := run(2); top != "2,3,4" {
+		t.Errorf("width 2 top = %s, want 2,3,4", top)
+	}
+}
+
+func TestBeamGlobalListKeepsEarlierStages(t *testing.T) {
+	ds := unitDataset(t, 10, 5)
+	// The 2d winner scores far above every 3d candidate.
+	det := &scriptedDetector{target: 0, script: map[string]float64{"0,2": 100}}
+	beam := &Beam{Detector: det, Width: 3, TopK: 3, FixedDim: false}
+	got, err := beam.ExplainPoint(ds, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Subspace.Key() != "0,2" {
+		t.Errorf("global list top %v, want the 2d winner {F0, F2}", got[0].Subspace)
+	}
+	// Beam_FX with the same script must NOT return the 2d winner.
+	detFX := &scriptedDetector{target: 0, script: map[string]float64{"0,2": 100}}
+	beamFX := &Beam{Detector: detFX, Width: 3, TopK: 3, FixedDim: true}
+	gotFX, err := beamFX.ExplainPoint(ds, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range gotFX {
+		if s.Subspace.Dim() != 3 {
+			t.Errorf("Beam_FX leaked %dd subspace %v", s.Subspace.Dim(), s.Subspace)
+		}
+	}
+}
+
+func TestBeamDoesNotRescoreDuplicateCandidates(t *testing.T) {
+	ds := unitDataset(t, 8, 4)
+	det := &scriptedDetector{target: 0, script: map[string]float64{}}
+	beam := &Beam{Detector: det, Width: 10, TopK: 10, FixedDim: true}
+	if _, err := beam.ExplainPoint(ds, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, k := range det.calls {
+		seen[k]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("subspace %s scored %d times", k, n)
+		}
+	}
+}
+
+var _ core.Detector = (*scriptedDetector)(nil)

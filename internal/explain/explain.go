@@ -1,0 +1,41 @@
+// Package explain implements the two point-explanation algorithms of the
+// paper (Section 2.2): Beam, a stage-wise greedy search over subspaces, and
+// RefOut, a random-projection / statistical-refinement search. Both rank
+// the subspaces that best explain the outlyingness of one data point, using
+// any core.Detector as the outlyingness criterion.
+package explain
+
+import (
+	"anex/internal/core"
+	"anex/internal/dataset"
+	"anex/internal/stats"
+	"anex/internal/subspace"
+)
+
+// pointZScore returns the Z-score-standardised outlyingness of point p in
+// subspace s:
+//
+//	score(p_s)' = (score(p_s) − mean(score_s)) / sqrt(Var(score_s))
+//
+// The standardisation removes the dimensionality bias of raw detector
+// scores so that subspaces of different dimensionality become comparable
+// (paper, Section 2.2).
+func pointZScore(det core.Detector, ds *dataset.Dataset, s subspace.Subspace, p int) float64 {
+	scores := det.Scores(ds.View(s))
+	return stats.ZScore(scores[p], scores)
+}
+
+// pointRawScore returns the unstandardised detector score of p in s. It
+// exists to support the raw-vs-Z-score ablation benchmark.
+func pointRawScore(det core.Detector, ds *dataset.Dataset, s subspace.Subspace, p int) float64 {
+	return det.Scores(ds.View(s))[p]
+}
+
+// ScoreFunc computes the quality of subspace s as an explanation of point p.
+type ScoreFunc func(det core.Detector, ds *dataset.Dataset, s subspace.Subspace, p int) float64
+
+// ZScored is the paper's standardised scoring (the default).
+func ZScored() ScoreFunc { return pointZScore }
+
+// Raw is unstandardised detector scoring, for ablation only.
+func Raw() ScoreFunc { return pointRawScore }

@@ -1,0 +1,195 @@
+package explain
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"anex/internal/core"
+	"anex/internal/dataset"
+	"anex/internal/stats"
+	"anex/internal/subspace"
+)
+
+// RefOut defaults from the paper's experimental settings (Section 3.1).
+const (
+	DefaultRefOutPoolSize = 100
+	DefaultRefOutWidth    = 100
+	DefaultRefOutTopK     = 100
+	DefaultRefOutPoolFrac = 0.7
+)
+
+// RefOut is the sampling-based point explainer of Keller et al. (CIKM
+// 2013). It draws a pool of random subspace projections, scores the point
+// of interest in each (Z-score standardised), and then stage-wise assesses
+// candidate subspaces by the discrepancy — measured with Welch's two-sample
+// t-test — between the pool-score populations of projections that do and do
+// not contain the candidate's features. Candidates of dimensionality k+1
+// are formed as the Cartesian product of the stage-k winners with single
+// features, exactly as in Figure 3 of the paper.
+type RefOut struct {
+	// Detector supplies the outlyingness criterion.
+	Detector core.Detector
+	// PoolSize is the number of random projections; zero means 100.
+	PoolSize int
+	// PoolDimFraction sets the dimensionality of each random projection
+	// as a fraction of the dataset's dimensionality; zero means 0.7.
+	PoolDimFraction float64
+	// Width is the beam width (candidates kept per stage); zero means 100.
+	Width int
+	// TopK bounds the returned list; zero means 100.
+	TopK int
+	// Seed makes the pool draw deterministic.
+	Seed int64
+	// Score overrides the pool scoring function; nil means the paper's
+	// Z-score standardisation.
+	Score ScoreFunc
+}
+
+// NewRefOut returns a RefOut explainer with the paper's settings.
+func NewRefOut(det core.Detector, seed int64) *RefOut {
+	return &RefOut{Detector: det, Seed: seed}
+}
+
+func (r *RefOut) Name() string { return "RefOut" }
+
+func (r *RefOut) poolSize() int {
+	if r.PoolSize <= 0 {
+		return DefaultRefOutPoolSize
+	}
+	return r.PoolSize
+}
+
+func (r *RefOut) width() int {
+	if r.Width <= 0 {
+		return DefaultRefOutWidth
+	}
+	return r.Width
+}
+
+func (r *RefOut) topK() int {
+	if r.TopK <= 0 {
+		return DefaultRefOutTopK
+	}
+	return r.TopK
+}
+
+func (r *RefOut) poolDim(d int) int {
+	frac := r.PoolDimFraction
+	if frac <= 0 || frac > 1 {
+		frac = DefaultRefOutPoolFrac
+	}
+	k := int(math.Round(frac * float64(d)))
+	if k < 2 {
+		k = 2
+	}
+	if k > d {
+		k = d
+	}
+	return k
+}
+
+func (r *RefOut) score() ScoreFunc {
+	if r.Score == nil {
+		return pointZScore
+	}
+	return r.Score
+}
+
+// poolEntry is one random projection with the point's standardised score.
+type poolEntry struct {
+	sub   subspace.Subspace
+	score float64
+}
+
+// ExplainPoint searches subspaces of exactly targetDim that explain the
+// outlyingness of point p, best (highest discrepancy) first.
+func (r *RefOut) ExplainPoint(ds *dataset.Dataset, p, targetDim int) ([]core.ScoredSubspace, error) {
+	if err := core.ValidateExplainArgs(ds, p, targetDim); err != nil {
+		return nil, fmt.Errorf("refout: %w", err)
+	}
+	if r.Detector == nil {
+		return nil, fmt.Errorf("refout: nil detector")
+	}
+	d := ds.D()
+	poolDim := r.poolDim(d)
+	if targetDim > poolDim {
+		return nil, fmt.Errorf("refout: target dimensionality %d exceeds pool projection dimensionality %d", targetDim, poolDim)
+	}
+	// Derive a per-point stream so explaining different points of the same
+	// dataset never shares pools but remains reproducible.
+	rng := rand.New(rand.NewSource(r.Seed + int64(p)*2654435761))
+	score := r.score()
+
+	// Build and score the random pool.
+	pool := make([]poolEntry, 0, r.poolSize())
+	seen := make(map[string]bool, r.poolSize())
+	for len(pool) < r.poolSize() {
+		s := subspace.Random(rng, d, poolDim)
+		key := s.Key()
+		if seen[key] && subspace.Count(d, poolDim) > int64(r.poolSize()) {
+			continue // redraw duplicates while distinct projections remain
+		}
+		seen[key] = true
+		pool = append(pool, poolEntry{sub: s, score: score(r.Detector, ds, s, p)})
+	}
+
+	// Stage 1: assess every single feature by partition discrepancy.
+	candidates := make([]core.ScoredSubspace, 0, d)
+	for f := 0; f < d; f++ {
+		cand := subspace.New(f)
+		candidates = append(candidates, core.ScoredSubspace{Subspace: cand, Score: r.discrepancy(pool, cand)})
+	}
+	core.SortByScore(candidates)
+	candidates = core.TopK(candidates, r.width())
+
+	// Stages 2…targetDim: Cartesian product of stage winners with all
+	// univariate subspaces, re-assessed by discrepancy.
+	for dim := 2; dim <= targetDim; dim++ {
+		seenCand := make(map[string]bool)
+		var next []core.ScoredSubspace
+		for _, cur := range candidates {
+			for f := 0; f < d; f++ {
+				if cur.Subspace.Contains(f) {
+					continue
+				}
+				cand := cur.Subspace.With(f)
+				key := cand.Key()
+				if seenCand[key] {
+					continue
+				}
+				seenCand[key] = true
+				next = append(next, core.ScoredSubspace{Subspace: cand, Score: r.discrepancy(pool, cand)})
+			}
+		}
+		core.SortByScore(next)
+		candidates = core.TopK(next, r.width())
+	}
+	out := make([]core.ScoredSubspace, len(candidates))
+	copy(out, candidates)
+	return core.TopK(out, r.topK()), nil
+}
+
+// discrepancy partitions the pool scores by whether the projection contains
+// every feature of cand, and returns the signed Welch t-statistic
+// (mean score with cand − mean score without). High positive values mean
+// the point looks substantially more outlying whenever cand's features are
+// present — the evidence RefOut builds explanations from.
+func (r *RefOut) discrepancy(pool []poolEntry, cand subspace.Subspace) float64 {
+	var with, without []float64
+	for _, e := range pool {
+		if e.sub.ContainsAll(cand) {
+			with = append(with, e.score)
+		} else {
+			without = append(without, e.score)
+		}
+	}
+	if len(with) < 2 || len(without) < 2 {
+		// Not enough evidence either way.
+		return math.Inf(-1)
+	}
+	res := stats.WelchTTest(with, without)
+	return res.Statistic
+}
+
+var _ core.PointExplainer = (*RefOut)(nil)

@@ -1,0 +1,126 @@
+package explain
+
+import (
+	"math"
+	"testing"
+
+	"anex/internal/subspace"
+)
+
+// pool builds pool entries from (key, score) pairs.
+func pool(t *testing.T, entries ...any) []poolEntry {
+	t.Helper()
+	if len(entries)%2 != 0 {
+		t.Fatal("pool needs key/score pairs")
+	}
+	out := make([]poolEntry, 0, len(entries)/2)
+	for i := 0; i < len(entries); i += 2 {
+		s, err := subspace.Parse(entries[i].(string))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, poolEntry{sub: s, score: toF(entries[i+1])})
+	}
+	return out
+}
+
+func toF(v any) float64 {
+	switch x := v.(type) {
+	case int:
+		return float64(x)
+	case float64:
+		return x
+	}
+	panic("bad score type")
+}
+
+func TestRefOutDiscrepancyPartitionsCorrectly(t *testing.T) {
+	r := &RefOut{}
+	// Projections containing feature 1 score high; the rest low. The
+	// discrepancy of {1} must be strongly positive; of {5} (present in
+	// low-scoring entries only) strongly negative.
+	p := pool(t,
+		"1,2,3", 10, "1,4,5", 11, "1,2,5", 9, "1,3,4", 10,
+		"2,3,4", 1, "3,4,5", 2, "2,4,5", 1, "2,3,5", 2,
+	)
+	high := r.discrepancy(p, subspace.New(1))
+	if high < 5 {
+		t.Errorf("discrepancy of the signal feature = %v, want large positive", high)
+	}
+	neutral := r.discrepancy(p, subspace.New(3))
+	if math.Abs(neutral) > 2 {
+		t.Errorf("discrepancy of a mixed feature = %v, want near zero", neutral)
+	}
+}
+
+func TestRefOutDiscrepancyMultiFeatureCandidates(t *testing.T) {
+	r := &RefOut{}
+	// Only projections containing BOTH 1 and 2 score high.
+	p := pool(t,
+		"1,2,3", 10, "1,2,5", 11, "1,2,4", 10,
+		"1,3,4", 1, "2,3,4", 2, "3,4,5", 1, "1,4,5", 2, "2,4,5", 1,
+	)
+	pair := r.discrepancy(p, subspace.New(1, 2))
+	single := r.discrepancy(p, subspace.New(1))
+	if pair <= single {
+		t.Errorf("joint candidate discrepancy %v should exceed single-feature %v", pair, single)
+	}
+}
+
+func TestRefOutDiscrepancyDegeneratePartitions(t *testing.T) {
+	r := &RefOut{}
+	// Candidate contained in every entry: no "without" population.
+	p := pool(t, "1,2", 5, "1,3", 6, "1,4", 7)
+	if d := r.discrepancy(p, subspace.New(1)); !math.IsInf(d, -1) {
+		t.Errorf("all-containing candidate discrepancy = %v, want -Inf", d)
+	}
+	// Candidate contained in no entry.
+	if d := r.discrepancy(p, subspace.New(9)); !math.IsInf(d, -1) {
+		t.Errorf("never-contained candidate discrepancy = %v, want -Inf", d)
+	}
+	// One-sided single sample.
+	p2 := pool(t, "1,2", 5, "3,4", 1, "3,5", 2, "4,5", 1)
+	if d := r.discrepancy(p2, subspace.New(1)); !math.IsInf(d, -1) {
+		t.Errorf("singleton partition discrepancy = %v, want -Inf", d)
+	}
+}
+
+func TestRefOutPoolIsPerPointDeterministic(t *testing.T) {
+	ds := unitDataset(t, 20, 6)
+	det := &scriptedDetector{target: 0, script: map[string]float64{}}
+	r := &RefOut{Detector: det, PoolSize: 10, Width: 5, TopK: 5, Seed: 3}
+	if _, err := r.ExplainPoint(ds, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	callsA := append([]string(nil), det.calls...)
+	det.calls = nil
+	if _, err := r.ExplainPoint(ds, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(callsA) != len(det.calls) {
+		t.Fatal("pool draw differs across identical calls")
+	}
+	for i := range callsA {
+		if callsA[i] != det.calls[i] {
+			t.Fatal("pool draw differs across identical calls")
+		}
+	}
+	// A different point must draw a different pool.
+	det.calls = nil
+	det.target = 1
+	if _, err := r.ExplainPoint(ds, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	same := len(callsA) == len(det.calls)
+	if same {
+		for i := range callsA {
+			if callsA[i] != det.calls[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different points share an identical pool draw")
+	}
+}

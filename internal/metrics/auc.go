@@ -1,0 +1,131 @@
+package metrics
+
+import "sort"
+
+// Detector-quality measures. The paper evaluates EXPLAINERS with MAP over
+// subspaces, but its dataset construction ("all outliers in HiCS datasets
+// can be discovered by the three detectors") rests on detector quality,
+// which these measures quantify: ROC AUC and precision-at-n of a score
+// ranking against outlier labels, the measures of the detector-evaluation
+// studies the paper builds on (Campos et al. 2016).
+
+// ROCAUC returns the area under the ROC curve of the outlyingness scores
+// against the binary labels (true = outlier). Ties receive half credit
+// (equivalent to the Mann–Whitney U statistic). It returns NaN-free 0.5
+// when either class is empty.
+func ROCAUC(scores []float64, outlier []bool) float64 {
+	if len(scores) != len(outlier) {
+		panic("metrics: scores and labels differ in length")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	var pos, neg int
+	for _, o := range outlier {
+		if o {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	// Rank-sum with midranks for ties.
+	var rankSum float64
+	i := 0
+	for i < len(idx) {
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		midrank := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if outlier[idx[k]] {
+				rankSum += midrank
+			}
+		}
+		i = j
+	}
+	u := rankSum - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg))
+}
+
+// PrecisionAtN returns the fraction of true outliers among the n
+// highest-scored points; n defaults to the number of true outliers when
+// non-positive (the "R-precision" convention of Campos et al.).
+func PrecisionAtN(scores []float64, outlier []bool, n int) float64 {
+	if len(scores) != len(outlier) {
+		panic("metrics: scores and labels differ in length")
+	}
+	if n <= 0 {
+		for _, o := range outlier {
+			if o {
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	if n > len(scores) {
+		n = len(scores)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	hits := 0
+	for _, i := range idx[:n] {
+		if outlier[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// AveragePrecisionScore returns the average precision of the score ranking
+// against the labels: the mean of precision@k over the ranks k at which
+// true outliers appear. Ties break on index for determinism.
+func AveragePrecisionScore(scores []float64, outlier []bool) float64 {
+	if len(scores) != len(outlier) {
+		panic("metrics: scores and labels differ in length")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	var pos int
+	for _, o := range outlier {
+		if o {
+			pos++
+		}
+	}
+	if pos == 0 {
+		return 0
+	}
+	var sum float64
+	hits := 0
+	for k, i := range idx {
+		if outlier[i] {
+			hits++
+			sum += float64(hits) / float64(k+1)
+		}
+	}
+	return sum / float64(pos)
+}

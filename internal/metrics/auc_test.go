@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCAUCPerfectRanking(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.2, 0.1}
+	labels := []bool{true, true, false, false, false}
+	if auc := ROCAUC(scores, labels); auc != 1 {
+		t.Errorf("perfect AUC = %v", auc)
+	}
+}
+
+func TestROCAUCInvertedRanking(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	if auc := ROCAUC(scores, labels); auc != 0 {
+		t.Errorf("inverted AUC = %v", auc)
+	}
+}
+
+func TestROCAUCKnownValue(t *testing.T) {
+	// One outlier ranked 2nd of 4: 2 of 3 inliers below it → AUC = 2/3.
+	scores := []float64{4, 3, 2, 1}
+	labels := []bool{false, true, false, false}
+	if auc := ROCAUC(scores, labels); math.Abs(auc-2.0/3) > 1e-12 {
+		t.Errorf("AUC = %v, want 2/3", auc)
+	}
+}
+
+func TestROCAUCTiesGetHalfCredit(t *testing.T) {
+	// All scores equal → AUC exactly 0.5.
+	scores := []float64{1, 1, 1, 1}
+	labels := []bool{true, false, true, false}
+	if auc := ROCAUC(scores, labels); auc != 0.5 {
+		t.Errorf("all-ties AUC = %v", auc)
+	}
+}
+
+func TestROCAUCDegenerateClasses(t *testing.T) {
+	if auc := ROCAUC([]float64{1, 2}, []bool{true, true}); auc != 0.5 {
+		t.Errorf("no negatives AUC = %v", auc)
+	}
+	if auc := ROCAUC([]float64{1, 2}, []bool{false, false}); auc != 0.5 {
+		t.Errorf("no positives AUC = %v", auc)
+	}
+}
+
+func TestROCAUCPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	ROCAUC([]float64{1}, []bool{true, false})
+}
+
+func TestPrecisionAtN(t *testing.T) {
+	scores := []float64{9, 8, 7, 6, 5}
+	labels := []bool{true, false, true, false, false}
+	if p := PrecisionAtN(scores, labels, 1); p != 1 {
+		t.Errorf("P@1 = %v", p)
+	}
+	if p := PrecisionAtN(scores, labels, 3); math.Abs(p-2.0/3) > 1e-12 {
+		t.Errorf("P@3 = %v", p)
+	}
+	// n ≤ 0 → R-precision with n = #outliers = 2 → hits {9} of top {9,8} → 0.5.
+	if p := PrecisionAtN(scores, labels, 0); p != 0.5 {
+		t.Errorf("R-precision = %v", p)
+	}
+	if p := PrecisionAtN(scores, labels, 100); math.Abs(p-2.0/5) > 1e-12 {
+		t.Errorf("clamped P@n = %v", p)
+	}
+	if p := PrecisionAtN([]float64{1}, []bool{false}, 0); p != 0 {
+		t.Errorf("no outliers R-precision = %v", p)
+	}
+}
+
+func TestAveragePrecisionScore(t *testing.T) {
+	scores := []float64{9, 8, 7, 6}
+	labels := []bool{true, false, true, false}
+	// Hits at ranks 1 and 3: (1/1 + 2/3)/2.
+	want := (1.0 + 2.0/3) / 2
+	if ap := AveragePrecisionScore(scores, labels); math.Abs(ap-want) > 1e-12 {
+		t.Errorf("AP = %v, want %v", ap, want)
+	}
+	if ap := AveragePrecisionScore(scores, []bool{false, false, false, false}); ap != 0 {
+		t.Errorf("no positives AP = %v", ap)
+	}
+}
+
+func TestDetectorQualityOnSeparatedScores(t *testing.T) {
+	// Well-separated score distributions → near-perfect measures.
+	rng := rand.New(rand.NewSource(1))
+	var scores []float64
+	var labels []bool
+	for i := 0; i < 200; i++ {
+		scores = append(scores, rng.NormFloat64())
+		labels = append(labels, false)
+	}
+	for i := 0; i < 20; i++ {
+		scores = append(scores, 6+rng.NormFloat64())
+		labels = append(labels, true)
+	}
+	if auc := ROCAUC(scores, labels); auc < 0.999 {
+		t.Errorf("separated AUC = %v", auc)
+	}
+	if p := PrecisionAtN(scores, labels, 0); p < 0.95 {
+		t.Errorf("separated R-precision = %v", p)
+	}
+}
+
+func TestPropertyAUCBoundsAndComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		labels := make([]bool, len(raw))
+		hasPos, hasNeg := false, false
+		for i, b := range raw {
+			scores[i] = float64(b % 16)
+			labels[i] = rng.Intn(3) == 0
+			if labels[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		auc := ROCAUC(scores, labels)
+		if auc < 0 || auc > 1 {
+			return false
+		}
+		if !hasPos || !hasNeg {
+			return auc == 0.5
+		}
+		// Negating scores complements the AUC.
+		neg := make([]float64, len(scores))
+		for i, s := range scores {
+			neg[i] = -s
+		}
+		return math.Abs(ROCAUC(neg, labels)-(1-auc)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,62 @@
+package neighbors
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPoints(n, d int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	points := make([][]float64, n)
+	for i := range points {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		points[i] = p
+	}
+	return points
+}
+
+func BenchmarkKDTreeBuild(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		points := benchPoints(n, 3)
+		b.Run(itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NewKDTree(points)
+			}
+		})
+	}
+}
+
+func BenchmarkAllKNN(b *testing.B) {
+	for _, d := range []int{2, 5, 20} {
+		points := benchPoints(1000, d)
+		b.Run("kdtree/"+itoa(d)+"d", func(b *testing.B) {
+			if d > kdTreeMaxDim {
+				b.Skip("kd-tree not selected at this dimensionality")
+			}
+			for i := 0; i < b.N; i++ {
+				AllKNN(NewKDTree(points), 15)
+			}
+		})
+		b.Run("brute/"+itoa(d)+"d", func(b *testing.B) {
+			ix := NewBruteForce(points)
+			for i := 0; i < b.N; i++ {
+				AllKNN(ix, 15)
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	out := ""
+	for v > 0 {
+		out = string(rune('0'+v%10)) + out
+		v /= 10
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package neighbors
+
+import (
+	"math"
+	"sort"
+)
+
+// bruteForce is an exhaustive-scan index. It holds no state beyond the
+// points and scales as O(n) per query with a k-bounded max-heap.
+type bruteForce struct {
+	points [][]float64
+}
+
+// NewBruteForce builds an exhaustive-scan index over the points.
+func NewBruteForce(points [][]float64) Index {
+	return bruteForce{points: points}
+}
+
+func (b bruteForce) Len() int { return len(b.points) }
+
+func (b bruteForce) KNNOf(i, k int) ([]int, []float64) {
+	checkK(k)
+	q := b.points[i]
+	h := newBoundedHeap(k)
+	for j, p := range b.points {
+		if j == i {
+			continue
+		}
+		d2 := SquaredEuclidean(q, p)
+		h.push(j, d2)
+	}
+	idx, d2 := h.sorted()
+	dist := make([]float64, len(d2))
+	for m, v := range d2 {
+		dist[m] = math.Sqrt(v)
+	}
+	return idx, dist
+}
+
+// boundedHeap is a max-heap over (squared distance, index) pairs, ordered
+// lexicographically and bounded at capacity k: pushing onto a full heap
+// replaces the current maximum when the new pair is smaller. The index
+// tie-break makes the kept k-set independent of insertion order, so the
+// KD-tree and the brute-force scan return identical neighbours even with
+// duplicated points.
+type boundedHeap struct {
+	k    int
+	idx  []int
+	dist []float64
+}
+
+// greater reports whether element a orders after element b.
+func (h *boundedHeap) greater(a, b int) bool {
+	if h.dist[a] != h.dist[b] {
+		return h.dist[a] > h.dist[b]
+	}
+	return h.idx[a] > h.idx[b]
+}
+
+func newBoundedHeap(k int) *boundedHeap {
+	return &boundedHeap{k: k, idx: make([]int, 0, k), dist: make([]float64, 0, k)}
+}
+
+func (h *boundedHeap) len() int { return len(h.idx) }
+
+// top returns the current maximum distance, or +Inf when not yet full —
+// which doubles as the prune radius for KD-tree search.
+func (h *boundedHeap) top() float64 {
+	if len(h.dist) < h.k {
+		return math.Inf(1)
+	}
+	return h.dist[0]
+}
+
+func (h *boundedHeap) push(i int, d float64) {
+	if len(h.idx) < h.k {
+		h.idx = append(h.idx, i)
+		h.dist = append(h.dist, d)
+		h.up(len(h.idx) - 1)
+		return
+	}
+	if d > h.dist[0] || (d == h.dist[0] && i > h.idx[0]) {
+		return
+	}
+	h.idx[0], h.dist[0] = i, d
+	h.down(0)
+}
+
+func (h *boundedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.greater(i, parent) {
+			break
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *boundedHeap) down(i int) {
+	n := len(h.dist)
+	for {
+		largest := i
+		if l := 2*i + 1; l < n && h.greater(l, largest) {
+			largest = l
+		}
+		if r := 2*i + 2; r < n && h.greater(r, largest) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.swap(i, largest)
+		i = largest
+	}
+}
+
+func (h *boundedHeap) swap(a, b int) {
+	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
+	h.dist[a], h.dist[b] = h.dist[b], h.dist[a]
+}
+
+// sorted drains the heap into slices ordered by increasing distance.
+// Ties are broken by point index for determinism.
+func (h *boundedHeap) sorted() ([]int, []float64) {
+	n := len(h.idx)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := h.dist[order[a]], h.dist[order[b]]
+		if da != db {
+			return da < db
+		}
+		return h.idx[order[a]] < h.idx[order[b]]
+	})
+	idx := make([]int, n)
+	dist := make([]float64, n)
+	for m, o := range order {
+		idx[m] = h.idx[o]
+		dist[m] = h.dist[o]
+	}
+	return idx, dist
+}

@@ -1,0 +1,112 @@
+package pipeline
+
+import (
+	"anex/internal/core"
+	"anex/internal/detector"
+	"anex/internal/explain"
+	"anex/internal/summarize"
+)
+
+// NamedDetector pairs a detector with its report name.
+type NamedDetector struct {
+	Name     string
+	Detector core.Detector
+}
+
+// NewDetectors builds the paper's three detectors with the Section 3.1
+// hyper-parameters: LOF (k=15), Fast ABOD (k=10) and Isolation Forest
+// (100 trees, ψ=256, 10 averaged repetitions). With cached set, each
+// detector is wrapped in a subspace-keyed score memo, which is sound for
+// effectiveness experiments (scores are deterministic per subspace) but
+// must be off when measuring per-pipeline runtime.
+func NewDetectors(seed int64, cached bool) []NamedDetector {
+	dets := []NamedDetector{
+		{Name: "LOF", Detector: detector.NewLOF(detector.DefaultLOFK)},
+		{Name: "FastABOD", Detector: detector.NewFastABOD(detector.DefaultABODK)},
+		{Name: "iForest", Detector: detector.NewIsolationForest(seed)},
+	}
+	if cached {
+		for i := range dets {
+			dets[i].Detector = detector.NewCached(dets[i].Detector)
+		}
+	}
+	return dets
+}
+
+// Options tunes the explainer hyper-parameters away from the paper's
+// defaults; the zero value keeps them (pool 100, widths 100, budget 100,
+// HiCS cutoff 400 with 100 Monte-Carlo iterations, top-100 results).
+type Options struct {
+	BeamWidth       int
+	RefOutPoolSize  int
+	RefOutWidth     int
+	LookOutBudget   int
+	HiCSCutoff      int
+	HiCSIterations  int
+	TopK            int
+	RefOutPoolFrac  float64
+	HiCSContrast    summarize.ContrastTest
+	UseKSContrast   bool
+	RawScores       bool // ablation: disable Z-score standardisation
+	BeamVariableDim bool // ablation: plain Beam instead of Beam_FX
+}
+
+func (o Options) scoreFunc() explain.ScoreFunc {
+	if o.RawScores {
+		return explain.Raw()
+	}
+	return explain.ZScored()
+}
+
+// PointPipelines builds the paper's point-explanation pipelines for one
+// detector: Beam_FX and RefOut (Figure 9 evaluates the fixed-dimensionality
+// Beam variant for fairness with RefOut).
+func PointPipelines(d NamedDetector, seed int64, o Options) []PointPipeline {
+	beam := &explain.Beam{
+		Detector: d.Detector,
+		Width:    o.BeamWidth,
+		TopK:     o.TopK,
+		FixedDim: !o.BeamVariableDim,
+		Score:    o.scoreFunc(),
+	}
+	refout := &explain.RefOut{
+		Detector:        d.Detector,
+		PoolSize:        o.RefOutPoolSize,
+		PoolDimFraction: o.RefOutPoolFrac,
+		Width:           o.RefOutWidth,
+		TopK:            o.TopK,
+		Seed:            seed,
+		Score:           o.scoreFunc(),
+	}
+	return []PointPipeline{
+		{Detector: d.Name, Explainer: beam},
+		{Detector: d.Name, Explainer: refout},
+	}
+}
+
+// SummaryPipelines builds the paper's summarization pipelines for one
+// detector: LookOut and HiCS_FX (fixed dimensionality for fairness with
+// LookOut).
+func SummaryPipelines(d NamedDetector, seed int64, o Options) []SummaryPipeline {
+	test := o.HiCSContrast
+	if o.UseKSContrast {
+		test = summarize.KSTest
+	}
+	lookout := &summarize.LookOut{
+		Detector: d.Detector,
+		Budget:   o.LookOutBudget,
+	}
+	hics := &summarize.HiCS{
+		Detector:        d.Detector,
+		CandidateCutoff: o.HiCSCutoff,
+		MCIterations:    o.HiCSIterations,
+		Test:            test,
+		FixedDim:        true,
+		TopK:            o.TopK,
+		Seed:            seed,
+	}
+	return []SummaryPipeline{
+		{Detector: d.Name, Summarizer: lookout, Ranker: d.Detector},
+		{Detector: d.Name, Summarizer: hics, Ranker: d.Detector},
+	}
+}

@@ -1,0 +1,113 @@
+package pipeline
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"anex/internal/dataset"
+)
+
+// GridSpec describes a full Figure 7 grid execution: every detector paired
+// with every point explainer and summarizer, across the requested
+// explanation dimensionalities.
+type GridSpec struct {
+	// Dataset and GroundTruth define the workload.
+	Dataset     *dataset.Dataset
+	GroundTruth *dataset.GroundTruth
+	// Dims lists the explanation dimensionalities to evaluate.
+	Dims []int
+	// Seed drives the stochastic algorithms.
+	Seed int64
+	// Options tunes the explainer hyper-parameters.
+	Options Options
+	// Cached shares per-subspace detector scores across the grid. Leave
+	// false when the grid's purpose is timing.
+	Cached bool
+	// Detectors overrides the paper's three detectors (useful for
+	// custom detectors or reduced hyper-parameters); nil selects them.
+	// The Cached flag is not applied to overridden detectors — wrap them
+	// with detector.NewCached as needed.
+	Detectors []NamedDetector
+	// Workers bounds the concurrency; zero means GOMAXPROCS. Each cell
+	// is independent, so results are identical at any worker count.
+	Workers int
+}
+
+// RunGrid executes the grid and returns all cell results, deterministically
+// ordered by (dimension, detector, explainer).
+func RunGrid(spec GridSpec) []Result {
+	type cell struct {
+		order int
+		run   func() Result
+	}
+	var cells []cell
+	order := 0
+	// One set of detector instances per grid: with caching on, every
+	// cell sharing a detector also shares its score memo.
+	dets := spec.Detectors
+	if dets == nil {
+		dets = NewDetectors(spec.Seed, spec.Cached)
+	}
+	for _, dim := range spec.Dims {
+		dim := dim
+		for _, d := range dets {
+			for _, pp := range PointPipelines(d, spec.Seed, spec.Options) {
+				pp := pp
+				cells = append(cells, cell{order: order, run: func() Result {
+					return RunPointExplanation(spec.Dataset, spec.GroundTruth, pp, dim)
+				}})
+				order++
+			}
+			for _, sp := range SummaryPipelines(d, spec.Seed, spec.Options) {
+				sp := sp
+				cells = append(cells, cell{order: order, run: func() Result {
+					return RunSummarization(spec.Dataset, spec.GroundTruth, sp, dim)
+				}})
+				order++
+			}
+		}
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	type indexed struct {
+		order  int
+		result Result
+	}
+	jobs := make(chan cell)
+	out := make(chan indexed, len(cells))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				out <- indexed{order: c.order, result: c.run()}
+			}
+		}()
+	}
+	for _, c := range cells {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	close(out)
+
+	collected := make([]indexed, 0, len(cells))
+	for r := range out {
+		collected = append(collected, r)
+	}
+	sort.Slice(collected, func(a, b int) bool { return collected[a].order < collected[b].order })
+	results := make([]Result, len(collected))
+	for i, r := range collected {
+		results[i] = r.result
+	}
+	return results
+}

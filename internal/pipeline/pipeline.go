@@ -1,0 +1,165 @@
+// Package pipeline executes the paper's Figure 7: every pairing of an
+// outlier detector with a point-explanation or summarization algorithm is
+// run against a dataset with ground truth, and its effectiveness (MAP, Mean
+// Recall) and efficiency (wall-clock runtime) are recorded per explanation
+// dimensionality.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"anex/internal/core"
+	"anex/internal/dataset"
+	"anex/internal/metrics"
+	"anex/internal/stats"
+	"anex/internal/subspace"
+)
+
+// Result is the outcome of one (detector, explainer, dataset, dimension)
+// pipeline execution.
+type Result struct {
+	// Dataset and Detector/Explainer name the pipeline.
+	Dataset, Detector, Explainer string
+	// TargetDim is the requested explanation dimensionality.
+	TargetDim int
+	// MAP and MeanRecall aggregate the per-point evaluations (Eq. 3).
+	MAP, MeanRecall float64
+	// PointsEvaluated is the number of outliers explained at TargetDim
+	// per the ground truth.
+	PointsEvaluated int
+	// Duration is the wall-clock time of the explanation phase
+	// (excluding evaluation).
+	Duration time.Duration
+	// PerPoint holds the individual evaluations.
+	PerPoint []metrics.PointResult
+	// Err records a pipeline that could not run (e.g. LookOut candidate
+	// explosion); its metrics are zero.
+	Err error
+}
+
+// PointPipeline pairs a point explainer with the detector name used in
+// reports. The detector itself is owned by the explainer.
+type PointPipeline struct {
+	Detector  string
+	Explainer core.PointExplainer
+}
+
+// SummaryPipeline pairs a summarizer with the detector name used in reports.
+type SummaryPipeline struct {
+	Detector   string
+	Summarizer core.Summarizer
+	// Ranker, when set, personalises the shared summary per evaluated
+	// point: the summary's subspaces are re-ranked by the point's own
+	// standardised outlyingness before AveP is computed. This matches the
+	// paper's per-point MAP for summarization algorithms — a summary
+	// "explains" a point when the point's relevant subspace is retrieved
+	// and highly scored FOR THAT POINT, not when it happens to sit at the
+	// top of the collective selection order. When nil, the raw shared
+	// list is evaluated as-is.
+	Ranker core.Detector
+}
+
+// RunPointExplanation evaluates the explainer on every outlier that the
+// ground truth explains at targetDim: the explainer is invoked per point
+// (the paper's protocol — point explainers search per point) and its ranked
+// list is scored against REL_p with AveP and Recall.
+func RunPointExplanation(ds *dataset.Dataset, gt *dataset.GroundTruth, pp PointPipeline, targetDim int) Result {
+	res := Result{
+		Dataset:   ds.Name(),
+		Detector:  pp.Detector,
+		Explainer: pp.Explainer.Name(),
+		TargetDim: targetDim,
+	}
+	points := gt.PointsExplainedAt(targetDim)
+	res.PointsEvaluated = len(points)
+	if len(points) == 0 {
+		return res
+	}
+	start := time.Now()
+	lists := make([][]core.ScoredSubspace, len(points))
+	for i, p := range points {
+		list, err := pp.Explainer.ExplainPoint(ds, p, targetDim)
+		if err != nil {
+			res.Err = fmt.Errorf("explain point %d: %w", p, err)
+			return res
+		}
+		lists[i] = list
+	}
+	res.Duration = time.Since(start)
+	for i, p := range points {
+		rel := gt.RelevantAt(p, targetDim)
+		res.PerPoint = append(res.PerPoint, metrics.EvaluatePoint(p, core.Subspaces(lists[i]), rel))
+	}
+	res.MAP = metrics.MAP(res.PerPoint)
+	res.MeanRecall = metrics.MeanRecall(res.PerPoint)
+	return res
+}
+
+// RunSummarization evaluates the summarizer on all ground-truth outliers at
+// once (the paper's protocol — summaries are computed for the full point
+// set) and scores the single returned list against each point's REL_p,
+// restricted to points explained at targetDim.
+func RunSummarization(ds *dataset.Dataset, gt *dataset.GroundTruth, sp SummaryPipeline, targetDim int) Result {
+	res := Result{
+		Dataset:   ds.Name(),
+		Detector:  sp.Detector,
+		Explainer: sp.Summarizer.Name(),
+		TargetDim: targetDim,
+	}
+	points := gt.PointsExplainedAt(targetDim)
+	res.PointsEvaluated = len(points)
+	if len(points) == 0 {
+		return res
+	}
+	start := time.Now()
+	list, err := sp.Summarizer.Summarize(ds, gt.Outliers(), targetDim)
+	res.Duration = time.Since(start)
+	if err != nil {
+		res.Err = fmt.Errorf("summarize: %w", err)
+		return res
+	}
+	shared := core.Subspaces(list)
+	// With a Ranker, each point sees the summary ordered by its own
+	// standardised outlyingness in each subspace.
+	var zPerSubspace [][]float64
+	if sp.Ranker != nil {
+		zPerSubspace = make([][]float64, len(shared))
+		for i, s := range shared {
+			zPerSubspace[i] = stats.ZScores(sp.Ranker.Scores(ds.View(s)))
+		}
+	}
+	for _, p := range points {
+		rel := gt.RelevantAt(p, targetDim)
+		subs := shared
+		if sp.Ranker != nil {
+			subs = personalRanking(shared, zPerSubspace, p)
+		}
+		res.PerPoint = append(res.PerPoint, metrics.EvaluatePoint(p, subs, rel))
+	}
+	res.MAP = metrics.MAP(res.PerPoint)
+	res.MeanRecall = metrics.MeanRecall(res.PerPoint)
+	return res
+}
+
+// personalRanking orders the summary's subspaces by point p's standardised
+// score, descending; ties break on the canonical key.
+func personalRanking(shared []subspace.Subspace, z [][]float64, p int) []subspace.Subspace {
+	idx := make([]int, len(shared))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		za, zb := z[idx[a]][p], z[idx[b]][p]
+		if za != zb {
+			return za > zb
+		}
+		return shared[idx[a]].Key() < shared[idx[b]].Key()
+	})
+	out := make([]subspace.Subspace, len(shared))
+	for i, j := range idx {
+		out[i] = shared[j]
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSamples(n int) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 0.3
+	}
+	return a, b
+}
+
+func BenchmarkWelchTTest(b *testing.B) {
+	xs, ys := benchSamples(1000)
+	for i := 0; i < b.N; i++ {
+		WelchTTest(xs, ys)
+	}
+}
+
+func BenchmarkKolmogorovSmirnov(b *testing.B) {
+	xs, ys := benchSamples(1000)
+	for i := 0; i < b.N; i++ {
+		KolmogorovSmirnov(xs, ys)
+	}
+}
+
+func BenchmarkZScores(b *testing.B) {
+	xs, _ := benchSamples(1000)
+	for i := 0; i < b.N; i++ {
+		ZScores(xs)
+	}
+}
+
+func BenchmarkStudentTCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		StudentTCDF(2.1, 37.4)
+	}
+}

@@ -1,0 +1,66 @@
+package stats
+
+import "math"
+
+// Pearson returns the Pearson correlation coefficient of the paired samples
+// xs and ys. It returns NaN when the slices differ in length, contain fewer
+// than two elements, or when either sample is constant.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx := Mean(xs)
+	my := Mean(ys)
+	var cov, vx, vy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Covariance returns the unbiased sample covariance of the paired samples.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx := Mean(xs)
+	my := Mean(ys)
+	var cov float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+	}
+	return cov / float64(len(xs)-1)
+}
+
+// MeanAbsPearson returns the mean absolute pairwise Pearson correlation over
+// the given columns. It is used to verify that planted relevant subspaces in
+// the synthetic datasets indeed consist of highly correlated features
+// (Section 3.2 of the paper).
+func MeanAbsPearson(columns [][]float64) float64 {
+	k := len(columns)
+	if k < 2 {
+		return math.NaN()
+	}
+	var sum float64
+	var count int
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			r := Pearson(columns[i], columns[j])
+			if !math.IsNaN(r) {
+				sum += math.Abs(r)
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return sum / float64(count)
+}

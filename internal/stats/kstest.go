@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSTestResult holds the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSTestResult struct {
+	// Statistic is the supremum distance between the two empirical CDFs.
+	Statistic float64
+	// P is the asymptotic two-sided p-value.
+	P float64
+}
+
+// KolmogorovSmirnov performs the two-sample Kolmogorov–Smirnov test of the
+// null hypothesis that xs and ys are drawn from the same distribution. It is
+// the alternative contrast test for HiCS (footnote 2 of the paper).
+//
+// Empty samples yield a zero statistic with P=1.
+func KolmogorovSmirnov(xs, ys []float64) KSTestResult {
+	if len(xs) == 0 || len(ys) == 0 {
+		return KSTestResult{P: 1}
+	}
+	sx := make([]float64, len(xs))
+	copy(sx, xs)
+	sort.Float64s(sx)
+	sy := make([]float64, len(ys))
+	copy(sy, ys)
+	sort.Float64s(sy)
+
+	nx, ny := float64(len(sx)), float64(len(sy))
+	var d float64
+	i, j := 0, 0
+	for i < len(sx) && j < len(sy) {
+		v := math.Min(sx[i], sy[j])
+		for i < len(sx) && sx[i] <= v {
+			i++
+		}
+		for j < len(sy) && sy[j] <= v {
+			j++
+		}
+		diff := math.Abs(float64(i)/nx - float64(j)/ny)
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := nx * ny / (nx + ny)
+	p := ksPValue((math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d)
+	return KSTestResult{Statistic: d, P: p}
+}
+
+// ksPValue evaluates the Kolmogorov distribution tail
+// Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²).
+func ksPValue(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	const maxTerms = 100
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= maxTerms; k++ {
+		term := sign * 2 * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	switch {
+	case sum < 0:
+		return 0
+	case sum > 1:
+		return 1
+	}
+	return sum
+}

@@ -1,0 +1,59 @@
+package stats
+
+import "math"
+
+// TTestResult holds the outcome of a two-sample test.
+type TTestResult struct {
+	// Statistic is the (signed) test statistic: positive when the first
+	// sample's mean exceeds the second's.
+	Statistic float64
+	// DF is the Welch–Satterthwaite degrees of freedom.
+	DF float64
+	// P is the two-sided p-value.
+	P float64
+}
+
+// WelchTTest performs the two-sample Welch t-test of the null hypothesis
+// that xs and ys have equal means, without assuming equal variances or
+// sample sizes (Welch 1938). RefOut uses the signed statistic as the
+// feature-discrepancy measure, and HiCS uses 1−p as the subspace contrast.
+//
+// Both samples must contain at least two elements; otherwise a zero-valued
+// result with P=1 is returned, which makes degenerate partitions score as
+// "no discrepancy".
+func WelchTTest(xs, ys []float64) TTestResult {
+	if len(xs) < 2 || len(ys) < 2 {
+		return TTestResult{P: 1}
+	}
+	mx, vx := MeanVariance(xs)
+	my, vy := MeanVariance(ys)
+	nx, ny := float64(len(xs)), float64(len(ys))
+	sx := vx / nx
+	sy := vy / ny
+	se := math.Sqrt(sx + sy)
+	if se == 0 || math.IsNaN(se) {
+		// Identical constant samples: no evidence of discrepancy.
+		if mx == my {
+			return TTestResult{P: 1}
+		}
+		// Different constants: infinite evidence.
+		t := math.Inf(1)
+		if mx < my {
+			t = math.Inf(-1)
+		}
+		return TTestResult{Statistic: t, DF: nx + ny - 2, P: 0}
+	}
+	t := (mx - my) / se
+	// Welch–Satterthwaite degrees of freedom.
+	num := (sx + sy) * (sx + sy)
+	den := sx*sx/(nx-1) + sy*sy/(ny-1)
+	df := num / den
+	if den == 0 || math.IsNaN(df) {
+		df = nx + ny - 2
+	}
+	p := 2 * StudentTCDF(-math.Abs(t), df)
+	if p > 1 {
+		p = 1
+	}
+	return TTestResult{Statistic: t, DF: df, P: p}
+}

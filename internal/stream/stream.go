@@ -1,0 +1,208 @@
+// Package stream extends the testbed toward the paper's future-work
+// direction (Section 6): outlier explanation over data in motion. A
+// Monitor consumes points one at a time, maintains a sliding window,
+// periodically re-runs an unsupervised detector over the window, and —
+// because subspace explanations are descriptive and must be recomputed for
+// every new bunch of data — re-explains each newly flagged point with a
+// point-explanation algorithm before emitting it as an alert.
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"anex/internal/core"
+	"anex/internal/dataset"
+	"anex/internal/stats"
+)
+
+// Alert reports one flagged point together with its subspace explanation.
+type Alert struct {
+	// Sequence is the 0-based position of the point in the input stream.
+	Sequence int
+	// Point is a copy of the flagged point.
+	Point []float64
+	// Score is the detector's outlyingness score within the window, and
+	// ZScore its standardised form.
+	Score, ZScore float64
+	// Explanation ranks the subspaces explaining the point within the
+	// window (best first). Nil when the monitor's explainer is nil.
+	Explanation []core.ScoredSubspace
+}
+
+// Config parameterises a Monitor.
+type Config struct {
+	// WindowSize is the number of most recent points evaluated together.
+	WindowSize int
+	// Stride is how many new points arrive between evaluations; zero
+	// means WindowSize/4 (so consecutive windows overlap by 75 %).
+	Stride int
+	// ZThreshold flags points whose standardised window score exceeds
+	// it; zero means 3. Detector score distributions are typically
+	// right-skewed, so thresholds well above 3 are common for LOF.
+	ZThreshold float64
+	// MaxFlagsPerWindow caps how many points one evaluation may flag
+	// (the highest-scored ones win); zero means no cap. It bounds the
+	// false-alert rate the way a contamination assumption does.
+	MaxFlagsPerWindow int
+	// TargetDim is the explanation dimensionality; zero means 2.
+	TargetDim int
+	// Detector scores the window (required).
+	Detector core.Detector
+	// Explainer explains flagged points within the window. Nil disables
+	// explanations (alerts carry scores only).
+	Explainer core.PointExplainer
+	// FeatureNames, when set, names the stream's features in the window
+	// datasets handed to the explainer.
+	FeatureNames []string
+}
+
+func (c *Config) validate() error {
+	if c.WindowSize < 8 {
+		return fmt.Errorf("stream: window size %d too small (need ≥ 8)", c.WindowSize)
+	}
+	if c.Detector == nil {
+		return fmt.Errorf("stream: nil detector")
+	}
+	if c.Stride < 0 {
+		return fmt.Errorf("stream: negative stride")
+	}
+	return nil
+}
+
+// Monitor is a sliding-window outlier detection + explanation pipeline.
+// It is not safe for concurrent use.
+type Monitor struct {
+	cfg       Config
+	stride    int
+	threshold float64
+	targetDim int
+
+	window    [][]float64 // ring buffer of copies
+	seq       []int       // stream sequence number per window slot
+	next      int         // ring position of the next write
+	filled    bool
+	sinceEval int
+	total     int
+
+	flagged map[int]bool // sequence numbers already alerted
+	evals   int
+}
+
+// NewMonitor builds a Monitor from the configuration.
+func NewMonitor(cfg Config) (*Monitor, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Monitor{
+		cfg:       cfg,
+		stride:    cfg.Stride,
+		threshold: cfg.ZThreshold,
+		targetDim: cfg.TargetDim,
+		window:    make([][]float64, 0, cfg.WindowSize),
+		seq:       make([]int, 0, cfg.WindowSize),
+		flagged:   make(map[int]bool),
+	}
+	if m.stride == 0 {
+		m.stride = cfg.WindowSize / 4
+		if m.stride < 1 {
+			m.stride = 1
+		}
+	}
+	if m.threshold == 0 {
+		m.threshold = 3
+	}
+	if m.targetDim == 0 {
+		m.targetDim = 2
+	}
+	return m, nil
+}
+
+// Evaluations returns how many window evaluations have run.
+func (m *Monitor) Evaluations() int { return m.evals }
+
+// Seen returns how many points have been pushed.
+func (m *Monitor) Seen() int { return m.total }
+
+// Push consumes one point and returns any alerts raised by the evaluation
+// it may trigger. The point is copied; the caller may reuse the slice.
+func (m *Monitor) Push(point []float64) ([]Alert, error) {
+	cp := make([]float64, len(point))
+	copy(cp, point)
+	if len(m.window) < m.cfg.WindowSize {
+		m.window = append(m.window, cp)
+		m.seq = append(m.seq, m.total)
+	} else {
+		m.filled = true
+		m.window[m.next] = cp
+		m.seq[m.next] = m.total
+		m.next = (m.next + 1) % m.cfg.WindowSize
+	}
+	m.total++
+	m.sinceEval++
+
+	windowFull := m.filled || len(m.window) == m.cfg.WindowSize
+	if !windowFull || m.sinceEval < m.stride {
+		return nil, nil
+	}
+	m.sinceEval = 0
+	return m.evaluate()
+}
+
+// Flush forces an evaluation of the current window if it holds at least 8
+// points, regardless of stride position.
+func (m *Monitor) Flush() ([]Alert, error) {
+	if len(m.window) < 8 {
+		return nil, nil
+	}
+	m.sinceEval = 0
+	return m.evaluate()
+}
+
+func (m *Monitor) evaluate() ([]Alert, error) {
+	m.evals++
+	ds, err := dataset.FromRows(fmt.Sprintf("window-%d", m.evals), m.window, m.featureNames())
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	scores := m.cfg.Detector.Scores(ds.FullView())
+	z := stats.ZScores(scores)
+	candidates := make([]int, 0, 4)
+	for i, zi := range z {
+		if zi >= m.threshold && !m.flagged[m.seq[i]] {
+			candidates = append(candidates, i)
+		}
+	}
+	sort.Slice(candidates, func(a, b int) bool { return z[candidates[a]] > z[candidates[b]] })
+	if limit := m.cfg.MaxFlagsPerWindow; limit > 0 && len(candidates) > limit {
+		candidates = candidates[:limit]
+	}
+	var alerts []Alert
+	for _, i := range candidates {
+		m.flagged[m.seq[i]] = true
+		alert := Alert{
+			Sequence: m.seq[i],
+			Point:    append([]float64(nil), m.window[i]...),
+			Score:    scores[i],
+			ZScore:   z[i],
+		}
+		if m.cfg.Explainer != nil {
+			expl, err := m.cfg.Explainer.ExplainPoint(ds, i, m.targetDim)
+			if err != nil {
+				return alerts, fmt.Errorf("stream: explain sequence %d: %w", m.seq[i], err)
+			}
+			alert.Explanation = expl
+		}
+		alerts = append(alerts, alert)
+	}
+	return alerts, nil
+}
+
+func (m *Monitor) featureNames() []string {
+	if m.cfg.FeatureNames == nil {
+		return nil
+	}
+	names := make([]string, len(m.cfg.FeatureNames))
+	copy(names, m.cfg.FeatureNames)
+	return names
+}

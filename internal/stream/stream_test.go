@@ -1,0 +1,262 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"anex/internal/detector"
+	"anex/internal/explain"
+	"anex/internal/subspace"
+)
+
+// inlier emits a point on one of two clusters of the (F0, F1) diagonal with
+// two noise features — the quickstart geometry, streamed.
+func inlier(rng *rand.Rand) []float64 {
+	base := 0.25
+	if rng.Intn(2) == 1 {
+		base = 0.75
+	}
+	return []float64{
+		base + rng.NormFloat64()*0.03,
+		base + rng.NormFloat64()*0.03,
+		rng.Float64(),
+		rng.Float64(),
+	}
+}
+
+// anomaly breaks the F0/F1 coupling without leaving either marginal range.
+func anomaly(rng *rand.Rand) []float64 {
+	return []float64{0.25, 0.75, rng.Float64(), rng.Float64()}
+}
+
+func newTestMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	det := detector.NewLOF(15)
+	m, err := NewMonitor(Config{
+		WindowSize: 120,
+		Stride:     30,
+		// LOF's right tail on 120-point windows reaches z ≈ 5 on clean
+		// data; 6 separates genuine structural anomalies.
+		ZThreshold: 6,
+		TargetDim:  2,
+		Detector:   det,
+		Explainer:  &explain.Beam{Detector: det, Width: 6, TopK: 3, FixedDim: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMonitorFlagsAndExplainsInjectedAnomaly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := newTestMonitor(t)
+	var alerts []Alert
+	anomalyAt := -1
+	for i := 0; i < 400; i++ {
+		var p []float64
+		if i == 207 {
+			p = anomaly(rng)
+			anomalyAt = i
+		} else {
+			p = inlier(rng)
+		}
+		got, err := m.Push(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alerts = append(alerts, got...)
+	}
+	found := false
+	for _, a := range alerts {
+		if a.Sequence == anomalyAt {
+			found = true
+			if a.ZScore < 3 {
+				t.Errorf("alert z-score %v below threshold", a.ZScore)
+			}
+			if len(a.Explanation) == 0 {
+				t.Fatal("alert carries no explanation")
+			}
+			if !a.Explanation[0].Subspace.Equal(subspace.New(0, 1)) {
+				t.Errorf("top explanation %v, want {F0, F1}", a.Explanation[0].Subspace)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("injected anomaly at %d never alerted (%d alerts: %v)", anomalyAt, len(alerts), alerts)
+	}
+	// The anomaly stays in several overlapping windows but must be
+	// alerted exactly once.
+	count := 0
+	for _, a := range alerts {
+		if a.Sequence == anomalyAt {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("anomaly alerted %d times", count)
+	}
+}
+
+func TestMonitorQuietOnCleanStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := newTestMonitor(t)
+	var alerts []Alert
+	for i := 0; i < 400; i++ {
+		got, err := m.Push(inlier(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		alerts = append(alerts, got...)
+	}
+	// The z>6 threshold admits at most rare false positives.
+	if len(alerts) > 1 {
+		t.Errorf("%d alerts on a clean stream", len(alerts))
+	}
+	if m.Evaluations() == 0 {
+		t.Error("no evaluations ran")
+	}
+	if m.Seen() != 400 {
+		t.Errorf("Seen = %d", m.Seen())
+	}
+}
+
+func TestMonitorNoEvaluationBeforeWindowFills(t *testing.T) {
+	m := newTestMonitor(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 119; i++ {
+		alerts, err := m.Push(inlier(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alerts != nil {
+			t.Fatal("alert before the window filled")
+		}
+	}
+	if m.Evaluations() != 0 {
+		t.Errorf("evaluated %d times before window filled", m.Evaluations())
+	}
+}
+
+func TestMonitorFlush(t *testing.T) {
+	det := detector.NewLOF(5)
+	m, err := NewMonitor(Config{WindowSize: 64, Detector: det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	// Too few points: Flush is a no-op.
+	for i := 0; i < 4; i++ {
+		if _, err := m.Push(inlier(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if alerts, err := m.Flush(); err != nil || alerts != nil {
+		t.Fatalf("early flush: %v, %v", alerts, err)
+	}
+	// Partial window above the minimum evaluates.
+	for i := 0; i < 20; i++ {
+		if _, err := m.Push(inlier(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.Evaluations()
+	if _, err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Evaluations() != before+1 {
+		t.Error("flush did not evaluate")
+	}
+}
+
+func TestMonitorConfigValidation(t *testing.T) {
+	if _, err := NewMonitor(Config{WindowSize: 4, Detector: detector.NewLOF(5)}); err == nil {
+		t.Error("tiny window should fail")
+	}
+	if _, err := NewMonitor(Config{WindowSize: 64}); err == nil {
+		t.Error("nil detector should fail")
+	}
+	if _, err := NewMonitor(Config{WindowSize: 64, Detector: detector.NewLOF(5), Stride: -1}); err == nil {
+		t.Error("negative stride should fail")
+	}
+}
+
+func TestMonitorDefaults(t *testing.T) {
+	m, err := NewMonitor(Config{WindowSize: 100, Detector: detector.NewLOF(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.stride != 25 {
+		t.Errorf("default stride %d, want window/4", m.stride)
+	}
+	if m.threshold != 3 || m.targetDim != 2 {
+		t.Errorf("defaults: threshold %v dim %d", m.threshold, m.targetDim)
+	}
+}
+
+func TestMonitorWithLODAOnline(t *testing.T) {
+	// LODA is the stream-native detector: verify the monitor pairs with
+	// it end to end.
+	rng := rand.New(rand.NewSource(5))
+	det := detector.NewLODA(1)
+	m, err := NewMonitor(Config{
+		WindowSize: 150,
+		Stride:     50,
+		ZThreshold: 3.5,
+		Detector:   det,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alerts []Alert
+	for i := 0; i < 450; i++ {
+		p := inlier(rng)
+		if i == 260 {
+			// A gross anomaly LODA must catch (outside all marginals).
+			p = []float64{3, -3, 0.5, 0.5}
+		}
+		got, err := m.Push(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alerts = append(alerts, got...)
+	}
+	found := false
+	for _, a := range alerts {
+		if a.Sequence == 260 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("LODA monitor missed the gross anomaly (alerts: %v)", alerts)
+	}
+}
+
+func TestMonitorMaxFlagsPerWindow(t *testing.T) {
+	// A permissive threshold with a flag cap keeps the alert volume
+	// bounded: only the top-scored point of each window may alert.
+	rng := rand.New(rand.NewSource(8))
+	m, err := NewMonitor(Config{
+		WindowSize:        120,
+		Stride:            30,
+		ZThreshold:        2,
+		MaxFlagsPerWindow: 1,
+		Detector:          detector.NewLOF(15),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWindow := map[int]int{}
+	for i := 0; i < 400; i++ {
+		alerts, err := m.Push(inlier(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		perWindow[m.Evaluations()] += len(alerts)
+	}
+	for eval, n := range perWindow {
+		if n > 1 {
+			t.Errorf("evaluation %d flagged %d points despite cap 1", eval, n)
+		}
+	}
+}

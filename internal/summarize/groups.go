@@ -1,0 +1,191 @@
+package summarize
+
+import (
+	"fmt"
+	"sort"
+
+	"anex/internal/core"
+	"anex/internal/dataset"
+	"anex/internal/stats"
+	"anex/internal/subspace"
+)
+
+// Group explanation extends the testbed toward the paper's future-work
+// reference to Macha & Akoglu (DMKD 2018): instead of one flat summary for
+// all outliers, anomalous points are PARTITIONED into groups such that each
+// group shares a single characterizing subspace that separates its members
+// from the inliers. Recurring anomaly patterns (all faults of one coupled
+// sensor pair, say) then surface as one group with one explanation, rather
+// than being interleaved in a ranked list.
+
+// Group is one set of outliers sharing a characterizing subspace.
+type Group struct {
+	// Points are the member outliers, sorted ascending.
+	Points []int
+	// Subspace characterizes the group, with the mean standardised
+	// member score as Score.
+	Subspace core.ScoredSubspace
+}
+
+// GroupSummarizer partitions outliers into groups by their best explaining
+// subspace of a fixed dimensionality. It exhaustively scores all candidate
+// subspaces (like LookOut), assigns each point to its argmax subspace, and
+// merges assignments into groups; tiny groups are re-assigned to their
+// members' next-best shared subspace when possible.
+type GroupSummarizer struct {
+	// Detector supplies the outlyingness scores.
+	Detector core.Detector
+	// MinGroupSize merges smaller assignments into their members'
+	// next-best groups when possible; zero means 1 (no merging).
+	MinGroupSize int
+	// MaxCandidates bounds the exhaustive enumeration; zero means the
+	// LookOut limit.
+	MaxCandidates int64
+}
+
+// NewGroupSummarizer returns a group summarizer with the given detector.
+func NewGroupSummarizer(det core.Detector) *GroupSummarizer {
+	return &GroupSummarizer{Detector: det}
+}
+
+func (g *GroupSummarizer) Name() string { return "Groups" }
+
+func (g *GroupSummarizer) maxCandidates() int64 {
+	if g.MaxCandidates <= 0 {
+		return maxLookOutCandidates
+	}
+	return g.MaxCandidates
+}
+
+// GroupOutliers partitions the points into explained groups, ordered by
+// descending group size and then score.
+func (g *GroupSummarizer) GroupOutliers(ds *dataset.Dataset, points []int, targetDim int) ([]Group, error) {
+	if err := core.ValidateSummarizeArgs(ds, points, targetDim); err != nil {
+		return nil, fmt.Errorf("groups: %w", err)
+	}
+	if g.Detector == nil {
+		return nil, fmt.Errorf("groups: nil detector")
+	}
+	total := subspace.Count(ds.D(), targetDim)
+	if total > g.maxCandidates() {
+		return nil, fmt.Errorf("groups: C(%d,%d)=%d subspaces exceeds limit %d", ds.D(), targetDim, total, g.maxCandidates())
+	}
+
+	// Standardised score of every point of interest in every candidate.
+	subs := make([]subspace.Subspace, 0, total)
+	z := make([][]float64, 0, total) // z[candidate][pointIdx]
+	enum := subspace.NewEnumerator(ds.D(), targetDim)
+	for s := enum.Next(); s != nil; s = enum.Next() {
+		sub := s.Clone()
+		all := stats.ZScores(g.Detector.Scores(ds.View(sub)))
+		row := make([]float64, len(points))
+		for j, p := range points {
+			row[j] = all[p]
+		}
+		subs = append(subs, sub)
+		z = append(z, row)
+	}
+
+	// Assign each point to its argmax candidate.
+	assignment := make([]int, len(points))
+	for j := range points {
+		best := 0
+		for c := range subs {
+			if z[c][j] > z[best][j] {
+				best = c
+			}
+		}
+		assignment[j] = best
+	}
+
+	minSize := g.MinGroupSize
+	if minSize < 1 {
+		minSize = 1
+	}
+	// Iteratively dissolve undersized groups into their members'
+	// next-best candidates that already hold a viable group.
+	for {
+		counts := make(map[int]int)
+		for _, c := range assignment {
+			counts[c]++
+		}
+		moved := false
+		for j, c := range assignment {
+			if counts[c] >= minSize {
+				continue
+			}
+			// Next-best candidate whose group is already viable.
+			bestAlt, bestScore := -1, 0.0
+			for cand := range subs {
+				if cand == c || counts[cand] < minSize {
+					continue
+				}
+				if bestAlt == -1 || z[cand][j] > bestScore {
+					bestAlt, bestScore = cand, z[cand][j]
+				}
+			}
+			if bestAlt >= 0 {
+				counts[c]--
+				counts[bestAlt]++
+				assignment[j] = bestAlt
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+
+	// Materialise the groups.
+	members := make(map[int][]int)
+	for j, c := range assignment {
+		members[c] = append(members[c], points[j])
+	}
+	var groups []Group
+	for c, pts := range members {
+		sort.Ints(pts)
+		var mean float64
+		for j, p := range points {
+			if assignment[j] == c {
+				_ = p
+				mean += z[c][j]
+			}
+		}
+		mean /= float64(len(pts))
+		groups = append(groups, Group{
+			Points:   pts,
+			Subspace: core.ScoredSubspace{Subspace: subs[c], Score: mean},
+		})
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		if len(groups[a].Points) != len(groups[b].Points) {
+			return len(groups[a].Points) > len(groups[b].Points)
+		}
+		if groups[a].Subspace.Score != groups[b].Subspace.Score {
+			return groups[a].Subspace.Score > groups[b].Subspace.Score
+		}
+		return groups[a].Subspace.Subspace.Key() < groups[b].Subspace.Subspace.Key()
+	})
+	return groups, nil
+}
+
+// Summarize adapts the grouping to the core.Summarizer contract: it returns
+// each group's characterizing subspace, ordered as GroupOutliers orders the
+// groups, so GroupSummarizer can stand in wherever LookOut or HiCS do.
+func (g *GroupSummarizer) Summarize(ds *dataset.Dataset, points []int, targetDim int) ([]core.ScoredSubspace, error) {
+	groups, err := g.GroupOutliers(ds, points, targetDim)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(groups))
+	out := make([]core.ScoredSubspace, 0, len(groups))
+	for _, grp := range groups {
+		if key := grp.Subspace.Subspace.Key(); !seen[key] {
+			seen[key] = true
+			out = append(out, grp.Subspace)
+		}
+	}
+	return out, nil
+}
+
+var _ core.Summarizer = (*GroupSummarizer)(nil)

@@ -1,0 +1,145 @@
+package summarize
+
+import (
+	"testing"
+
+	"anex/internal/detector"
+	"anex/internal/synth"
+)
+
+func TestGroupSummarizerRecoversPlantedGroups(t *testing.T) {
+	ds, gt, err := synth.GenerateSubspaceOutliers(synth.SubspaceConfig{
+		Name:                "groups-test",
+		TotalDims:           10,
+		SubspaceDims:        []int{2, 2},
+		N:                   250,
+		OutliersPerSubspace: 5,
+		Seed:                3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupSummarizer(detector.NewCached(detector.NewLOF(15)))
+	g.MinGroupSize = 2
+	groups, err := g.GroupOutliers(ds, gt.Outliers(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) < 2 {
+		t.Fatalf("found %d groups, want ≥ 2", len(groups))
+	}
+	// The two planted subspaces must characterize the two largest groups,
+	// and each group's members must be exactly the outliers planted there.
+	planted := map[string][]int{}
+	for _, p := range gt.Outliers() {
+		for _, s := range gt.RelevantFor(p) {
+			planted[s.Key()] = append(planted[s.Key()], p)
+		}
+	}
+	matched := 0
+	for _, grp := range groups[:2] {
+		want, ok := planted[grp.Subspace.Subspace.Key()]
+		if !ok {
+			t.Errorf("group subspace %v is not a planted one", grp.Subspace.Subspace)
+			continue
+		}
+		matched++
+		if len(grp.Points) != len(want) {
+			t.Errorf("group %v has %d members, want %d", grp.Subspace.Subspace, len(grp.Points), len(want))
+			continue
+		}
+		for i := range want {
+			if grp.Points[i] != want[i] {
+				t.Errorf("group %v members %v, want %v", grp.Subspace.Subspace, grp.Points, want)
+				break
+			}
+		}
+	}
+	if matched != 2 {
+		t.Errorf("only %d planted groups recovered", matched)
+	}
+}
+
+func TestGroupSummarizerMinGroupSizeMerging(t *testing.T) {
+	ds, gt, err := synth.GenerateSubspaceOutliers(synth.SubspaceConfig{
+		Name:                "merge-test",
+		TotalDims:           8,
+		SubspaceDims:        []int{2, 2},
+		N:                   200,
+		OutliersPerSubspace: 4,
+		Seed:                5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupSummarizer(detector.NewCached(detector.NewLOF(15)))
+	g.MinGroupSize = 3
+	groups, err := g.GroupOutliers(ds, gt.Outliers(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grp := range groups {
+		if len(grp.Points) < 3 {
+			// Merging is best effort: a stranded singleton is only legal
+			// when no viable group existed to absorb it.
+			viable := false
+			for _, other := range groups {
+				if len(other.Points) >= 3 {
+					viable = true
+				}
+			}
+			if viable {
+				t.Errorf("undersized group %v survived despite viable alternatives", grp)
+			}
+		}
+	}
+	// Total membership is preserved.
+	total := 0
+	for _, grp := range groups {
+		total += len(grp.Points)
+	}
+	if total != gt.NumOutliers() {
+		t.Errorf("grouping lost points: %d of %d", total, gt.NumOutliers())
+	}
+}
+
+func TestGroupSummarizerAsSummarizer(t *testing.T) {
+	ds, gt := testbed(t, 20)
+	g := NewGroupSummarizer(detector.NewCached(detector.NewLOF(15)))
+	list, err := g.Summarize(ds, gt.Outliers(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) == 0 {
+		t.Fatal("empty summary")
+	}
+	seen := map[string]bool{}
+	for _, s := range list {
+		if seen[s.Subspace.Key()] {
+			t.Errorf("duplicate subspace %v in summary", s.Subspace)
+		}
+		seen[s.Subspace.Key()] = true
+		if s.Subspace.Dim() != 2 {
+			t.Errorf("wrong dimensionality %d", s.Subspace.Dim())
+		}
+	}
+	if g.Name() != "Groups" {
+		t.Error("name")
+	}
+}
+
+func TestGroupSummarizerErrors(t *testing.T) {
+	ds, gt := testbed(t, 21)
+	g := &GroupSummarizer{}
+	if _, err := g.GroupOutliers(ds, gt.Outliers(), 2); err == nil {
+		t.Error("nil detector should fail")
+	}
+	g = NewGroupSummarizer(detector.NewLOF(15))
+	if _, err := g.GroupOutliers(ds, nil, 2); err == nil {
+		t.Error("no points should fail")
+	}
+	g.MaxCandidates = 3
+	if _, err := g.GroupOutliers(ds, gt.Outliers(), 2); err == nil {
+		t.Error("candidate explosion should fail")
+	}
+}

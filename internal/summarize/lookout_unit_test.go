@@ -1,0 +1,195 @@
+package summarize
+
+import (
+	"math"
+	"testing"
+
+	"anex/internal/core"
+	"anex/internal/dataset"
+	"anex/internal/subspace"
+)
+
+// tableDetector returns scripted scores per subspace key for a small set of
+// "interest" points (everything else scores 0).
+type tableDetector struct {
+	scores map[string]map[int]float64 // key → point → score
+}
+
+func (d *tableDetector) Name() string { return "table" }
+
+func (d *tableDetector) Scores(v *dataset.View) []float64 {
+	out := make([]float64, v.N())
+	for p, s := range d.scores[v.Subspace().Key()] {
+		out[p] = s
+	}
+	return out
+}
+
+func unitDataset(t testing.TB, n, d int) *dataset.Dataset {
+	t.Helper()
+	cols := make([][]float64, d)
+	for f := range cols {
+		cols[f] = make([]float64, n)
+		for i := range cols[f] {
+			cols[f][i] = float64((i + f) % 5)
+		}
+	}
+	ds, err := dataset.New("unit", cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// naiveGreedy reimplements LookOut's objective with plain re-evaluation,
+// as the reference for the CELF implementation.
+func naiveGreedy(det core.Detector, ds *dataset.Dataset, points []int, dim, budget int) []string {
+	type cand struct {
+		key    string
+		scores []float64
+	}
+	var cands []cand
+	var minScore float64
+	// Enumerate all dim-subspaces via the real detector calls.
+	enumKeys := allKeys(ds.D(), dim)
+	for _, key := range enumKeys {
+		sub, err := subspace.Parse(key)
+		if err != nil {
+			panic(err)
+		}
+		all := det.Scores(ds.View(sub))
+		row := make([]float64, len(points))
+		for j, p := range points {
+			row[j] = all[p]
+			if all[p] < minScore {
+				minScore = all[p]
+			}
+		}
+		cands = append(cands, cand{key: key, scores: row})
+	}
+	for _, c := range cands {
+		for j := range c.scores {
+			c.scores[j] -= minScore
+		}
+	}
+	best := make([]float64, len(points))
+	var selected []string
+	used := map[int]bool{}
+	for len(selected) < budget && len(selected) < len(cands) {
+		bestGain, bestIdx := -1.0, -1
+		for i, c := range cands {
+			if used[i] {
+				continue
+			}
+			var gain float64
+			for j, s := range c.scores {
+				if s > best[j] {
+					gain += s - best[j]
+				}
+			}
+			if gain > bestGain || (gain == bestGain && bestIdx >= 0 && c.key < cands[bestIdx].key) {
+				bestGain, bestIdx = gain, i
+			}
+		}
+		used[bestIdx] = true
+		for j, s := range cands[bestIdx].scores {
+			if s > best[j] {
+				best[j] = s
+			}
+		}
+		selected = append(selected, cands[bestIdx].key)
+	}
+	return selected
+}
+
+func TestLookOutCELFMatchesNaiveGreedy(t *testing.T) {
+	ds := unitDataset(t, 12, 5)
+	points := []int{0, 1, 2}
+	det := &tableDetector{scores: map[string]map[int]float64{
+		"0,1": {0: 9, 1: 1, 2: 0},
+		"0,2": {0: 3, 1: 8, 2: 2},
+		"1,2": {0: 2, 1: 2, 2: 7},
+		"2,3": {0: 8, 1: 7, 2: 6},
+		"3,4": {0: 1, 1: 1, 2: 1},
+	}}
+	lo := &LookOut{Detector: det, Budget: 4}
+	got, err := lo.Summarize(ds, points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveGreedy(det, ds, points, 2, 4)
+	if len(got) != len(want) {
+		t.Fatalf("CELF selected %d, naive %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Subspace.Key() != want[i] {
+			t.Errorf("selection %d: CELF %s vs naive %s", i, got[i].Subspace.Key(), want[i])
+		}
+	}
+	// First pick must be {2,3}: total 21 beats {0,1}'s 10 etc.
+	if got[0].Subspace.Key() != "2,3" {
+		t.Errorf("first pick %s, want 2,3", got[0].Subspace.Key())
+	}
+}
+
+func TestLookOutObjectiveIsMonotoneAndDiminishing(t *testing.T) {
+	ds := unitDataset(t, 12, 5)
+	points := []int{0, 1, 2, 3}
+	det := &tableDetector{scores: map[string]map[int]float64{
+		"0,1": {0: 5, 1: 4},
+		"0,2": {2: 6},
+		"1,3": {3: 3, 0: 2},
+		"2,4": {1: 1, 2: 1, 3: 1},
+	}}
+	lo := &LookOut{Detector: det, Budget: 10}
+	got, err := lo.Summarize(ds, points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Marginal gains non-negative and non-increasing (submodularity).
+	prev := math.Inf(1)
+	for i, s := range got {
+		if s.Score < 0 {
+			t.Errorf("gain %d negative: %v", i, s.Score)
+		}
+		if s.Score > prev+1e-9 {
+			t.Errorf("gain %d = %v increased above %v", i, s.Score, prev)
+		}
+		prev = s.Score
+	}
+}
+
+func allKeys(d, k int) []string {
+	var out []string
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == k {
+			key := ""
+			for i, f := range cur {
+				if i > 0 {
+					key += ","
+				}
+				key += itoa(f)
+			}
+			out = append(out, key)
+			return
+		}
+		for f := start; f < d; f++ {
+			rec(f+1, append(cur, f))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	digits := ""
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	return digits
+}

@@ -1,0 +1,170 @@
+package surrogate
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"anex/internal/core"
+	"anex/internal/dataset"
+	"anex/internal/subspace"
+)
+
+// ForestOptions controls the bagged surrogate.
+type ForestOptions struct {
+	// Trees is the ensemble size; zero means 25.
+	Trees int
+	// Tree configures the member trees.
+	Tree TreeOptions
+	// Seed drives the bootstrap sampling.
+	Seed int64
+}
+
+func (o ForestOptions) trees() int {
+	if o.Trees <= 0 {
+		return 25
+	}
+	return o.Trees
+}
+
+// Forest is a bagged ensemble of surrogate trees: more stable predictions
+// and importance estimates than a single tree, at the cost of larger
+// (union) signatures.
+type Forest struct {
+	trees []*Tree
+	dim   int
+}
+
+// FitForest fits the bagged surrogate on (features → target).
+func FitForest(ds *dataset.Dataset, target []float64, opts ForestOptions) (*Forest, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("surrogate: nil dataset")
+	}
+	if len(target) != ds.N() {
+		return nil, fmt.Errorf("surrogate: %d targets for %d points", len(target), ds.N())
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	f := &Forest{dim: ds.D()}
+	n := ds.N()
+	boot := make([]int, n)
+	bootTarget := make([]float64, n)
+	for t := 0; t < opts.trees(); t++ {
+		for i := range boot {
+			boot[i] = rng.Intn(n)
+		}
+		sub, err := ds.Subset(fmt.Sprintf("%s-boot%d", ds.Name(), t), boot)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range boot {
+			bootTarget[i] = target[p]
+		}
+		tree, err := FitTree(sub, bootTarget, opts.Tree)
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, tree)
+	}
+	return f, nil
+}
+
+// Dim returns the feature dimensionality.
+func (f *Forest) Dim() int { return f.dim }
+
+// Size returns the number of member trees.
+func (f *Forest) Size() int { return len(f.trees) }
+
+// Predict returns the ensemble-mean surrogate score.
+func (f *Forest) Predict(x []float64) float64 {
+	var sum float64
+	for _, t := range f.trees {
+		sum += t.Predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// Signature returns the features most frequently consulted for this point
+// across the ensemble, most frequent first, truncated to maxFeatures
+// (0 means all consulted features).
+func (f *Forest) Signature(x []float64, maxFeatures int) subspace.Subspace {
+	counts := make([]int, f.dim)
+	for _, t := range f.trees {
+		for _, feat := range t.Signature(x) {
+			counts[feat]++
+		}
+	}
+	type fc struct{ feat, count int }
+	var used []fc
+	for feat, c := range counts {
+		if c > 0 {
+			used = append(used, fc{feat, c})
+		}
+	}
+	sort.Slice(used, func(a, b int) bool {
+		if used[a].count != used[b].count {
+			return used[a].count > used[b].count
+		}
+		return used[a].feat < used[b].feat
+	})
+	if maxFeatures > 0 && len(used) > maxFeatures {
+		used = used[:maxFeatures]
+	}
+	feats := make([]int, len(used))
+	for i, u := range used {
+		feats[i] = u.feat
+	}
+	return subspace.New(feats...)
+}
+
+// FeatureImportance returns the ensemble-mean normalised importance.
+func (f *Forest) FeatureImportance() []float64 {
+	out := make([]float64, f.dim)
+	for _, t := range f.trees {
+		for feat, v := range t.FeatureImportance() {
+			out[feat] += v
+		}
+	}
+	for feat := range out {
+		out[feat] /= float64(len(f.trees))
+	}
+	return out
+}
+
+// R2 returns the ensemble's coefficient of determination on the data.
+func (f *Forest) R2(ds *dataset.Dataset, target []float64) float64 {
+	var mean float64
+	for _, y := range target {
+		mean += y
+	}
+	mean /= float64(len(target))
+	x := make([]float64, ds.D())
+	var ssRes, ssTot float64
+	for i := 0; i < ds.N(); i++ {
+		pred := f.Predict(ds.Row(i, x))
+		d := target[i] - pred
+		ssRes += d * d
+		dt := target[i] - mean
+		ssTot += dt * dt
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// ExplainDetector is the end-to-end predictive-explanation pipeline the
+// paper sketches: score the dataset with the detector in the FULL space,
+// fit the surrogate on those scores, and return it together with its
+// fidelity. Explanations of individual points then cost O(depth) via
+// Signature instead of a fresh subspace search.
+func ExplainDetector(ds *dataset.Dataset, det core.Detector, opts ForestOptions) (*Forest, float64, error) {
+	if det == nil {
+		return nil, 0, fmt.Errorf("surrogate: nil detector")
+	}
+	scores := det.Scores(ds.FullView())
+	forest, err := FitForest(ds, scores, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return forest, forest.R2(ds, scores), nil
+}

@@ -1,0 +1,268 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anex/internal/dataset"
+	"anex/internal/detector"
+	"anex/internal/synth"
+)
+
+// stepDataset builds data whose target is a two-level step function of
+// feature 1: target = 10 when F1 > 0.5 else 2, independent of F0 and F2.
+func stepDataset(t testing.TB, n int, seed int64) (*dataset.Dataset, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]float64, 3)
+	for f := range cols {
+		cols[f] = make([]float64, n)
+		for i := range cols[f] {
+			cols[f][i] = rng.Float64()
+		}
+	}
+	target := make([]float64, n)
+	for i := range target {
+		if cols[1][i] > 0.5 {
+			target[i] = 10
+		} else {
+			target[i] = 2
+		}
+	}
+	ds, err := dataset.New("step", cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, target
+}
+
+func TestTreeRecoversStepFunction(t *testing.T) {
+	ds, target := stepDataset(t, 300, 1)
+	tree, err := FitTree(ds, target, TreeOptions{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near-perfect fit on a single axis-aligned step.
+	if r2 := tree.R2(ds, target); r2 < 0.99 {
+		t.Errorf("R² = %v, want ≈ 1", r2)
+	}
+	// Importance concentrated on feature 1.
+	imp := tree.FeatureImportance()
+	if imp[1] < 0.95 {
+		t.Errorf("importance = %v, want mass on F1", imp)
+	}
+	// Predictions on fresh probes.
+	if p := tree.Predict([]float64{0.2, 0.9, 0.2}); math.Abs(p-10) > 0.5 {
+		t.Errorf("Predict(high F1) = %v", p)
+	}
+	if p := tree.Predict([]float64{0.9, 0.1, 0.9}); math.Abs(p-2) > 0.5 {
+		t.Errorf("Predict(low F1) = %v", p)
+	}
+	// Minimal signature: only the consulted feature.
+	sig := tree.Signature([]float64{0.5, 0.9, 0.5})
+	if sig.Dim() != 1 || !sig.Contains(1) {
+		t.Errorf("signature = %v, want {F1}", sig)
+	}
+}
+
+func TestTreeDepthAndLeafConstraints(t *testing.T) {
+	ds, target := stepDataset(t, 200, 2)
+	shallow, err := FitTree(ds, target, TreeOptions{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := shallow.Depth(); d > 2 {
+		t.Errorf("depth %d with MaxDepth 1", d)
+	}
+	// A larger MinLeaf must never produce smaller leaves.
+	bigLeaf, err := FitTree(ds, target, TreeOptions{MaxDepth: 8, MinLeaf: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range bigLeaf.nodes {
+		if n.feature == -1 && n.samples < 50 {
+			t.Errorf("leaf with %d samples despite MinLeaf 50", n.samples)
+		}
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	ds, _ := stepDataset(t, 100, 3)
+	target := make([]float64, ds.N())
+	for i := range target {
+		target[i] = 7
+	}
+	tree, err := FitTree(ds, target, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 1 {
+		t.Errorf("constant target should yield a stump, depth %d", tree.Depth())
+	}
+	if p := tree.Predict([]float64{0, 0, 0}); p != 7 {
+		t.Errorf("Predict = %v", p)
+	}
+	for _, v := range tree.FeatureImportance() {
+		if v != 0 {
+			t.Errorf("stump importance = %v", tree.FeatureImportance())
+		}
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	ds, target := stepDataset(t, 50, 4)
+	if _, err := FitTree(nil, target, TreeOptions{}); err == nil {
+		t.Error("nil dataset should fail")
+	}
+	if _, err := FitTree(ds, target[:10], TreeOptions{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := FitForest(nil, target, ForestOptions{}); err == nil {
+		t.Error("forest nil dataset should fail")
+	}
+	if _, err := FitForest(ds, target[:10], ForestOptions{}); err == nil {
+		t.Error("forest length mismatch should fail")
+	}
+	if _, _, err := ExplainDetector(ds, nil, ForestOptions{}); err == nil {
+		t.Error("nil detector should fail")
+	}
+}
+
+func TestForestImprovesStability(t *testing.T) {
+	// Noisy target: y = step(F1) + noise. Single trees overfit the noise
+	// differently across bootstrap draws; the ensemble's importance still
+	// concentrates on F1.
+	rng := rand.New(rand.NewSource(5))
+	ds, target := stepDataset(t, 400, 5)
+	noisy := make([]float64, len(target))
+	for i, y := range target {
+		noisy[i] = y + rng.NormFloat64()
+	}
+	forest, err := FitForest(ds, noisy, ForestOptions{Trees: 15, Seed: 1, Tree: TreeOptions{MaxDepth: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.Size() != 15 || forest.Dim() != 3 {
+		t.Fatalf("forest shape %d/%d", forest.Size(), forest.Dim())
+	}
+	imp := forest.FeatureImportance()
+	if imp[1] < 0.8 {
+		t.Errorf("forest importance = %v, want mass on F1", imp)
+	}
+	if r2 := forest.R2(ds, noisy); r2 < 0.8 {
+		t.Errorf("forest R² = %v", r2)
+	}
+	sig := forest.Signature([]float64{0.5, 0.9, 0.5}, 1)
+	if sig.Dim() != 1 || !sig.Contains(1) {
+		t.Errorf("forest signature = %v, want {F1}", sig)
+	}
+}
+
+func TestForestDeterministicPerSeed(t *testing.T) {
+	ds, target := stepDataset(t, 150, 6)
+	a, err := FitForest(ds, target, ForestOptions{Trees: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitForest(ds, target, ForestOptions{Trees: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, 0.7, 0.1}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Error("same seed, different forests")
+	}
+}
+
+// TestPredictiveExplanationOnPlantedOutliers is the end-to-end future-work
+// scenario: fit the surrogate on LOF's full-space scores of a dataset with
+// full-space outliers and check that (i) the fidelity is substantial and
+// (ii) outlier signatures are small (minimality).
+func TestPredictiveExplanationOnPlantedOutliers(t *testing.T) {
+	ds, outliers, err := synth.GenerateFullSpaceOutliers(synth.FullSpaceConfig{
+		Name: "surrogate-e2e", N: 250, D: 8, NumOutliers: 20, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, r2, err := ExplainDetector(ds, detector.NewLOF(15), ForestOptions{
+		Trees: 20, Seed: 1, Tree: TreeOptions{MaxDepth: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.5 {
+		t.Errorf("surrogate fidelity R² = %v, want substantial", r2)
+	}
+	row := make([]float64, ds.D())
+	for _, p := range outliers[:5] {
+		sig := forest.Signature(ds.Row(p, row), 3)
+		if sig.Dim() == 0 || sig.Dim() > 3 {
+			t.Errorf("outlier %d signature %v not minimal", p, sig)
+		}
+	}
+	// The surrogate must score outliers above the inlier median.
+	var outlierMean float64
+	for _, p := range outliers {
+		outlierMean += forest.Predict(ds.Row(p, row))
+	}
+	outlierMean /= float64(len(outliers))
+	var inlierMean float64
+	n := 0
+	outlierSet := map[int]bool{}
+	for _, p := range outliers {
+		outlierSet[p] = true
+	}
+	for i := 0; i < ds.N(); i++ {
+		if !outlierSet[i] {
+			inlierMean += forest.Predict(ds.Row(i, row))
+			n++
+		}
+	}
+	inlierMean /= float64(n)
+	if outlierMean <= inlierMean {
+		t.Errorf("surrogate does not separate: outliers %v vs inliers %v", outlierMean, inlierMean)
+	}
+}
+
+func TestPropertyTreePredictionWithinTargetRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw%100) + 20
+		cols := [][]float64{make([]float64, n), make([]float64, n)}
+		target := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			cols[0][i] = rng.Float64()
+			cols[1][i] = rng.Float64()
+			target[i] = rng.NormFloat64() * 5
+			if target[i] < lo {
+				lo = target[i]
+			}
+			if target[i] > hi {
+				hi = target[i]
+			}
+		}
+		ds, err := dataset.New("prop", cols, nil)
+		if err != nil {
+			return false
+		}
+		tree, err := FitTree(ds, target, TreeOptions{MaxDepth: 4})
+		if err != nil {
+			return false
+		}
+		// Leaf means can never escape the target range.
+		for trial := 0; trial < 10; trial++ {
+			p := tree.Predict([]float64{rng.Float64() * 2, rng.Float64() * 2})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,298 @@
+// Package surrogate implements the paper's concluding future-work proposal
+// (Section 6): approximate an unsupervised detector's decision boundary
+// with a predictive surrogate model and explain points through MINIMAL
+// PREDICTIVE SIGNATURES — the few features the surrogate actually consults
+// — instead of re-running a per-point subspace search.
+//
+// The surrogate is a depth-limited CART regression tree (optionally a
+// bagged forest) fitted on (features → detector score). A point's
+// signature is the set of features on its decision path; feature
+// importance is the variance reduction each feature contributes. Both give
+// O(depth) explanations with formal minimality in the number of consulted
+// features, at the cost of fidelity measured by R².
+package surrogate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"anex/internal/dataset"
+	"anex/internal/subspace"
+)
+
+// TreeOptions controls the CART fitting.
+type TreeOptions struct {
+	// MaxDepth bounds the tree height; zero means 6.
+	MaxDepth int
+	// MinLeaf is the smallest sample a leaf may hold; zero means 5.
+	MinLeaf int
+	// MinGain is the minimal relative variance reduction a split must
+	// achieve (fraction of the node's sum of squares); zero means 1e-3.
+	MinGain float64
+}
+
+func (o TreeOptions) maxDepth() int {
+	if o.MaxDepth <= 0 {
+		return 6
+	}
+	return o.MaxDepth
+}
+
+func (o TreeOptions) minLeaf() int {
+	if o.MinLeaf <= 0 {
+		return 5
+	}
+	return o.MinLeaf
+}
+
+func (o TreeOptions) minGain() float64 {
+	if o.MinGain <= 0 {
+		return 1e-3
+	}
+	return o.MinGain
+}
+
+// Tree is a fitted CART regression surrogate.
+type Tree struct {
+	nodes      []treeNode
+	dim        int
+	importance []float64 // summed absolute variance reduction per feature
+}
+
+type treeNode struct {
+	// Interior: feature ≥ 0 with threshold; left/right children indexes.
+	// Leaf: feature == -1, value is the prediction.
+	feature     int
+	threshold   float64
+	left, right int
+	value       float64
+	samples     int
+}
+
+// FitTree fits a regression tree predicting target from the dataset's
+// features. len(target) must equal ds.N().
+func FitTree(ds *dataset.Dataset, target []float64, opts TreeOptions) (*Tree, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("surrogate: nil dataset")
+	}
+	if len(target) != ds.N() {
+		return nil, fmt.Errorf("surrogate: %d targets for %d points", len(target), ds.N())
+	}
+	idx := make([]int, ds.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{dim: ds.D(), importance: make([]float64, ds.D())}
+	t.build(ds, target, idx, 0, opts)
+	return t, nil
+}
+
+// build grows the subtree over idx and returns its node id.
+func (t *Tree) build(ds *dataset.Dataset, target []float64, idx []int, depth int, opts TreeOptions) int {
+	nodeID := len(t.nodes)
+	t.nodes = append(t.nodes, treeNode{})
+
+	mean, sse := meanSSE(target, idx)
+	leaf := func() int {
+		t.nodes[nodeID] = treeNode{feature: -1, value: mean, samples: len(idx)}
+		return nodeID
+	}
+	if depth >= opts.maxDepth() || len(idx) < 2*opts.minLeaf() || sse <= 1e-12 {
+		return leaf()
+	}
+
+	bestFeature, bestThreshold, bestGain := -1, 0.0, 0.0
+	for f := 0; f < ds.D(); f++ {
+		threshold, gain := bestSplit(ds.Column(f), target, idx, opts.minLeaf())
+		if gain > bestGain {
+			bestFeature, bestThreshold, bestGain = f, threshold, gain
+		}
+	}
+	if bestFeature < 0 || bestGain < opts.minGain()*sse {
+		return leaf()
+	}
+
+	col := ds.Column(bestFeature)
+	var left, right []int
+	for _, i := range idx {
+		if col[i] <= bestThreshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < opts.minLeaf() || len(right) < opts.minLeaf() {
+		return leaf()
+	}
+	t.importance[bestFeature] += bestGain
+	l := t.build(ds, target, left, depth+1, opts)
+	r := t.build(ds, target, right, depth+1, opts)
+	t.nodes[nodeID] = treeNode{
+		feature: bestFeature, threshold: bestThreshold,
+		left: l, right: r, value: mean, samples: len(idx),
+	}
+	return nodeID
+}
+
+// bestSplit finds the threshold of one feature maximising the variance
+// reduction (sum-of-squares gain), honouring the leaf minimum. It scans
+// the sorted prefix sums in O(n log n).
+func bestSplit(col, target []float64, idx []int, minLeaf int) (threshold, gain float64) {
+	n := len(idx)
+	order := make([]int, n)
+	copy(order, idx)
+	sort.Slice(order, func(a, b int) bool { return col[order[a]] < col[order[b]] })
+
+	var total, totalSq float64
+	for _, i := range order {
+		total += target[i]
+		totalSq += target[i] * target[i]
+	}
+	parentSSE := totalSq - total*total/float64(n)
+
+	var leftSum, leftSq float64
+	bestGain := 0.0
+	bestThreshold := math.NaN()
+	for k := 0; k < n-1; k++ {
+		i := order[k]
+		leftSum += target[i]
+		leftSq += target[i] * target[i]
+		// Can't split between equal feature values.
+		if col[order[k]] == col[order[k+1]] {
+			continue
+		}
+		nl := k + 1
+		nr := n - nl
+		if nl < minLeaf || nr < minLeaf {
+			continue
+		}
+		rightSum := total - leftSum
+		rightSq := totalSq - leftSq
+		sseL := leftSq - leftSum*leftSum/float64(nl)
+		sseR := rightSq - rightSum*rightSum/float64(nr)
+		if g := parentSSE - sseL - sseR; g > bestGain {
+			bestGain = g
+			bestThreshold = (col[order[k]] + col[order[k+1]]) / 2
+		}
+	}
+	if math.IsNaN(bestThreshold) {
+		return 0, 0
+	}
+	return bestThreshold, bestGain
+}
+
+func meanSSE(target []float64, idx []int) (mean, sse float64) {
+	for _, i := range idx {
+		mean += target[i]
+	}
+	mean /= float64(len(idx))
+	for _, i := range idx {
+		d := target[i] - mean
+		sse += d * d
+	}
+	return mean, sse
+}
+
+// Dim returns the feature dimensionality the tree was fitted on.
+func (t *Tree) Dim() int { return t.dim }
+
+// Depth returns the fitted tree's height.
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var rec func(int) int
+	rec = func(id int) int {
+		n := t.nodes[id]
+		if n.feature == -1 {
+			return 1
+		}
+		l, r := rec(n.left), rec(n.right)
+		if r > l {
+			l = r
+		}
+		return l + 1
+	}
+	return rec(0)
+}
+
+// Predict returns the surrogate score of a point.
+func (t *Tree) Predict(x []float64) float64 {
+	id := 0
+	for {
+		n := t.nodes[id]
+		if n.feature == -1 {
+			return n.value
+		}
+		if x[n.feature] <= n.threshold {
+			id = n.left
+		} else {
+			id = n.right
+		}
+	}
+}
+
+// Signature returns the point's minimal predictive signature: the distinct
+// features consulted on its decision path, as a canonical subspace. This is
+// the paper's "minimal predictive signature" — the features sufficient to
+// reproduce the surrogate's score for this point.
+func (t *Tree) Signature(x []float64) subspace.Subspace {
+	var feats []int
+	id := 0
+	for {
+		n := t.nodes[id]
+		if n.feature == -1 {
+			return subspace.New(feats...)
+		}
+		feats = append(feats, n.feature)
+		if x[n.feature] <= n.threshold {
+			id = n.left
+		} else {
+			id = n.right
+		}
+	}
+}
+
+// FeatureImportance returns the variance reduction contributed by each
+// feature, normalised to sum to 1 (all zeros when the tree is a stump).
+func (t *Tree) FeatureImportance() []float64 {
+	out := make([]float64, t.dim)
+	var total float64
+	for _, v := range t.importance {
+		total += v
+	}
+	if total == 0 {
+		return out
+	}
+	for f, v := range t.importance {
+		out[f] = v / total
+	}
+	return out
+}
+
+// R2 returns the coefficient of determination of the surrogate against the
+// target on the given dataset — the fidelity of the approximation.
+func (t *Tree) R2(ds *dataset.Dataset, target []float64) float64 {
+	if ds.N() != len(target) || ds.N() == 0 {
+		return math.NaN()
+	}
+	var mean float64
+	for _, y := range target {
+		mean += y
+	}
+	mean /= float64(len(target))
+	x := make([]float64, ds.D())
+	var ssRes, ssTot float64
+	for i := 0; i < ds.N(); i++ {
+		pred := t.Predict(ds.Row(i, x))
+		d := target[i] - pred
+		ssRes += d * d
+		dt := target[i] - mean
+		ssTot += dt * dt
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,148 @@
+package synth
+
+import (
+	"fmt"
+
+	"anex/internal/core"
+	"anex/internal/dataset"
+)
+
+// Scale selects the size of the generated testbed.
+type Scale int
+
+const (
+	// ScaleSmall is a reduced testbed with the same shape as the paper's
+	// (five synthetic datasets of increasing dimensionality, three
+	// real-world-like datasets) sized for interactive runs and CI.
+	ScaleSmall Scale = iota
+	// ScalePaper matches the dataset shapes of Table 1: synthetic
+	// 14–100d with 1000 points, real-like 198×31 / 569×30 / 1205×23.
+	ScalePaper
+)
+
+func (s Scale) String() string {
+	if s == ScalePaper {
+		return "paper"
+	}
+	return "small"
+}
+
+// ParseScale parses "small" or "paper".
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return ScaleSmall, nil
+	case "paper":
+		return ScalePaper, nil
+	}
+	return ScaleSmall, fmt.Errorf("unknown scale %q (want small or paper)", s)
+}
+
+// SyntheticConfigs returns the five HiCS-style synthetic dataset
+// configurations at the given scale. At paper scale the shapes follow
+// Table 1 and Figure 8: 1000 points, 4/7/12/22/31 relevant subspaces of
+// 2–5 dimensions over 14/23/39/70/100 features, 5 outliers per subspace,
+// and a growing number of outliers explained by two subspaces.
+func SyntheticConfigs(scale Scale, seed int64) []SubspaceConfig {
+	if scale == ScalePaper {
+		return []SubspaceConfig{
+			{Name: "hics-14d", TotalDims: 14, N: 1000, OutliersPerSubspace: 5, Seed: seed + 1,
+				SubspaceDims: []int{2, 3, 4, 5}, DoubleOutliers: 0},
+			{Name: "hics-23d", TotalDims: 23, N: 1000, OutliersPerSubspace: 5, Seed: seed + 2,
+				SubspaceDims: []int{2, 2, 3, 3, 4, 4, 5}, DoubleOutliers: 1},
+			{Name: "hics-39d", TotalDims: 39, N: 1000, OutliersPerSubspace: 5, Seed: seed + 3,
+				SubspaceDims: []int{2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5}, DoubleOutliers: 1},
+			{Name: "hics-70d", TotalDims: 70, N: 1000, OutliersPerSubspace: 5, Seed: seed + 4,
+				SubspaceDims: []int{2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 4, 4, 4, 4, 4, 5, 5, 5}, DoubleOutliers: 10},
+			{Name: "hics-100d", TotalDims: 100, N: 1000, OutliersPerSubspace: 5, Seed: seed + 5,
+				SubspaceDims: []int{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3, 3, 4, 4, 4, 4, 4, 4, 5, 5, 5, 5}, DoubleOutliers: 12},
+		}
+	}
+	return []SubspaceConfig{
+		{Name: "hics-8d", TotalDims: 8, N: 250, OutliersPerSubspace: 4, Seed: seed + 1,
+			SubspaceDims: []int{2, 3}, DoubleOutliers: 0},
+		{Name: "hics-12d", TotalDims: 12, N: 250, OutliersPerSubspace: 4, Seed: seed + 2,
+			SubspaceDims: []int{2, 3, 4}, DoubleOutliers: 0},
+		{Name: "hics-16d", TotalDims: 16, N: 250, OutliersPerSubspace: 4, Seed: seed + 3,
+			SubspaceDims: []int{2, 2, 3, 4}, DoubleOutliers: 1},
+		{Name: "hics-20d", TotalDims: 20, N: 250, OutliersPerSubspace: 4, Seed: seed + 4,
+			SubspaceDims: []int{2, 2, 3, 3, 4}, DoubleOutliers: 1},
+		{Name: "hics-26d", TotalDims: 26, N: 250, OutliersPerSubspace: 4, Seed: seed + 5,
+			SubspaceDims: []int{2, 2, 3, 3, 4, 4}, DoubleOutliers: 2},
+	}
+}
+
+// RealWorldConfigs returns the three real-world-like dataset configurations
+// at the given scale. At paper scale the shapes match the UCI datasets of
+// Section 3.2: Breast 198×31 with 20 outliers, Breast Diagnostic 569×30
+// with 57, Electricity 1205×23 with 121 (≈ 10 % contamination each).
+func RealWorldConfigs(scale Scale, seed int64) []FullSpaceConfig {
+	if scale == ScalePaper {
+		return []FullSpaceConfig{
+			{Name: "breast-like", N: 198, D: 31, NumOutliers: 20, Seed: seed + 11},
+			{Name: "breast-diag-like", N: 569, D: 30, NumOutliers: 57, Seed: seed + 12},
+			{Name: "electricity-like", N: 1205, D: 23, NumOutliers: 121, Seed: seed + 13},
+		}
+	}
+	return []FullSpaceConfig{
+		{Name: "breast-like", N: 120, D: 10, NumOutliers: 12, Seed: seed + 11},
+		{Name: "breast-diag-like", N: 200, D: 12, NumOutliers: 20, Seed: seed + 12},
+		{Name: "electricity-like", N: 300, D: 10, NumOutliers: 30, Seed: seed + 13},
+	}
+}
+
+// GroundTruthDims returns the explanation dimensionalities over which the
+// real-like ground truth is derived (the paper uses 2–4d).
+func GroundTruthDims(scale Scale) []int {
+	if scale == ScalePaper {
+		return []int{2, 3, 4}
+	}
+	return []int{2, 3}
+}
+
+// ExplanationDims returns the explanation dimensionalities evaluated per
+// dataset family (the paper evaluates 2–5d on synthetic, 2–4d on real).
+func ExplanationDims(scale Scale, synthetic bool) []int {
+	if scale == ScalePaper {
+		if synthetic {
+			return []int{2, 3, 4, 5}
+		}
+		return []int{2, 3, 4}
+	}
+	if synthetic {
+		return []int{2, 3, 4}
+	}
+	return []int{2, 3}
+}
+
+// TestbedDataset bundles a generated dataset with its ground truth.
+type TestbedDataset struct {
+	Dataset     *dataset.Dataset
+	GroundTruth *dataset.GroundTruth
+	// Synthetic reports whether the dataset carries planted subspace
+	// outliers (true) or derived full-space outliers (false).
+	Synthetic bool
+}
+
+// BuildSynthetic generates one synthetic testbed entry.
+func BuildSynthetic(c SubspaceConfig) (TestbedDataset, error) {
+	ds, gt, err := GenerateSubspaceOutliers(c)
+	if err != nil {
+		return TestbedDataset{}, err
+	}
+	return TestbedDataset{Dataset: ds, GroundTruth: gt, Synthetic: true}, nil
+}
+
+// BuildRealWorld generates one real-world-like testbed entry, deriving its
+// ground truth with the given detector over the given dimensionalities.
+func BuildRealWorld(c FullSpaceConfig, dims []int, det core.Detector) (TestbedDataset, error) {
+	ds, outliers, err := GenerateFullSpaceOutliers(c)
+	if err != nil {
+		return TestbedDataset{}, err
+	}
+	gt, err := DeriveTopSubspaceGroundTruth(ds, outliers, dims, det)
+	if err != nil {
+		return TestbedDataset{}, err
+	}
+	return TestbedDataset{Dataset: ds, GroundTruth: gt, Synthetic: false}, nil
+}

@@ -1,0 +1,456 @@
+// Package synth generates the testbed datasets of the paper (Section 3.2)
+// together with their ground truth:
+//
+//   - the HiCS-style synthetic family with subspace outliers hidden in
+//     planted high-contrast subspaces (SubspaceConfig / GenerateSubspaceOutliers);
+//   - real-world-like datasets with full-space density outliers substituting
+//     the UCI Breast / Breast Diagnostic / Electricity datasets
+//     (FullSpaceConfig / GenerateFullSpaceOutliers), whose ground truth is
+//     derived with the exhaustive LOF search of the paper;
+//   - the paper-scale and reduced-scale configurations of both families.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"anex/internal/dataset"
+	"anex/internal/subspace"
+)
+
+// Cluster-grid geometry of the planted subspaces. Inlier clusters sit on a
+// grid of per-feature levels; outliers occupy grid cells no cluster covers.
+// Every level appears in some cluster on every feature, so single features
+// (and most lower-dimensional projections) mask the outliers — property (v)
+// of the HiCS datasets — while the full subspace isolates them by at least
+// one level gap, keeping them detectable by LOF (property (ii)).
+var gridLevels = []float64{0.2, 0.5, 0.8}
+
+const (
+	inlierNoiseStd = 0.03
+	outlierJitter  = 0.02
+	// outlierEdgeOffset displaces each outlier coordinate from its cell
+	// centre by ≈ 1.7 cluster standard deviations. In every lower
+	// projection the outlier then sits at the EDGE of its masking
+	// cluster — a small, detector-dependent deviation (the signal the
+	// paper's stage-wise searches exploit in early stages) — while in the
+	// full subspace the per-coordinate offsets compound on top of the
+	// level gap, keeping it clearly isolated.
+	outlierEdgeOffset = 0.05
+	// Irrelevant-feature band (see GenerateSubspaceOutliers).
+	noiseLo = 0.3
+	noiseHi = 0.7
+)
+
+// SubspaceConfig describes one HiCS-style synthetic dataset.
+type SubspaceConfig struct {
+	// Name of the generated dataset.
+	Name string
+	// TotalDims is the dataset dimensionality; features not covered by
+	// SubspaceDims are irrelevant uniform noise.
+	TotalDims int
+	// SubspaceDims lists the dimensionality of each planted relevant
+	// subspace; their sum must not exceed TotalDims.
+	SubspaceDims []int
+	// N is the number of points (inliers + outliers).
+	N int
+	// OutliersPerSubspace is the number of outliers deviating in each
+	// planted subspace (the paper uses 5).
+	OutliersPerSubspace int
+	// DoubleOutliers is the number of outlier points that deviate in two
+	// different subspaces (~9 % of outliers in the paper's datasets).
+	DoubleOutliers int
+	// ClustersPerSubspace is the number of inlier grid clusters planted
+	// per subspace; zero picks a dimension-appropriate default.
+	ClustersPerSubspace int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Validate checks the configuration for consistency.
+func (c *SubspaceConfig) Validate() error {
+	if c.TotalDims < 2 {
+		return fmt.Errorf("synth %q: need ≥ 2 dims, got %d", c.Name, c.TotalDims)
+	}
+	sum := 0
+	for _, d := range c.SubspaceDims {
+		if d < 2 {
+			return fmt.Errorf("synth %q: subspace dims must be ≥ 2, got %d", c.Name, d)
+		}
+		sum += d
+	}
+	if sum > c.TotalDims {
+		return fmt.Errorf("synth %q: subspace dims sum to %d > %d total", c.Name, sum, c.TotalDims)
+	}
+	if len(c.SubspaceDims) == 0 {
+		return fmt.Errorf("synth %q: no relevant subspaces", c.Name)
+	}
+	if c.OutliersPerSubspace < 1 {
+		return fmt.Errorf("synth %q: need ≥ 1 outlier per subspace", c.Name)
+	}
+	totalOutliers := len(c.SubspaceDims)*c.OutliersPerSubspace - c.DoubleOutliers
+	if c.DoubleOutliers < 0 || totalOutliers < 1 {
+		return fmt.Errorf("synth %q: invalid double-outlier count %d", c.Name, c.DoubleOutliers)
+	}
+	if c.N < 4*totalOutliers {
+		return fmt.Errorf("synth %q: %d points too few for %d outliers", c.Name, c.N, totalOutliers)
+	}
+	return nil
+}
+
+// NumOutliers returns the number of distinct outlier points the
+// configuration plants.
+func (c *SubspaceConfig) NumOutliers() int {
+	return len(c.SubspaceDims)*c.OutliersPerSubspace - c.DoubleOutliers
+}
+
+// GenerateSubspaceOutliers builds the dataset and its planted ground truth.
+// The relevant subspaces partition the first Σdims features; the remaining
+// features are uniform noise. Each outlier deviates exactly in its relevant
+// subspace(s) and behaves like an inlier everywhere else.
+func GenerateSubspaceOutliers(c SubspaceConfig) (*dataset.Dataset, *dataset.GroundTruth, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	n := c.N
+	numSubs := len(c.SubspaceDims)
+
+	// Lay the relevant subspaces over the leading features.
+	subs := make([]subspace.Subspace, numSubs)
+	next := 0
+	for i, d := range c.SubspaceDims {
+		feats := make([]int, d)
+		for j := range feats {
+			feats[j] = next
+			next++
+		}
+		subs[i] = subspace.New(feats...)
+	}
+
+	// Choose which points are outliers and which subspace(s) each
+	// deviates in. Doubles deviate in two distinct subspaces.
+	totalOutliers := c.NumOutliers()
+	outlierPoints := rng.Perm(n)[:totalOutliers]
+	assignment := make(map[int][]int, totalOutliers) // point → subspace ids
+	slots := make([]int, 0, numSubs*c.OutliersPerSubspace)
+	for si := 0; si < numSubs; si++ {
+		for j := 0; j < c.OutliersPerSubspace; j++ {
+			slots = append(slots, si)
+		}
+	}
+	// The first totalOutliers slots go to fresh points; the remaining
+	// (DoubleOutliers) slots are attached to existing outliers of a
+	// different subspace.
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+	pi := 0
+	var pending []int
+	for _, si := range slots {
+		if pi < totalOutliers {
+			p := outlierPoints[pi]
+			assignment[p] = append(assignment[p], si)
+			pi++
+			continue
+		}
+		pending = append(pending, si)
+	}
+	for _, si := range pending {
+		// Attach to an outlier not already deviating in si.
+		attached := false
+		for _, p := range outlierPoints {
+			if len(assignment[p]) == 1 && assignment[p][0] != si {
+				assignment[p] = append(assignment[p], si)
+				attached = true
+				break
+			}
+		}
+		if !attached {
+			return nil, nil, fmt.Errorf("synth %q: cannot place double outlier in subspace %d", c.Name, si)
+		}
+	}
+
+	cols := make([][]float64, c.TotalDims)
+	for f := range cols {
+		cols[f] = make([]float64, n)
+	}
+
+	// Fill each relevant subspace.
+	for si, sub := range subs {
+		clusters, outlierCells, err := planCells(rng, sub.Dim(), c.ClustersPerSubspace)
+		if err != nil {
+			return nil, nil, fmt.Errorf("synth %q: subspace %d: %w", c.Name, si, err)
+		}
+		// Which points deviate here?
+		deviates := make(map[int]bool)
+		for p, sids := range assignment {
+			for _, id := range sids {
+				if id == si {
+					deviates[p] = true
+				}
+			}
+		}
+		// Pre-allocate inliers to clusters: proportional to the cluster
+		// weights but with a floor comfortably above the detectors'
+		// neighbourhood sizes, so no legitimate cluster reads as sparse.
+		inlierClusters := allocateClusterPoints(rng, clusters, n-len(deviates))
+		// Per-coordinate edge direction, fixed per subspace so the planted
+		// anomalies stay tightly clustered: push toward the interior of
+		// [0, 1] so offsets never clip.
+		edgeDir := make([]float64, sub.Dim())
+		for j, cell := range outlierCells[0] {
+			if gridLevels[cell] < 0.5 {
+				edgeDir[j] = outlierEdgeOffset
+			} else {
+				edgeDir[j] = -outlierEdgeOffset
+			}
+		}
+		ci := 0
+		oi := 0
+		for p := 0; p < n; p++ {
+			if deviates[p] {
+				cell := outlierCells[oi%len(outlierCells)]
+				oi++
+				for j, f := range sub {
+					v := gridLevels[cell[j]] + edgeDir[j] + (rng.Float64()*2-1)*outlierJitter
+					cols[f][p] = clamp01(v)
+				}
+				continue
+			}
+			cluster := clusters[inlierClusters[ci]].cell
+			ci++
+			for j, f := range sub {
+				v := gridLevels[cluster[j]] + rng.NormFloat64()*inlierNoiseStd
+				cols[f][p] = clamp01(v)
+			}
+		}
+	}
+
+	// Irrelevant features: independent uniform noise on a narrower band
+	// than the cluster grid. In the original HiCS data the "other"
+	// features of any given outlier belong to other planted subspaces and
+	// are therefore locally tight; a full-range uniform here would make
+	// irrelevant features dominate distances in augmented views and
+	// destroy property (iv) (outliers identifiable in supersets).
+	for f := next; f < c.TotalDims; f++ {
+		for p := 0; p < n; p++ {
+			cols[f][p] = noiseLo + rng.Float64()*(noiseHi-noiseLo)
+		}
+	}
+
+	ds, err := dataset.New(c.Name, cols, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	relevant := make(map[int][]subspace.Subspace, totalOutliers)
+	for p, sids := range assignment {
+		for _, si := range sids {
+			relevant[p] = append(relevant[p], subs[si])
+		}
+	}
+	return ds, dataset.NewGroundTruth(relevant), nil
+}
+
+// Cluster weights: diagonal clusters carry most of the inlier mass so that
+// conditioning on one feature concentrates the others (high HiCS contrast —
+// property iii), while the masking clusters get just enough mass to hide
+// the outliers' lower-dimensional projections (property v) without
+// flattening the conditional distributions.
+const (
+	diagonalClusterWeight = 1.0
+	maskingClusterWeight  = 0.18
+	extraClusterWeight    = 0.3
+)
+
+// planCells chooses the inlier cluster cells (with sampling weights) and
+// the outlier cells of one planted subspace so that the HiCS dataset
+// properties hold BY CONSTRUCTION:
+//
+//   - Outlier cells are unoccupied by clusters and differ from every cluster
+//     in at least one grid level (≥ 0.3 gap ≫ the 0.03 inlier noise), so
+//     the full subspace isolates the outliers — property (ii).
+//   - For every outlier cell, EVERY (dim−1)-dimensional projection of the
+//     cell is covered by some cluster's projection. A covered (dim−1)
+//     projection covers all its sub-projections too, so outliers are mixed
+//     with inliers in every lower-dimensional projection — property (v).
+//   - Diagonal clusters guarantee each level appears on every feature and
+//     dominate the mixture, keeping the features strongly dependent.
+//
+// The masking clusters are built directly: for each outlier cell and each
+// coordinate j, a cluster is added that matches the cell everywhere except
+// at j. That cluster realises the projection dropping coordinate j.
+func planCells(rng *rand.Rand, dim, want int) (clusters []weightedCell, outliers [][]int, err error) {
+	if want <= 0 {
+		want = dim + 3
+	}
+	levels := len(gridLevels)
+	total := intPow(levels, dim)
+
+	// Pick one non-diagonal outlier cell per subspace: the paper's
+	// anomalies are highly clustered — each subspace explains exactly one
+	// small group of deviating points.
+	_ = total
+	isDiagonal := func(cell []int) bool {
+		for _, l := range cell[1:] {
+			if l != cell[0] {
+				return false
+			}
+		}
+		return true
+	}
+	outSet := make(map[int]bool)
+	for attempts := 0; len(outliers) < 1 && attempts < 256; attempts++ {
+		cell := make([]int, dim)
+		for j := range cell {
+			cell[j] = rng.Intn(levels)
+		}
+		if isDiagonal(cell) || outSet[cellID(cell)] {
+			continue
+		}
+		outSet[cellID(cell)] = true
+		outliers = append(outliers, cell)
+	}
+	if len(outliers) == 0 {
+		return nil, nil, fmt.Errorf("no outlier cell available (dim %d)", dim)
+	}
+
+	chosen := make(map[int]bool)
+	addCluster := func(cell []int, weight float64) {
+		id := cellID(cell)
+		if chosen[id] || outSet[id] {
+			return
+		}
+		chosen[id] = true
+		clusters = append(clusters, weightedCell{cell: append([]int(nil), cell...), weight: weight})
+	}
+	// Diagonals first: per-feature level coverage and the dominant,
+	// strongly dependent structure.
+	for li := 0; li < levels; li++ {
+		cell := make([]int, dim)
+		for j := range cell {
+			cell[j] = li
+		}
+		addCluster(cell, diagonalClusterWeight)
+	}
+	// Masking clusters: for each outlier cell, cover every
+	// (dim−1)-projection with a one-coordinate-off neighbour. Among the
+	// admissible levels for the differing coordinate, prefer the FARTHEST
+	// from the outlier's: the same cluster then both masks the projection
+	// and leaves the outlier maximally isolated in the full subspace.
+	for _, out := range outliers {
+		for j := 0; j < dim; j++ {
+			neighbour := append([]int(nil), out...)
+			bestGap := -1.0
+			bestLevel := (out[j] + 1) % levels
+			for l := 0; l < levels; l++ {
+				if l == out[j] {
+					continue
+				}
+				neighbour[j] = l
+				if outSet[cellID(neighbour)] {
+					continue
+				}
+				if gap := math.Abs(gridLevels[l] - gridLevels[out[j]]); gap > bestGap {
+					bestGap = gap
+					bestLevel = l
+				}
+			}
+			neighbour[j] = bestLevel
+			addCluster(neighbour, maskingClusterWeight)
+		}
+	}
+	// Random extras up to the requested cluster count.
+	for extra := 0; len(clusters) < want && extra < 256; extra++ {
+		cell := make([]int, dim)
+		for j := range cell {
+			cell[j] = rng.Intn(levels)
+		}
+		addCluster(cell, extraClusterWeight)
+	}
+	return clusters, outliers, nil
+}
+
+// weightedCell is one inlier cluster cell with its mixture weight.
+type weightedCell struct {
+	cell   []int
+	weight float64
+}
+
+// minClusterPoints is the smallest population any cluster may receive —
+// above the k=15 neighbourhoods of LOF and Fast ABOD, so that small masking
+// clusters never read as sparse regions themselves.
+const minClusterPoints = 20
+
+// allocateClusterPoints distributes count inlier slots over the clusters
+// proportionally to their weights, flooring every cluster at
+// minClusterPoints (scaled down when count is too small), and returns a
+// shuffled per-slot cluster index.
+func allocateClusterPoints(rng *rand.Rand, clusters []weightedCell, count int) []int {
+	k := len(clusters)
+	floor := minClusterPoints
+	if floor*k > count {
+		floor = count / k
+	}
+	counts := make([]int, k)
+	remaining := count
+	var totalWeight float64
+	for _, c := range clusters {
+		totalWeight += c.weight
+	}
+	for i := range counts {
+		counts[i] = floor
+		remaining -= floor
+	}
+	// Distribute the remainder proportionally (largest-remainder method).
+	type share struct {
+		idx  int
+		frac float64
+	}
+	shares := make([]share, k)
+	used := 0
+	for i, c := range clusters {
+		exact := float64(remaining) * c.weight / totalWeight
+		add := int(exact)
+		counts[i] += add
+		used += add
+		shares[i] = share{idx: i, frac: exact - float64(add)}
+	}
+	sort.Slice(shares, func(a, b int) bool {
+		if shares[a].frac != shares[b].frac {
+			return shares[a].frac > shares[b].frac
+		}
+		return shares[a].idx < shares[b].idx
+	})
+	for i := 0; i < remaining-used; i++ {
+		counts[shares[i%k].idx]++
+	}
+	slots := make([]int, 0, count)
+	for i, c := range counts {
+		for j := 0; j < c; j++ {
+			slots = append(slots, i)
+		}
+	}
+	rng.Shuffle(len(slots), func(a, b int) { slots[a], slots[b] = slots[b], slots[a] })
+	return slots
+}
+
+func cellID(cell []int) int {
+	id := 0
+	for _, l := range cell {
+		id = id*len(gridLevels) + l
+	}
+	return id
+}
+
+func intPow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	return math.Max(0, math.Min(1, v))
+}
