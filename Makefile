@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check test build vet bench
+
+# Tier-1 gate: vet + build + race-detected tests (scripts/check.sh).
+check:
+	sh scripts/check.sh
+
+test:
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Worker-scaling benchmarks for the parallel inner loops.
+bench:
+	$(GO) test ./internal/detector/ -run XXX -bench BenchmarkDetectorWorkers -benchtime 1s
+	$(GO) test ./internal/pipeline/ -run XXX -bench BenchmarkRunGrid -benchtime 1x

@@ -38,6 +38,7 @@ import (
 	"anex/internal/detector"
 	"anex/internal/explain"
 	"anex/internal/metrics"
+	"anex/internal/parallel"
 	"anex/internal/pipeline"
 	"anex/internal/plot"
 	"anex/internal/stream"
@@ -208,8 +209,23 @@ func NewStreamMonitor(cfg StreamConfig) (*StreamMonitor, error) { return stream.
 
 // CachedDetector wraps a detector with a per-subspace score memo, sound
 // whenever the detector is deterministic per subspace (all three built-in
-// detectors are).
+// detectors are). The cache is safe for concurrent use and deduplicates
+// concurrent misses on one subspace singleflight-style.
 func CachedDetector(d Detector) Detector { return detector.NewCached(d) }
+
+// TimedDetector wraps a detector with a concurrency-safe accumulator of the
+// time spent inside Scores, the instrument behind the per-phase (scoring vs.
+// search) timing that pipeline results report.
+type TimedDetector = detector.Timed
+
+// NewTimedDetector wraps d with a scoring-time accumulator.
+func NewTimedDetector(d Detector) *TimedDetector { return detector.NewTimed(d) }
+
+// ResolveWorkers maps a user-facing worker knob to a concrete count: values
+// ≤ 0 select GOMAXPROCS (use every core), anything positive is returned
+// unchanged. Inner-loop Workers fields (detectors, pipelines) treat counts
+// ≤ 1 as serial, so resolve once at the boundary and pass the result down.
+func ResolveWorkers(workers int) int { return parallel.Resolve(workers) }
 
 // NewBeam returns the Beam point explainer with the paper's settings
 // (beam width 100, top-100 results, variable output dimensionality).

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	anexbench [-scale small|paper] [-seed N] [-exp all|table1|figure8|figure9|figure10|figure11|table2|ablation|conformance] [-csv dir] [-quiet]
+//	anexbench [-scale small|paper] [-seed N] [-exp all|table1|figure8|figure9|figure10|figure11|table2|ablation|conformance] [-csv dir] [-quiet] [-workers N]
 //
 // At the default small scale the full run finishes in minutes on a laptop;
 // paper scale matches the dataset shapes of the paper's Table 1 and can
@@ -35,16 +35,17 @@ func main() {
 		journal   = flag.String("journal", "", "persist completed pipeline cells to this file and resume from it (one file per scale+seed)")
 		detectors = flag.String("detectors", "", "comma-separated detector names to restrict pipelines to (LOF, FastABOD, iForest)")
 		metric    = flag.String("metric", "map", "effectiveness metric for figures 9/10: map or recall")
+		workers   = flag.Int("workers", 0, "inner-loop workers per pipeline cell (0 = GOMAXPROCS); results are identical at any count")
 	)
 	flag.Parse()
 
-	if err := run(*scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric); err != nil {
+	if err := run(*scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "anexbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdPath, journalPath, detectors, metric string) error {
+func run(scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdPath, journalPath, detectors, metric string, workers int) error {
 	scale, err := synth.ParseScale(scaleFlag)
 	if err != nil {
 		return err
@@ -88,6 +89,7 @@ func run(scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdP
 		Journal:        journal,
 		DetectorFilter: detFilter,
 		UseMeanRecall:  metric == "recall",
+		Workers:        workers,
 	})
 	if err != nil {
 		return err

@@ -8,13 +8,13 @@ import (
 )
 
 func TestRunUnknownScale(t *testing.T) {
-	if err := run("huge", 1, "table1", "", true, "", "", "", "", "map"); err == nil {
+	if err := run("huge", 1, "table1", "", true, "", "", "", "", "map", 1); err == nil {
 		t.Error("unknown scale should fail")
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("small", 1, "figure99", "", true, "", "", "", "", "map"); err == nil {
+	if err := run("small", 1, "figure99", "", true, "", "", "", "", "map", 1); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
@@ -31,7 +31,7 @@ func TestRunTable1AndCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run("small", 1, "table1", dir, true, "", "", "", "", "map")
+	runErr := run("small", 1, "table1", dir, true, "", "", "", "", "map", 1)
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {
@@ -52,7 +52,7 @@ func TestRunTable1AndCSV(t *testing.T) {
 		t.Errorf("CSV malformed: %s", data)
 	}
 	// figure8 shares the session-generation path.
-	if err := run("small", 1, "figure8", "", true, "", "", "", "", "map"); err != nil {
+	if err := run("small", 1, "figure8", "", true, "", "", "", "", "map", 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -69,7 +69,7 @@ func TestRunDatasetFilter(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run("small", 1, "table1", "", true, "hics-8d", "", "", "", "map")
+	runErr := run("small", 1, "table1", "", true, "hics-8d", "", "", "", "map", 1)
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {
@@ -81,7 +81,7 @@ func TestRunDatasetFilter(t *testing.T) {
 	if !strings.Contains(text, "hics-8d") || strings.Contains(text, "hics-12d") {
 		t.Errorf("filter not applied:\n%s", text)
 	}
-	if err := run("small", 1, "table1", "", true, "no-such-dataset", "", "", "", "map"); err == nil {
+	if err := run("small", 1, "table1", "", true, "no-such-dataset", "", "", "", "map", 1); err == nil {
 		t.Error("unmatched filter should fail")
 	}
 }
@@ -98,7 +98,7 @@ func TestRunMarkdownReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run("small", 1, "table1", "", true, "hics-8d", mdPath, "", "", "map")
+	runErr := run("small", 1, "table1", "", true, "hics-8d", mdPath, "", "", "map", 1)
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {

@@ -81,19 +81,20 @@ func run(dataPath, gtPath, dimsArg string, seed int64, workers, topK int) error 
 		Cached:      true,
 		Workers:     workers,
 	})
-	fmt.Printf("%-4s %-10s %-9s %8s %8s %12s\n", "dim", "explainer", "detector", "MAP", "recall", "runtime")
-	fmt.Println(strings.Repeat("-", 56))
+	fmt.Printf("%-4s %-10s %-9s %8s %8s %12s %12s %12s\n", "dim", "explainer", "detector", "MAP", "recall", "runtime", "scoring", "search")
+	fmt.Println(strings.Repeat("-", 82))
 	for _, r := range results {
 		if r.Err != nil {
-			fmt.Printf("%-4d %-10s %-9s %8s %8s %12s  (%v)\n", r.TargetDim, r.Explainer, r.Detector, "err", "err", "-", r.Err)
+			fmt.Printf("%-4d %-10s %-9s %8s %8s %12s %12s %12s  (%v)\n", r.TargetDim, r.Explainer, r.Detector, "err", "err", "-", "-", "-", r.Err)
 			continue
 		}
 		if r.PointsEvaluated == 0 {
-			fmt.Printf("%-4d %-10s %-9s %8s %8s %12s\n", r.TargetDim, r.Explainer, r.Detector, "-", "-", "-")
+			fmt.Printf("%-4d %-10s %-9s %8s %8s %12s %12s %12s\n", r.TargetDim, r.Explainer, r.Detector, "-", "-", "-", "-", "-")
 			continue
 		}
-		fmt.Printf("%-4d %-10s %-9s %8.3f %8.3f %12s\n",
-			r.TargetDim, r.Explainer, r.Detector, r.MAP, r.MeanRecall, r.Duration.Round(time.Millisecond))
+		fmt.Printf("%-4d %-10s %-9s %8.3f %8.3f %12s %12s %12s\n",
+			r.TargetDim, r.Explainer, r.Detector, r.MAP, r.MeanRecall,
+			r.Duration.Round(time.Millisecond), r.ScoringTime.Round(time.Millisecond), r.SearchTime.Round(time.Millisecond))
 	}
 	fmt.Printf("\ntotal %s over %d pipeline cells\n", time.Since(start).Round(time.Millisecond), len(results))
 	return nil

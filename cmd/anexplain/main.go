@@ -6,6 +6,7 @@
 //
 //	anexplain -data data.csv -points 17,42 [-algo beam|refout|lookout|hics]
 //	          [-detector lof|abod|iforest] [-dim 2] [-top 5] [-seed N]
+//	          [-workers N]
 //
 // Point algorithms (beam, refout) explain each point individually; summary
 // algorithms (lookout, hics) produce one ranked list jointly covering all
@@ -32,16 +33,17 @@ func main() {
 		top      = flag.Int("top", 5, "number of subspaces to print")
 		seed     = flag.Int64("seed", 1, "random seed for stochastic algorithms")
 		plot     = flag.Bool("plot", false, "render the top explaining subspace of each point as a terminal scatter plot (2d explanations only)")
+		workers  = flag.Int("workers", 0, "detector scoring workers (0 = GOMAXPROCS); results are identical at any count")
 	)
 	flag.Parse()
 
-	if err := run(*dataPath, *points, *algo, *detName, *dim, *top, *seed, *plot); err != nil {
+	if err := run(*dataPath, *points, *algo, *detName, *dim, *top, *seed, *plot, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "anexplain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, pointsArg, algo, detName string, dim, top int, seed int64, plotTop bool) error {
+func run(dataPath, pointsArg, algo, detName string, dim, top int, seed int64, plotTop bool, workers int) error {
 	if dataPath == "" {
 		return fmt.Errorf("missing -data")
 	}
@@ -61,14 +63,15 @@ func run(dataPath, pointsArg, algo, detName string, dim, top int, seed int64, pl
 		points = append(points, p)
 	}
 
+	w := anex.ResolveWorkers(workers)
 	var det anex.Detector
 	switch detName {
 	case "lof":
-		det = anex.NewLOF(0)
+		det = &anex.LOF{Workers: w}
 	case "abod":
-		det = anex.NewFastABOD(0)
+		det = &anex.FastABOD{Workers: w}
 	case "iforest":
-		det = anex.NewIsolationForest(seed)
+		det = &anex.IsolationForest{Seed: seed, Workers: w}
 	default:
 		return fmt.Errorf("unknown detector %q (want lof, abod or iforest)", detName)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"anex/internal/dataset"
 	"anex/internal/neighbors"
+	"anex/internal/parallel"
 )
 
 // DefaultABODK is the neighbourhood size used throughout the paper's
@@ -22,6 +23,10 @@ const DefaultABODK = 10
 type FastABOD struct {
 	// K is the neighbourhood size; zero means DefaultABODK.
 	K int
+	// Workers bounds the goroutines of the per-point kNN and angle-spectrum
+	// phases; values ≤ 1 (including the zero value) keep scoring serial.
+	// Results are identical at any worker count.
+	Workers int
 }
 
 // NewFastABOD returns a Fast ABOD detector with neighbourhood size k
@@ -53,12 +58,20 @@ func (a *FastABOD) Scores(v *dataset.View) []float64 {
 		return scores
 	}
 	ix := neighbors.NewIndex(v.Points())
-	nnIdx, _ := neighbors.AllKNN(ix, k)
+	nnIdx, _ := neighbors.AllKNNParallel(ix, k, a.Workers)
 
 	dim := v.Dim()
-	da := make([]float64, dim)
-	db := make([]float64, dim)
-	for i := 0; i < n; i++ {
+	// One pair of difference-vector scratch buffers per worker shard: the
+	// O(k²) angle accumulation per point is independent across points.
+	shards := parallel.ShardCount(a.Workers, n)
+	scratchA := make([][]float64, shards)
+	scratchB := make([][]float64, shards)
+	for s := range scratchA {
+		scratchA[s] = make([]float64, dim)
+		scratchB[s] = make([]float64, dim)
+	}
+	parallel.ForEachShard(a.Workers, n, func(shard, i int) {
+		da, db := scratchA[shard], scratchB[shard]
 		p := v.Point(i)
 		nbrs := nnIdx[i]
 		// Welford accumulation of the weighted angle statistic
@@ -97,11 +110,11 @@ func (a *FastABOD) Scores(v *dataset.View) []float64 {
 		if count < 2 {
 			// Point duplicated k times over: treat as maximally inlying.
 			scores[i] = math.Inf(-1)
-			continue
+			return
 		}
 		abof := m2 / float64(count) // population variance of the spectrum
 		scores[i] = -abof
-	}
+	})
 	// Replace the -Inf sentinels with the minimum finite score so that
 	// downstream statistics stay finite.
 	minFinite := math.Inf(1)

@@ -1,0 +1,196 @@
+package detector
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anex/internal/dataset"
+)
+
+// gatedDetector blocks every Scores call on a gate channel and counts how
+// many times the inner computation actually ran — the probe for the
+// cache's singleflight deduplication.
+type gatedDetector struct {
+	gate   chan struct{}
+	inner  atomic.Int32
+	scores []float64
+}
+
+func (g *gatedDetector) Name() string { return "gated" }
+
+func (g *gatedDetector) Scores(v *dataset.View) []float64 {
+	g.inner.Add(1)
+	<-g.gate
+	return g.scores
+}
+
+func smallView(t testing.TB, seed int64) *dataset.View {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]float64, 3)
+	for f := range cols {
+		cols[f] = make([]float64, 50)
+		for i := range cols[f] {
+			cols[f][i] = rng.NormFloat64()
+		}
+	}
+	ds, err := dataset.New("concurrency-test", cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.FullView()
+}
+
+// TestCachedSingleflight asserts the concurrent-miss contract: N goroutines
+// racing on one uncomputed key trigger exactly 1 inner computation, and the
+// N−1 waiters count as hits — not as misses that silently duplicate work.
+func TestCachedSingleflight(t *testing.T) {
+	view := smallView(t, 1)
+	inner := &gatedDetector{gate: make(chan struct{}), scores: []float64{1, 2, 3}}
+	c := NewCached(inner)
+
+	const n = 16
+	results := make([][]float64, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Scores(view)
+		}(i)
+	}
+	// Wait until all n goroutines have entered Scores (each increments the
+	// call counter under the cache mutex before computing or waiting), then
+	// release the gate so the single leader can finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if calls, _ := c.Stats(); calls == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for concurrent callers to enter Scores")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(inner.gate)
+	wg.Wait()
+
+	if got := inner.inner.Load(); got != 1 {
+		t.Errorf("inner Scores ran %d times for one key, want exactly 1", got)
+	}
+	calls, hits := c.Stats()
+	if calls != n || hits != n-1 {
+		t.Errorf("stats = (%d calls, %d hits), want (%d, %d)", calls, hits, n, n-1)
+	}
+	for i, r := range results {
+		if len(r) != 3 || r[0] != 1 || r[1] != 2 || r[2] != 3 {
+			t.Fatalf("caller %d got scores %v", i, r)
+		}
+	}
+	// A subsequent call is a plain memo hit.
+	if s := c.Scores(view); len(s) != 3 {
+		t.Errorf("post-flight hit returned %v", s)
+	}
+	if calls, hits := c.Stats(); calls != n+1 || hits != n {
+		t.Errorf("post-flight stats = (%d, %d), want (%d, %d)", calls, hits, n+1, n)
+	}
+}
+
+// TestCachedConcurrentDistinctKeys checks that singleflight dedup keys per
+// subspace: different keys compute independently and concurrently.
+func TestCachedConcurrentDistinctKeys(t *testing.T) {
+	viewA := smallView(t, 1)
+	rng := rand.New(rand.NewSource(2))
+	cols := make([][]float64, 3)
+	for f := range cols {
+		cols[f] = make([]float64, 50)
+		for i := range cols[f] {
+			cols[f][i] = rng.NormFloat64()
+		}
+	}
+	dsB, err := dataset.New("concurrency-test-b", cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewB := dsB.FullView()
+
+	inner := &gatedDetector{gate: make(chan struct{}), scores: []float64{9}}
+	c := NewCached(inner)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); c.Scores(viewA) }()
+	go func() { defer wg.Done(); c.Scores(viewB) }()
+	// Both keys must reach the inner detector: two leaders, no cross-key
+	// blocking. Only then release them.
+	deadline := time.Now().Add(10 * time.Second)
+	for inner.inner.Load() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("distinct keys did not compute concurrently")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(inner.gate)
+	wg.Wait()
+	if calls, hits := c.Stats(); calls != 2 || hits != 0 {
+		t.Errorf("stats = (%d, %d), want (2, 0)", calls, hits)
+	}
+}
+
+// TestDetectorWorkerCountInvariance asserts the determinism contract of the
+// parallel inner loops: every detector returns bit-identical scores at any
+// worker count.
+func TestDetectorWorkerCountInvariance(t *testing.T) {
+	view := smallView(t, 3)
+	t.Run("iForest", func(t *testing.T) {
+		serial := (&IsolationForest{Trees: 20, Subsample: 32, Repetitions: 3, Seed: 7}).Scores(view)
+		for _, w := range []int{2, 8} {
+			par := (&IsolationForest{Trees: 20, Subsample: 32, Repetitions: 3, Seed: 7, Workers: w}).Scores(view)
+			for i := range serial {
+				if par[i] != serial[i] {
+					t.Fatalf("workers=%d: score[%d] = %v, serial %v", w, i, par[i], serial[i])
+				}
+			}
+		}
+	})
+	t.Run("LOF", func(t *testing.T) {
+		serial := NewLOF(5).Scores(view)
+		par := (&LOF{K: 5, Workers: 8}).Scores(view)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("score[%d] = %v, serial %v", i, par[i], serial[i])
+			}
+		}
+	})
+	t.Run("FastABOD", func(t *testing.T) {
+		serial := NewFastABOD(5).Scores(view)
+		par := (&FastABOD{K: 5, Workers: 8}).Scores(view)
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("score[%d] = %v, serial %v", i, par[i], serial[i])
+			}
+		}
+	})
+}
+
+// TestTimedDetector checks the scoring-time accumulator used for per-phase
+// pipeline timing.
+func TestTimedDetector(t *testing.T) {
+	view := smallView(t, 4)
+	td := NewTimed(NewLOF(5))
+	if td.Name() != "LOF" {
+		t.Errorf("name %q", td.Name())
+	}
+	if td.Elapsed() != 0 || td.Calls() != 0 {
+		t.Error("fresh timer not zero")
+	}
+	s := td.Scores(view)
+	if len(s) != view.N() {
+		t.Fatalf("scores len %d", len(s))
+	}
+	if td.Elapsed() <= 0 || td.Calls() != 1 {
+		t.Errorf("after one call: elapsed %v, calls %d", td.Elapsed(), td.Calls())
+	}
+}

@@ -19,20 +19,36 @@ import (
 // Cached wraps a detector with a subspace-keyed memo. Pipelines score the
 // same subspaces repeatedly — e.g. Beam and LookOut both score every 2d
 // subspace of a dataset — so the cache collapses that duplicated work. It is
-// safe for concurrent use.
+// safe for concurrent use, and concurrent misses on the same key are
+// deduplicated singleflight-style: one caller computes while the others
+// wait for its result, so a subspace is never scored twice no matter how
+// many pipeline workers race on it.
 type Cached struct {
 	inner core.Detector
 
-	mu    sync.Mutex
-	memo  map[string][]float64
-	hits  int
-	calls int
+	mu       sync.Mutex
+	memo     map[string][]float64
+	inflight map[string]*inflightCall
+	hits     int
+	calls    int
+}
+
+// inflightCall is one in-progress inner computation that concurrent callers
+// of the same key wait on.
+type inflightCall struct {
+	done   chan struct{}
+	scores []float64
+	ok     bool // false if the leader's inner.Scores panicked
 }
 
 // NewCached wraps d with a score memo keyed by (dataset name, subspace);
 // datasets scored through one cache must therefore carry distinct names.
 func NewCached(d core.Detector) *Cached {
-	return &Cached{inner: d, memo: make(map[string][]float64)}
+	return &Cached{
+		inner:    d,
+		memo:     make(map[string][]float64),
+		inflight: make(map[string]*inflightCall),
+	}
 }
 
 // Name returns the wrapped detector's name.
@@ -40,6 +56,9 @@ func (c *Cached) Name() string { return c.inner.Name() }
 
 // Scores returns memoised scores for the view's subspace, computing them on
 // first access. The returned slice is shared; callers must not mutate it.
+// When several goroutines miss on the same key simultaneously, exactly one
+// runs the inner detector and the rest block until it finishes — a waiter
+// counts as a hit, since it triggers no inner work.
 func (c *Cached) Scores(v *dataset.View) []float64 {
 	key := v.Dataset().Name() + "|" + v.Subspace().Key()
 	c.mu.Lock()
@@ -49,22 +68,47 @@ func (c *Cached) Scores(v *dataset.View) []float64 {
 		c.mu.Unlock()
 		return s
 	}
+	if call, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-call.done
+		if !call.ok {
+			panic(fmt.Sprintf("detector: concurrent %s computation for %q panicked in its leader", c.inner.Name(), key))
+		}
+		return call.scores
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	c.inflight[key] = call
 	c.mu.Unlock()
-	s := c.inner.Scores(v)
-	c.mu.Lock()
-	c.memo[key] = s
-	c.mu.Unlock()
-	return s
+
+	// The leader computes outside the lock. The deferred cleanup releases
+	// waiters even if the inner detector panics (a contract violation),
+	// so no goroutine is left blocked.
+	defer func() {
+		c.mu.Lock()
+		if call.ok {
+			c.memo[key] = call.scores
+		}
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(call.done)
+	}()
+	call.scores = c.inner.Scores(v)
+	call.ok = true
+	return call.scores
 }
 
-// Stats returns cache calls and hits since construction.
+// Stats returns cache calls and hits since construction. A call that waited
+// on another goroutine's in-flight computation counts as a hit: N
+// concurrent first accesses to one key yield 1 inner call and N−1 hits.
 func (c *Cached) Stats() (calls, hits int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.calls, c.hits
 }
 
-// Reset drops all memoised scores.
+// Reset drops all memoised scores. Computations in flight at reset time
+// complete and publish into the fresh memo.
 func (c *Cached) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"anex/internal/dataset"
+	"anex/internal/parallel"
 )
 
 // Isolation Forest hyper-parameters used throughout the paper's experiments
@@ -34,6 +35,12 @@ type IsolationForest struct {
 	// derives its own stream from it, so scores are reproducible
 	// regardless of evaluation order.
 	Seed int64
+	// Workers bounds the goroutines of the per-point path-length scoring
+	// loop (the tree traversals that dominate forest cost); values ≤ 1
+	// (including the zero value) keep scoring serial. Forest construction
+	// stays sequential so the RNG stream — and therefore every score — is
+	// bit-identical at any worker count.
+	Workers int
 }
 
 // NewIsolationForest returns an Isolation Forest with the paper's settings
@@ -84,14 +91,17 @@ func (f *IsolationForest) Scores(v *dataset.View) []float64 {
 		rng := rand.New(rand.NewSource(base + int64(r)*int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)))
 		forest := buildForest(v, f.trees(), psi, rng)
 		c := averagePathLength(float64(psi))
-		for i := 0; i < n; i++ {
+		// Each point's traversal of the (now immutable) forest is
+		// independent and accumulates into its own slot, in the same
+		// repetition order as the serial loop — bit-identical output.
+		parallel.ForEach(f.Workers, n, func(i int) {
 			var sum float64
 			for _, t := range forest {
 				sum += t.pathLength(v.Point(i))
 			}
 			e := sum / float64(len(forest))
 			scores[i] += math.Pow(2, -e/c)
-		}
+		})
 	}
 	for i := range scores {
 		scores[i] /= float64(reps)

@@ -15,6 +15,10 @@ const DefaultLOFK = 15
 type LOF struct {
 	// K is the neighbourhood size; zero means DefaultLOFK.
 	K int
+	// Workers bounds the goroutines of the per-point kNN phase; values ≤ 1
+	// (including the zero value) keep scoring serial. Results are identical
+	// at any worker count.
+	Workers int
 }
 
 // NewLOF returns a LOF detector with neighbourhood size k (0 → default 15).
@@ -47,7 +51,7 @@ func (l *LOF) Scores(v *dataset.View) []float64 {
 		return []float64{1}
 	}
 	ix := neighbors.NewIndex(v.Points())
-	nnIdx, nnDist := neighbors.AllKNN(ix, k)
+	nnIdx, nnDist := neighbors.AllKNNParallel(ix, k, l.Workers)
 
 	// k-distance of each point = distance to its k-th nearest neighbour.
 	kdist := make([]float64, n)

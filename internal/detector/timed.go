@@ -1,0 +1,47 @@
+package detector
+
+import (
+	"sync/atomic"
+	"time"
+
+	"anex/internal/core"
+	"anex/internal/dataset"
+)
+
+// Timed wraps a detector and accumulates the wall-clock time spent inside
+// Scores, so pipelines can split their runtime into detector scoring versus
+// subspace search. It is safe for concurrent use; when Scores runs on
+// several workers at once the accumulated time is the sum across workers
+// (CPU-time semantics), which can exceed the enclosing wall-clock span —
+// exactly the signal that the scoring phase parallelised.
+//
+// Layer it outside a Cached detector to measure what a pipeline actually
+// waits for (cache hits cost ~nothing), or inside to measure raw compute.
+type Timed struct {
+	inner core.Detector
+	nanos atomic.Int64
+	calls atomic.Int64
+}
+
+// NewTimed wraps d with a scoring-time accumulator.
+func NewTimed(d core.Detector) *Timed { return &Timed{inner: d} }
+
+// Name returns the wrapped detector's name.
+func (t *Timed) Name() string { return t.inner.Name() }
+
+// Scores delegates to the wrapped detector, accumulating elapsed time.
+func (t *Timed) Scores(v *dataset.View) []float64 {
+	start := time.Now()
+	s := t.inner.Scores(v)
+	t.nanos.Add(int64(time.Since(start)))
+	t.calls.Add(1)
+	return s
+}
+
+// Elapsed returns the total time spent in Scores since construction.
+func (t *Timed) Elapsed() time.Duration { return time.Duration(t.nanos.Load()) }
+
+// Calls returns the number of completed Scores invocations.
+func (t *Timed) Calls() int64 { return t.calls.Load() }
+
+var _ core.Detector = (*Timed)(nil)

@@ -7,6 +7,7 @@ import (
 	"anex/internal/core"
 	"anex/internal/dataset"
 	"anex/internal/detector"
+	"anex/internal/parallel"
 	"anex/internal/pipeline"
 	"anex/internal/subspace"
 	"anex/internal/synth"
@@ -38,6 +39,12 @@ type Config struct {
 	// UseMeanRecall renders Figures 9/10 with the paper's Mean Recall
 	// metric instead of MAP (both are computed either way).
 	UseMeanRecall bool
+	// Workers bounds each pipeline cell's inner loops (per explained
+	// point, per ranked summary subspace); zero means GOMAXPROCS. Cells
+	// themselves run serially so the journal stays append-ordered; the
+	// parallelism lives inside each cell, where results are identical at
+	// any worker count.
+	Workers int
 }
 
 func (c *Config) wantDetector(name string) bool {
@@ -89,10 +96,13 @@ func (c *Config) logf(format string, args ...any) {
 }
 
 // options returns the explainer hyper-parameters for the scale: the paper's
-// settings at paper scale, proportionally reduced ones at small scale.
+// settings at paper scale, proportionally reduced ones at small scale. The
+// session's worker knob rides along so every pipeline built from these
+// options parallelises its inner loops.
 func (c *Config) options() pipeline.Options {
+	workers := parallel.Resolve(c.Workers)
 	if c.Scale == synth.ScalePaper {
-		return pipeline.Options{} // paper defaults throughout
+		return pipeline.Options{Workers: workers} // paper defaults throughout
 	}
 	return pipeline.Options{
 		BeamWidth:      30,
@@ -102,6 +112,7 @@ func (c *Config) options() pipeline.Options {
 		HiCSCutoff:     100,
 		HiCSIterations: 40,
 		TopK:           30,
+		Workers:        workers,
 	}
 }
 
@@ -338,7 +349,9 @@ func (s *Session) TimingResults() (point, summary []pipeline.Result) {
 					td, pp, dim, gt := td, pp, dim, gt
 					res := s.Cfg.runCell("timing-point", resultKey{td.Dataset.Name(), d.Name, pp.Explainer.Name(), dim}, func() pipeline.Result {
 						res := pipeline.RunPointExplanation(td.Dataset, gt, pp, dim)
-						s.Cfg.logf("fig11 %-18s %dd %-9s %-8s %s", res.Dataset, dim, res.Detector, res.Explainer, res.Duration.Round(1e6))
+						s.Cfg.logf("fig11 %-18s %dd %-9s %-8s %s (score %s | search %s)",
+							res.Dataset, dim, res.Detector, res.Explainer, res.Duration.Round(1e6),
+							res.ScoringTime.Round(1e6), res.SearchTime.Round(1e6))
 						return res
 					})
 					s.timingPoint = append(s.timingPoint, res)
@@ -351,7 +364,9 @@ func (s *Session) TimingResults() (point, summary []pipeline.Result) {
 					td, sp, dim, gt := td, sp, dim, gt
 					res := s.Cfg.runCell("timing-summary", resultKey{td.Dataset.Name(), d.Name, sp.Summarizer.Name(), dim}, func() pipeline.Result {
 						res := pipeline.RunSummarization(td.Dataset, gt, sp, dim)
-						s.Cfg.logf("fig11 %-18s %dd %-9s %-8s %s", res.Dataset, dim, res.Detector, res.Explainer, res.Duration.Round(1e6))
+						s.Cfg.logf("fig11 %-18s %dd %-9s %-8s %s (score %s | search %s)",
+							res.Dataset, dim, res.Detector, res.Explainer, res.Duration.Round(1e6),
+							res.ScoringTime.Round(1e6), res.SearchTime.Round(1e6))
 						return res
 					})
 					s.timingSummary = append(s.timingSummary, res)

@@ -5,7 +5,11 @@
 // thousands. NewIndex picks between them automatically.
 package neighbors
 
-import "fmt"
+import (
+	"fmt"
+
+	"anex/internal/parallel"
+)
 
 // Index answers k-nearest-neighbour queries over a fixed point set.
 type Index interface {
@@ -41,12 +45,20 @@ func NewIndex(points [][]float64) Index {
 // their distances. This is the access pattern of LOF and FastABOD, which
 // need the complete neighbourhood structure.
 func AllKNN(ix Index, k int) (idx [][]int, dist [][]float64) {
+	return AllKNNParallel(ix, k, 1)
+}
+
+// AllKNNParallel is AllKNN with the independent per-point queries
+// distributed over the given number of workers (≤ 1 → serial). Both index
+// implementations are read-only during queries, and every query writes only
+// its own slot, so results are identical at any worker count.
+func AllKNNParallel(ix Index, k, workers int) (idx [][]int, dist [][]float64) {
 	n := ix.Len()
 	idx = make([][]int, n)
 	dist = make([][]float64, n)
-	for i := 0; i < n; i++ {
+	parallel.ForEach(workers, n, func(i int) {
 		idx[i], dist[i] = ix.KNNOf(i, k)
-	}
+	})
 	return idx, dist
 }
 

@@ -1,0 +1,110 @@
+// Package parallel is the shared bounded-worker substrate behind every
+// concurrent loop in the library: grid cells, per-point explanation,
+// per-subspace ranking, and per-point detector scoring all fan out through
+// it. The contract is determinism by construction — work is identified by
+// index, each index is processed exactly once, and callers write only to
+// their own index's slot — so results are bit-identical at any worker
+// count. The worker knob itself follows one convention everywhere: values
+// ≤ 1 run inline (serial, the zero value's behaviour), larger values bound
+// the goroutine count. Resolve translates the user-facing CLI convention
+// (0 = all cores) into a concrete count at the boundary.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a user-facing worker knob to a concrete count: values ≤ 0
+// select GOMAXPROCS (use every core), anything positive is returned
+// unchanged. CLIs and specs resolve once at the boundary and pass explicit
+// counts down, so inner loops never consult the environment themselves.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ShardCount returns the number of distinct shard ids ForEachShard will use
+// for the given knob and problem size: min(workers, n), at least 1. Callers
+// allocating per-shard scratch size their slice with it.
+func ShardCount(workers, n int) int {
+	if workers < 1 || n < 1 {
+		return 1
+	}
+	if workers > n {
+		return n
+	}
+	return workers
+}
+
+// ForEach invokes fn(i) for every i in [0, n) exactly once. With workers
+// ≤ 1 the loop runs inline in index order; with more, indices are
+// distributed dynamically across min(workers, n) goroutines and ForEach
+// returns after all complete. fn must be safe for concurrent invocation on
+// distinct indices; writing only to slot i of pre-sized output slices keeps
+// results identical at any worker count.
+func ForEach(workers, n int, fn func(i int)) {
+	ForEachShard(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachShard is ForEach with a stable shard id (0 ≤ shard <
+// ShardCount(workers, n)) passed alongside each index, so callers can reuse
+// per-worker scratch buffers without synchronisation. Serial execution uses
+// shard 0 throughout.
+func ForEachShard(workers, n int, fn func(shard, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := ShardCount(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	// Dynamic (counter-based) distribution: uneven per-index costs — a hard
+	// grid cell next to a trivial one, say — balance automatically, and the
+	// atomic add is negligible against any fn worth parallelising.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for s := 0; s < w; s++ {
+		go func(shard int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(shard, i)
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Split divides a total worker budget between an outer loop of outerN
+// independent tasks and the inner loops each task runs: the outer level
+// gets min(budget, outerN) workers and each inner loop gets an equal share
+// of what remains, so the product never exceeds the budget. This is how
+// RunGrid keeps "cells × points" parallelism bounded by one knob.
+func Split(budget, outerN int) (outer, inner int) {
+	if budget < 1 {
+		budget = 1
+	}
+	if outerN < 1 {
+		return 1, budget
+	}
+	outer = budget
+	if outer > outerN {
+		outer = outerN
+	}
+	inner = budget / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
+}

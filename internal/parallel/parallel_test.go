@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 153
+		counts := make([]atomic.Int32, n)
+		ForEach(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(int) { called = true })
+	ForEach(4, -3, func(int) { called = true })
+	if called {
+		t.Error("fn invoked for empty range")
+	}
+}
+
+func TestForEachSerialRunsInOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestForEachShardIDsWithinRange(t *testing.T) {
+	workers, n := 4, 100
+	maxShard := ShardCount(workers, n)
+	var bad atomic.Int32
+	ForEachShard(workers, n, func(shard, i int) {
+		if shard < 0 || shard >= maxShard {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d indices saw out-of-range shard ids", bad.Load())
+	}
+}
+
+func TestForEachShardScratchIsolation(t *testing.T) {
+	// Each shard accumulates into its own slot; the total must be exact,
+	// proving no two goroutines share a shard id concurrently.
+	workers, n := 8, 10_000
+	sums := make([]int64, ShardCount(workers, n))
+	ForEachShard(workers, n, func(shard, i int) { sums[shard] += int64(i) })
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	if want := int64(n) * int64(n-1) / 2; total != want {
+		t.Errorf("sharded sum %d, want %d", total, want)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d", got)
+	}
+	if got := Resolve(-1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-1) = %d", got)
+	}
+	if got := Resolve(5); got != 5 {
+		t.Errorf("Resolve(5) = %d", got)
+	}
+}
+
+func TestShardCount(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{0, 10, 1}, {1, 10, 1}, {4, 10, 4}, {16, 3, 3}, {4, 0, 1}, {-2, 5, 1},
+	}
+	for _, c := range cases {
+		if got := ShardCount(c.workers, c.n); got != c.want {
+			t.Errorf("ShardCount(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cases := []struct{ budget, outerN, outer, inner int }{
+		{8, 12, 8, 1},  // more cells than budget: all budget outer, serial inner
+		{8, 2, 2, 4},   // few cells: leftover budget feeds the inner loops
+		{1, 5, 1, 1},   // serial budget stays serial at both levels
+		{6, 4, 4, 1},   // non-divisible budgets round down (product ≤ budget)
+		{0, 3, 1, 1},   // degenerate budget clamps to serial
+		{4, 0, 1, 4},   // no outer tasks: everything goes inner
+	}
+	for _, c := range cases {
+		outer, inner := Split(c.budget, c.outerN)
+		if outer != c.outer || inner != c.inner {
+			t.Errorf("Split(%d, %d) = (%d, %d), want (%d, %d)",
+				c.budget, c.outerN, outer, inner, c.outer, c.inner)
+		}
+		if c.budget >= 1 && c.outerN >= 1 && outer*inner > c.budget {
+			t.Errorf("Split(%d, %d) exceeds budget: %d×%d", c.budget, c.outerN, outer, inner)
+		}
+	}
+}
+
+func BenchmarkForEachOverhead(b *testing.B) {
+	var sink atomic.Int64
+	for _, workers := range []int{1, 4} {
+		name := map[int]string{1: "serial", 4: "workers4"}[workers]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ForEach(workers, 1024, func(j int) { sink.Add(int64(j)) })
+			}
+		})
+	}
+}

@@ -1,0 +1,40 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"anex/internal/synth"
+)
+
+// BenchmarkRunGrid measures the full grid at several total worker budgets.
+// Cell results are byte-identical at every budget (the grid orders output
+// by cell index and every inner loop is index-deterministic); on a
+// multi-core machine workers=4 should be ≥2× faster than workers=1.
+func BenchmarkRunGrid(b *testing.B) {
+	ds, gt, err := synth.GenerateSubspaceOutliers(synth.SubspaceConfig{
+		Name:                "grid-bench",
+		TotalDims:           8,
+		SubspaceDims:        []int{2, 2},
+		N:                   300,
+		OutliersPerSubspace: 4,
+		Seed:                1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{BeamWidth: 10, RefOutPoolSize: 30, RefOutWidth: 10, LookOutBudget: 10, HiCSCutoff: 30, HiCSIterations: 20, TopK: 10}
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := RunGrid(GridSpec{
+					Dataset: ds, GroundTruth: gt, Dims: []int{2}, Seed: 1,
+					Options: opts, Cached: true, Workers: w,
+				})
+				if len(res) == 0 {
+					b.Fatal("empty grid result")
+				}
+			}
+		})
+	}
+}

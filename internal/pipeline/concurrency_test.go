@@ -1,0 +1,223 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"anex/internal/core"
+	"anex/internal/dataset"
+	"anex/internal/detector"
+	"anex/internal/explain"
+)
+
+// failAtPoints explains every point with a fixed trivial list except the
+// designated points, which error — the probe for the partial-failure path.
+type failAtPoints struct {
+	fail map[int]bool
+}
+
+func (f failAtPoints) Name() string { return "fail-at" }
+
+func (f failAtPoints) ExplainPoint(ds *dataset.Dataset, p, targetDim int) ([]core.ScoredSubspace, error) {
+	if f.fail[p] {
+		return nil, fmt.Errorf("planted failure for point %d", p)
+	}
+	return []core.ScoredSubspace{{Subspace: ds.FullView().Subspace()[:targetDim], Score: 1}}, nil
+}
+
+// TestRunPointExplanationErrorKeepsPartialResults covers the error-path
+// regression: a mid-run explainer failure must still record the wall-clock
+// Duration and keep the per-point evaluations that did complete.
+func TestRunPointExplanationErrorKeepsPartialResults(t *testing.T) {
+	ds, gt := testbed(t, 7)
+	points := gt.PointsExplainedAt(2)
+	if len(points) < 3 {
+		t.Fatalf("testbed too small: %d points", len(points))
+	}
+	victim := points[1]
+	pp := PointPipeline{Detector: "LOF", Explainer: failAtPoints{fail: map[int]bool{victim: true}}}
+	res := RunPointExplanation(ds, gt, pp, 2)
+	if res.Err == nil || !strings.Contains(res.Err.Error(), fmt.Sprintf("point %d", victim)) {
+		t.Fatalf("expected error naming point %d, got %v", victim, res.Err)
+	}
+	if res.Duration <= 0 {
+		t.Error("Duration not recorded on the error path")
+	}
+	if want := len(points) - 1; len(res.PerPoint) != want {
+		t.Errorf("PerPoint kept %d results, want the %d completed points", len(res.PerPoint), want)
+	}
+	for _, pr := range res.PerPoint {
+		if pr.Point == victim {
+			t.Errorf("failed point %d must not be evaluated", victim)
+		}
+	}
+}
+
+// TestRunPointExplanationErrorIsFirstByIndex pins the deterministic error
+// choice: with several failing points, Err names the first in point order
+// at any worker count.
+func TestRunPointExplanationErrorIsFirstByIndex(t *testing.T) {
+	ds, gt := testbed(t, 8)
+	points := gt.PointsExplainedAt(2)
+	fail := map[int]bool{points[2]: true, points[len(points)-1]: true}
+	for _, workers := range []int{1, 8} {
+		pp := PointPipeline{Detector: "LOF", Explainer: failAtPoints{fail: fail}, Workers: workers}
+		res := RunPointExplanation(ds, gt, pp, 2)
+		if res.Err == nil || !strings.Contains(res.Err.Error(), fmt.Sprintf("point %d", points[2])) {
+			t.Errorf("workers=%d: want first failing point %d, got %v", workers, points[2], res.Err)
+		}
+	}
+}
+
+// TestRunPointExplanationAllFailKeepsZeroMetrics preserves the original
+// contract when nothing completes.
+func TestRunPointExplanationAllFailKeepsZeroMetrics(t *testing.T) {
+	ds, gt := testbed(t, 9)
+	fail := map[int]bool{}
+	for _, p := range gt.PointsExplainedAt(2) {
+		fail[p] = true
+	}
+	res := RunPointExplanation(ds, gt, PointPipeline{Detector: "LOF", Explainer: failAtPoints{fail: fail}}, 2)
+	if res.Err == nil || len(res.PerPoint) != 0 || res.MAP != 0 || res.MeanRecall != 0 {
+		t.Errorf("all-fail run: %+v", res)
+	}
+	if res.Duration <= 0 {
+		t.Error("Duration not recorded")
+	}
+}
+
+// TestRunGridEmpty covers the empty-grid regression: no dims or no
+// detectors must return nil immediately instead of running a zero-worker
+// collect loop.
+func TestRunGridEmpty(t *testing.T) {
+	ds, gt := testbed(t, 10)
+	if res := RunGrid(GridSpec{Dataset: ds, GroundTruth: gt, Dims: nil, Seed: 1}); res != nil {
+		t.Errorf("empty Dims: got %d results, want nil", len(res))
+	}
+	if res := RunGrid(GridSpec{Dataset: ds, GroundTruth: gt, Dims: []int{2}, Seed: 1,
+		Detectors: []NamedDetector{}}); res != nil {
+		t.Errorf("empty detector set: got %d results, want nil", len(res))
+	}
+}
+
+// TestRunGridDeterminismAcrossWorkerCounts is the full determinism
+// contract: MAP, MeanRecall AND the per-point evaluation lists are
+// identical for Workers: 1 and Workers: 8 — including the inner per-point
+// parallelism that 8 buys on this small grid.
+func TestRunGridDeterminismAcrossWorkerCounts(t *testing.T) {
+	ds, gt := testbed(t, 11)
+	opts := Options{BeamWidth: 8, RefOutPoolSize: 20, RefOutWidth: 8, LookOutBudget: 8, HiCSCutoff: 20, HiCSIterations: 15, TopK: 8}
+	run := func(workers int) []Result {
+		return RunGrid(GridSpec{
+			Dataset: ds, GroundTruth: gt, Dims: []int{2}, Seed: 1,
+			Options: opts, Cached: true, Workers: workers,
+		})
+	}
+	seq := run(1)
+	par := run(8)
+	if len(seq) != len(par) || len(seq) == 0 {
+		t.Fatalf("result counts: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		if a.Detector != b.Detector || a.Explainer != b.Explainer || a.TargetDim != b.TargetDim {
+			t.Fatalf("cell %d order differs: %s/%s vs %s/%s", i, a.Detector, a.Explainer, b.Detector, b.Explainer)
+		}
+		if a.MAP != b.MAP || a.MeanRecall != b.MeanRecall || a.PointsEvaluated != b.PointsEvaluated {
+			t.Errorf("cell %d metrics differ: MAP %v vs %v, recall %v vs %v",
+				i, a.MAP, b.MAP, a.MeanRecall, b.MeanRecall)
+		}
+		if len(a.PerPoint) != len(b.PerPoint) {
+			t.Errorf("cell %d per-point lengths differ: %d vs %d", i, len(a.PerPoint), len(b.PerPoint))
+			continue
+		}
+		for j := range a.PerPoint {
+			if a.PerPoint[j] != b.PerPoint[j] {
+				t.Errorf("cell %d point %d differs: %+v vs %+v", i, j, a.PerPoint[j], b.PerPoint[j])
+			}
+		}
+	}
+}
+
+// TestRunPointExplanationPhaseTimings checks the scoring/search split wired
+// through the factory's per-pipeline timers.
+func TestRunPointExplanationPhaseTimings(t *testing.T) {
+	ds, gt := testbed(t, 12)
+	d := NamedDetector{Name: "LOF", Detector: detector.NewLOF(15)}
+	pp := PointPipelines(d, 1, Options{BeamWidth: 10, TopK: 10})[0] // Beam_FX, serial
+	res := RunPointExplanation(ds, gt, pp, 2)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.ScoringTime <= 0 {
+		t.Error("ScoringTime not recorded despite Timer")
+	}
+	if res.ScoringTime > res.Duration {
+		t.Errorf("serial run: ScoringTime %v exceeds Duration %v", res.ScoringTime, res.Duration)
+	}
+	if got := res.ScoringTime + res.SearchTime; got != res.Duration {
+		t.Errorf("serial run: scoring %v + search %v != duration %v", res.ScoringTime, res.SearchTime, res.Duration)
+	}
+	if res.EvalTime <= 0 {
+		t.Error("EvalTime not recorded")
+	}
+	// A pipeline without a Timer reports no split but still runs.
+	bare := PointPipeline{Detector: "LOF", Explainer: explain.NewBeamFX(detector.NewLOF(15))}
+	res2 := RunPointExplanation(ds, gt, bare, 2)
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	if res2.ScoringTime != 0 || res2.SearchTime != 0 {
+		t.Errorf("timer-less pipeline reported a split: %v / %v", res2.ScoringTime, res2.SearchTime)
+	}
+}
+
+// TestRunSummarizationPhaseTimings mirrors the split check for summaries.
+func TestRunSummarizationPhaseTimings(t *testing.T) {
+	ds, gt := testbed(t, 13)
+	d := NamedDetector{Name: "LOF", Detector: detector.NewCached(detector.NewLOF(15))}
+	sp := SummaryPipelines(d, 1, Options{LookOutBudget: 10, TopK: 10, Workers: 4})[0] // LookOut
+	res := RunSummarization(ds, gt, sp, 2)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.ScoringTime <= 0 {
+		t.Error("ScoringTime not recorded despite Timer")
+	}
+	if res.EvalTime <= 0 {
+		t.Error("EvalTime not recorded")
+	}
+}
+
+// TestRunSummarizationWorkerInvariance pins the parallel per-subspace
+// ranking loop: identical results at any worker count, with the shared
+// cache's singleflight dedup underneath.
+func TestRunSummarizationWorkerInvariance(t *testing.T) {
+	ds, gt := testbed(t, 14)
+	build := func(workers int) SummaryPipeline {
+		d := NamedDetector{Name: "LOF", Detector: detector.NewCached(detector.NewLOF(15))}
+		sp := SummaryPipelines(d, 1, Options{LookOutBudget: 10, TopK: 10})[0]
+		sp.Workers = workers
+		return sp
+	}
+	seq := RunSummarization(ds, gt, build(1), 2)
+	par := RunSummarization(ds, gt, build(8), 2)
+	if seq.Err != nil || par.Err != nil {
+		t.Fatal(seq.Err, par.Err)
+	}
+	if seq.MAP != par.MAP || seq.MeanRecall != par.MeanRecall {
+		t.Errorf("metrics differ across workers: MAP %v vs %v", seq.MAP, par.MAP)
+	}
+	if len(seq.PerPoint) != len(par.PerPoint) {
+		t.Fatalf("per-point lengths differ")
+	}
+	for j := range seq.PerPoint {
+		if seq.PerPoint[j] != par.PerPoint[j] {
+			t.Errorf("point %d differs: %+v vs %+v", j, seq.PerPoint[j], par.PerPoint[j])
+		}
+	}
+}
+
+var _ = errors.Is // keep errors import if assertions above change

@@ -49,6 +49,12 @@ type Options struct {
 	UseKSContrast   bool
 	RawScores       bool // ablation: disable Z-score standardisation
 	BeamVariableDim bool // ablation: plain Beam instead of Beam_FX
+
+	// Workers bounds the goroutines of each pipeline's inner loops (per
+	// explained point, per ranked summary subspace); values ≤ 1 keep them
+	// serial. Inside RunGrid this acts as an explicit override of the
+	// automatic worker-budget split.
+	Workers int
 }
 
 func (o Options) scoreFunc() explain.ScoreFunc {
@@ -60,17 +66,22 @@ func (o Options) scoreFunc() explain.ScoreFunc {
 
 // PointPipelines builds the paper's point-explanation pipelines for one
 // detector: Beam_FX and RefOut (Figure 9 evaluates the fixed-dimensionality
-// Beam variant for fairness with RefOut).
+// Beam variant for fairness with RefOut). Each pipeline wraps the detector
+// in its own scoring timer, so Result splits runtime into scoring vs.
+// search per cell even when the underlying detector (and its cache) is
+// shared across the grid.
 func PointPipelines(d NamedDetector, seed int64, o Options) []PointPipeline {
+	beamTimer := detector.NewTimed(d.Detector)
 	beam := &explain.Beam{
-		Detector: d.Detector,
+		Detector: beamTimer,
 		Width:    o.BeamWidth,
 		TopK:     o.TopK,
 		FixedDim: !o.BeamVariableDim,
 		Score:    o.scoreFunc(),
 	}
+	refoutTimer := detector.NewTimed(d.Detector)
 	refout := &explain.RefOut{
-		Detector:        d.Detector,
+		Detector:        refoutTimer,
 		PoolSize:        o.RefOutPoolSize,
 		PoolDimFraction: o.RefOutPoolFrac,
 		Width:           o.RefOutWidth,
@@ -79,8 +90,8 @@ func PointPipelines(d NamedDetector, seed int64, o Options) []PointPipeline {
 		Score:           o.scoreFunc(),
 	}
 	return []PointPipeline{
-		{Detector: d.Name, Explainer: beam},
-		{Detector: d.Name, Explainer: refout},
+		{Detector: d.Name, Explainer: beam, Workers: o.Workers, Timer: beamTimer},
+		{Detector: d.Name, Explainer: refout, Workers: o.Workers, Timer: refoutTimer},
 	}
 }
 
@@ -92,12 +103,14 @@ func SummaryPipelines(d NamedDetector, seed int64, o Options) []SummaryPipeline 
 	if o.UseKSContrast {
 		test = summarize.KSTest
 	}
+	lookoutTimer := detector.NewTimed(d.Detector)
 	lookout := &summarize.LookOut{
-		Detector: d.Detector,
+		Detector: lookoutTimer,
 		Budget:   o.LookOutBudget,
 	}
+	hicsTimer := detector.NewTimed(d.Detector)
 	hics := &summarize.HiCS{
-		Detector:        d.Detector,
+		Detector:        hicsTimer,
 		CandidateCutoff: o.HiCSCutoff,
 		MCIterations:    o.HiCSIterations,
 		Test:            test,
@@ -105,8 +118,10 @@ func SummaryPipelines(d NamedDetector, seed int64, o Options) []SummaryPipeline 
 		TopK:            o.TopK,
 		Seed:            seed,
 	}
+	// The Ranker bypasses the timer: its scoring happens in the evaluation
+	// phase, which Duration (and the scoring/search split) excludes.
 	return []SummaryPipeline{
-		{Detector: d.Name, Summarizer: lookout, Ranker: d.Detector},
-		{Detector: d.Name, Summarizer: hics, Ranker: d.Detector},
+		{Detector: d.Name, Summarizer: lookout, Ranker: d.Detector, Workers: o.Workers, Timer: lookoutTimer},
+		{Detector: d.Name, Summarizer: hics, Ranker: d.Detector, Workers: o.Workers, Timer: hicsTimer},
 	}
 }

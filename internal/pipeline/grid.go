@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"anex/internal/dataset"
+	"anex/internal/parallel"
 )
 
 // GridSpec describes a full Figure 7 grid execution: every detector paired
@@ -29,31 +30,58 @@ type GridSpec struct {
 	// The Cached flag is not applied to overridden detectors — wrap them
 	// with detector.NewCached as needed.
 	Detectors []NamedDetector
-	// Workers bounds the concurrency; zero means GOMAXPROCS. Each cell
-	// is independent, so results are identical at any worker count.
+	// Workers is the grid's total worker budget; zero means GOMAXPROCS.
+	// The budget is split between concurrent cells and each cell's inner
+	// per-point loops (see parallel.Split): with more cells than budget
+	// every worker runs whole cells serially inside; with few cells the
+	// leftover budget fans out the per-point loops instead. Each unit of
+	// work is independent and indexed, so results are identical at any
+	// worker count. An explicit Options.Workers overrides the inner share.
 	Workers int
 }
 
 // RunGrid executes the grid and returns all cell results, deterministically
-// ordered by (dimension, detector, explainer).
+// ordered by (dimension, detector, explainer). An empty grid — no Dims or
+// no detectors/pipelines — returns nil without spinning up workers.
 func RunGrid(spec GridSpec) []Result {
-	type cell struct {
-		order int
-		run   func() Result
-	}
-	var cells []cell
-	order := 0
 	// One set of detector instances per grid: with caching on, every
 	// cell sharing a detector also shares its score memo.
 	dets := spec.Detectors
 	if dets == nil {
 		dets = NewDetectors(spec.Seed, spec.Cached)
 	}
+	numCells := 0
+	for range spec.Dims {
+		for _, d := range dets {
+			numCells += len(PointPipelines(d, spec.Seed, spec.Options)) +
+				len(SummaryPipelines(d, spec.Seed, spec.Options))
+		}
+	}
+	if numCells == 0 {
+		return nil
+	}
+
+	budget := spec.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	workers, inner := parallel.Split(budget, numCells)
+	if spec.Options.Workers > 0 {
+		inner = spec.Options.Workers // explicit inner knob wins
+	}
+
+	type cell struct {
+		order int
+		run   func() Result
+	}
+	var cells []cell
+	order := 0
 	for _, dim := range spec.Dims {
 		dim := dim
 		for _, d := range dets {
 			for _, pp := range PointPipelines(d, spec.Seed, spec.Options) {
 				pp := pp
+				pp.Workers = inner
 				cells = append(cells, cell{order: order, run: func() Result {
 					return RunPointExplanation(spec.Dataset, spec.GroundTruth, pp, dim)
 				}})
@@ -61,20 +89,13 @@ func RunGrid(spec GridSpec) []Result {
 			}
 			for _, sp := range SummaryPipelines(d, spec.Seed, spec.Options) {
 				sp := sp
+				sp.Workers = inner
 				cells = append(cells, cell{order: order, run: func() Result {
 					return RunSummarization(spec.Dataset, spec.GroundTruth, sp, dim)
 				}})
 				order++
 			}
 		}
-	}
-
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cells) {
-		workers = len(cells)
 	}
 
 	type indexed struct {

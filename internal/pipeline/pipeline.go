@@ -12,7 +12,9 @@ import (
 
 	"anex/internal/core"
 	"anex/internal/dataset"
+	"anex/internal/detector"
 	"anex/internal/metrics"
+	"anex/internal/parallel"
 	"anex/internal/stats"
 	"anex/internal/subspace"
 )
@@ -30,12 +32,30 @@ type Result struct {
 	// per the ground truth.
 	PointsEvaluated int
 	// Duration is the wall-clock time of the explanation phase
-	// (excluding evaluation).
+	// (excluding evaluation). It is recorded even when Err is set, so
+	// error cells still report the time the completed points cost.
 	Duration time.Duration
-	// PerPoint holds the individual evaluations.
+	// ScoringTime is the cumulative time spent inside Detector.Scores
+	// during the explanation phase, measured through the pipeline's Timer;
+	// zero when no Timer is wired. With Workers > 1 it sums across
+	// workers (CPU-time semantics) and can exceed Duration — the signal
+	// that scoring parallelised.
+	ScoringTime time.Duration
+	// SearchTime is the subspace-search remainder of Duration
+	// (Duration − ScoringTime, clamped at zero under parallelism); zero
+	// when no Timer is wired.
+	SearchTime time.Duration
+	// EvalTime is the metric-evaluation (and, for summaries, per-point
+	// re-ranking) time, which Duration excludes.
+	EvalTime time.Duration
+	// PerPoint holds the individual evaluations. When Err is set it keeps
+	// the points whose explanations did complete, so partial work is
+	// reported rather than discarded; MAP/MeanRecall then aggregate that
+	// partial set.
 	PerPoint []metrics.PointResult
-	// Err records a pipeline that could not run (e.g. LookOut candidate
-	// explosion); its metrics are zero.
+	// Err records a pipeline that could not run to completion (e.g.
+	// LookOut candidate explosion): the first failing point's error in
+	// index order, deterministically at any worker count.
 	Err error
 }
 
@@ -44,12 +64,27 @@ type Result struct {
 type PointPipeline struct {
 	Detector  string
 	Explainer core.PointExplainer
+	// Workers bounds the goroutines of the per-point explanation loop;
+	// values ≤ 1 (including the zero value) keep it serial. Each point's
+	// explanation is independent, so results are identical at any count.
+	Workers int
+	// Timer, when set, is the scoring-time accumulator wrapping this
+	// pipeline's detector (see PointPipelines); it splits Duration into
+	// ScoringTime and SearchTime.
+	Timer *detector.Timed
 }
 
 // SummaryPipeline pairs a summarizer with the detector name used in reports.
 type SummaryPipeline struct {
 	Detector   string
 	Summarizer core.Summarizer
+	// Workers bounds the goroutines of the per-subspace ranking loop
+	// (Ranker scoring + Z-standardisation per summary subspace); values
+	// ≤ 1 (including the zero value) keep it serial.
+	Workers int
+	// Timer, when set, accumulates detector scoring time (see
+	// PointPipeline.Timer).
+	Timer *detector.Timed
 	// Ranker, when set, personalises the shared summary per evaluated
 	// point: the summary's subspaces are re-ranked by the point's own
 	// standardised outlyingness before AveP is computed. This matches the
@@ -77,23 +112,40 @@ func RunPointExplanation(ds *dataset.Dataset, gt *dataset.GroundTruth, pp PointP
 	if len(points) == 0 {
 		return res
 	}
+	var scoringBefore time.Duration
+	if pp.Timer != nil {
+		scoringBefore = pp.Timer.Elapsed()
+	}
 	start := time.Now()
 	lists := make([][]core.ScoredSubspace, len(points))
-	for i, p := range points {
-		list, err := pp.Explainer.ExplainPoint(ds, p, targetDim)
-		if err != nil {
-			res.Err = fmt.Errorf("explain point %d: %w", p, err)
-			return res
-		}
-		lists[i] = list
-	}
+	errs := make([]error, len(points))
+	parallel.ForEach(pp.Workers, len(points), func(i int) {
+		lists[i], errs[i] = pp.Explainer.ExplainPoint(ds, points[i], targetDim)
+	})
 	res.Duration = time.Since(start)
+	if pp.Timer != nil {
+		res.ScoringTime = pp.Timer.Elapsed() - scoringBefore
+		if res.SearchTime = res.Duration - res.ScoringTime; res.SearchTime < 0 {
+			res.SearchTime = 0
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			res.Err = fmt.Errorf("explain point %d: %w", points[i], err)
+			break
+		}
+	}
+	evalStart := time.Now()
 	for i, p := range points {
+		if errs[i] != nil {
+			continue // keep the points that did complete
+		}
 		rel := gt.RelevantAt(p, targetDim)
 		res.PerPoint = append(res.PerPoint, metrics.EvaluatePoint(p, core.Subspaces(lists[i]), rel))
 	}
 	res.MAP = metrics.MAP(res.PerPoint)
 	res.MeanRecall = metrics.MeanRecall(res.PerPoint)
+	res.EvalTime = time.Since(evalStart)
 	return res
 }
 
@@ -113,22 +165,36 @@ func RunSummarization(ds *dataset.Dataset, gt *dataset.GroundTruth, sp SummaryPi
 	if len(points) == 0 {
 		return res
 	}
+	var scoringBefore time.Duration
+	if sp.Timer != nil {
+		scoringBefore = sp.Timer.Elapsed()
+	}
 	start := time.Now()
 	list, err := sp.Summarizer.Summarize(ds, gt.Outliers(), targetDim)
 	res.Duration = time.Since(start)
+	if sp.Timer != nil {
+		res.ScoringTime = sp.Timer.Elapsed() - scoringBefore
+		if res.SearchTime = res.Duration - res.ScoringTime; res.SearchTime < 0 {
+			res.SearchTime = 0
+		}
+	}
 	if err != nil {
 		res.Err = fmt.Errorf("summarize: %w", err)
 		return res
 	}
+	evalStart := time.Now()
 	shared := core.Subspaces(list)
 	// With a Ranker, each point sees the summary ordered by its own
-	// standardised outlyingness in each subspace.
+	// standardised outlyingness in each subspace. Each subspace's scoring
+	// and standardisation is independent, so the loop fans out over the
+	// pipeline's workers (the Ranker is typically a Cached detector, whose
+	// singleflight dedup keeps concurrent same-key scoring single-shot).
 	var zPerSubspace [][]float64
 	if sp.Ranker != nil {
 		zPerSubspace = make([][]float64, len(shared))
-		for i, s := range shared {
-			zPerSubspace[i] = stats.ZScores(sp.Ranker.Scores(ds.View(s)))
-		}
+		parallel.ForEach(sp.Workers, len(shared), func(i int) {
+			zPerSubspace[i] = stats.ZScores(sp.Ranker.Scores(ds.View(shared[i])))
+		})
 	}
 	for _, p := range points {
 		rel := gt.RelevantAt(p, targetDim)
@@ -140,6 +206,7 @@ func RunSummarization(ds *dataset.Dataset, gt *dataset.GroundTruth, sp SummaryPi
 	}
 	res.MAP = metrics.MAP(res.PerPoint)
 	res.MeanRecall = metrics.MeanRecall(res.PerPoint)
+	res.EvalTime = time.Since(evalStart)
 	return res
 }
 

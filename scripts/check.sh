@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 gate: vet, build, and the full test suite under the race detector.
+# Every concurrent path in the repo (singleflight cache, parallel inner
+# loops, the grid worker pool) is exercised by tests, so -race failing here
+# means a real data race, not flakiness.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
