@@ -21,8 +21,13 @@
 //	ds, _ := anex.FromRows("my-data", rows, nil)
 //	det := anex.NewLOF(15)
 //	beam := anex.NewBeam(det)
-//	explanations, _ := beam.ExplainPoint(ds, suspiciousPoint, 2)
+//	explanations, _ := beam.ExplainPoint(ctx, ds, suspiciousPoint, 2)
 //	fmt.Println(explanations[0].Subspace) // e.g. {F3, F7}
+//
+// Every scoring entry point takes a context.Context: cancelling it (or
+// letting a deadline pass) aborts the search promptly with the context's
+// error, which is how the CLIs implement clean SIGINT shutdown and per-cell
+// grid timeouts.
 //
 // The subpackages are re-exported here so that applications only import
 // anex; the experiment harness that regenerates the paper's tables and
@@ -30,6 +35,7 @@
 package anex
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
@@ -118,8 +124,8 @@ func FitSurrogateForest(ds *Dataset, target []float64, opts SurrogateForestOptio
 
 // ExplainDetectorWithSurrogate scores the dataset with the detector, fits a
 // surrogate forest on the scores, and returns it with its R² fidelity.
-func ExplainDetectorWithSurrogate(ds *Dataset, det Detector, opts SurrogateForestOptions) (*SurrogateForest, float64, error) {
-	return surrogate.ExplainDetector(ds, det, opts)
+func ExplainDetectorWithSurrogate(ctx context.Context, ds *Dataset, det Detector, opts SurrogateForestOptions) (*SurrogateForest, float64, error) {
+	return surrogate.ExplainDetector(ctx, ds, det, opts)
 }
 
 // Streaming (the paper's future-work direction, Section 6).
@@ -346,9 +352,9 @@ func GenerateFullSpaceOutliers(c FullSpaceOutlierConfig) (*Dataset, []int, error
 
 // DeriveGroundTruth derives per-outlier relevant subspaces by exhaustive
 // detector search over the given dimensionalities, the paper's methodology
-// for full-space outliers.
-func DeriveGroundTruth(ds *Dataset, outliers []int, dims []int, det Detector) (*GroundTruth, error) {
-	return synth.DeriveTopSubspaceGroundTruth(ds, outliers, dims, det)
+// for full-space outliers. Cancelling ctx aborts the sweep.
+func DeriveGroundTruth(ctx context.Context, ds *Dataset, outliers []int, dims []int, det Detector) (*GroundTruth, error) {
+	return synth.DeriveTopSubspaceGroundTruth(ctx, ds, outliers, dims, det)
 }
 
 // RandomSubspace draws a uniformly random k-feature subspace of a
@@ -371,25 +377,39 @@ type NamedDetector = pipeline.NamedDetector
 // the paper's defaults.
 type PipelineOptions = pipeline.Options
 
+// Journal is an append-only checkpoint of completed grid cells enabling
+// resume after interruption (see pipeline.OpenJournal).
+type Journal = pipeline.Journal
+
+// OpenJournal opens (or creates) a checkpoint journal at path, recovering
+// already-completed cells and truncating any torn trailing write.
+func OpenJournal(path string) (*Journal, error) { return pipeline.OpenJournal(path) }
+
 // RunGrid executes every detector × explainer pipeline of the spec and
-// returns the cell results in deterministic order.
-func RunGrid(spec GridSpec) []PipelineResult { return pipeline.RunGrid(spec) }
+// returns the cell results in deterministic order. Cancelling ctx stops
+// scheduling new cells and stamps unfinished cells with ctx's error; cells
+// that panic or time out carry the failure in their Result.Err while the
+// rest of the grid completes. The returned error reports journal I/O
+// problems only.
+func RunGrid(ctx context.Context, spec GridSpec) ([]PipelineResult, error) {
+	return pipeline.RunGrid(ctx, spec)
+}
 
 // ExplainOutliers runs the explainer on every outlier the ground truth
 // explains at targetDim and evaluates MAP/recall against it.
-func ExplainOutliers(ds *Dataset, gt *GroundTruth, detName string, e PointExplainer, targetDim int) PipelineResult {
-	return pipeline.RunPointExplanation(ds, gt, pipeline.PointPipeline{Detector: detName, Explainer: e}, targetDim)
+func ExplainOutliers(ctx context.Context, ds *Dataset, gt *GroundTruth, detName string, e PointExplainer, targetDim int) PipelineResult {
+	return pipeline.RunPointExplanation(ctx, ds, gt, pipeline.PointPipeline{Detector: detName, Explainer: e}, targetDim)
 }
 
 // SummarizeOutliers runs the summarizer once over all ground-truth outliers
 // and evaluates the shared summary per point at targetDim, in summary order.
-func SummarizeOutliers(ds *Dataset, gt *GroundTruth, detName string, s Summarizer, targetDim int) PipelineResult {
-	return pipeline.RunSummarization(ds, gt, pipeline.SummaryPipeline{Detector: detName, Summarizer: s}, targetDim)
+func SummarizeOutliers(ctx context.Context, ds *Dataset, gt *GroundTruth, detName string, s Summarizer, targetDim int) PipelineResult {
+	return pipeline.RunSummarization(ctx, ds, gt, pipeline.SummaryPipeline{Detector: detName, Summarizer: s}, targetDim)
 }
 
 // SummarizeOutliersRanked is SummarizeOutliers with the paper's per-point
 // evaluation: each point sees the shared summary re-ranked by its own
 // standardised outlyingness under ranker before AveP is computed.
-func SummarizeOutliersRanked(ds *Dataset, gt *GroundTruth, detName string, s Summarizer, ranker Detector, targetDim int) PipelineResult {
-	return pipeline.RunSummarization(ds, gt, pipeline.SummaryPipeline{Detector: detName, Summarizer: s, Ranker: ranker}, targetDim)
+func SummarizeOutliersRanked(ctx context.Context, ds *Dataset, gt *GroundTruth, detName string, s Summarizer, ranker Detector, targetDim int) PipelineResult {
+	return pipeline.RunSummarization(ctx, ds, gt, pipeline.SummaryPipeline{Detector: detName, Summarizer: s, Ranker: ranker}, targetDim)
 }

@@ -1,6 +1,7 @@
 package anex_test
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	// Point explanation through the public API.
 	beam := anex.NewBeamFX(det)
 	p := gt.Outliers()[0]
-	list, err := beam.ExplainPoint(ds, p, 2)
+	list, err := beam.ExplainPoint(context.Background(), ds, p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	// Summarization through the public API.
 	lookout := anex.NewLookOut(det)
 	lookout.Budget = 10
-	summary, err := lookout.Summarize(ds, gt.Outliers(), 2)
+	summary, err := lookout.Summarize(context.Background(), ds, gt.Outliers(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +59,11 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// Pipeline helpers.
-	pres := anex.ExplainOutliers(ds, gt, "LOF", beam, 2)
+	pres := anex.ExplainOutliers(context.Background(), ds, gt, "LOF", beam, 2)
 	if pres.Err != nil || pres.MAP <= 0 {
 		t.Errorf("ExplainOutliers: %+v", pres)
 	}
-	sres := anex.SummarizeOutliers(ds, gt, "LOF", lookout, 2)
+	sres := anex.SummarizeOutliers(context.Background(), ds, gt, "LOF", lookout, 2)
 	if sres.Err != nil || sres.MAP <= 0 {
 		t.Errorf("SummarizeOutliers: %+v", sres)
 	}
@@ -144,7 +145,7 @@ func TestPublicAPIGroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	derived, err := anex.DeriveGroundTruth(ds, outliers, []int{2}, anex.NewLOF(10))
+	derived, err := anex.DeriveGroundTruth(context.Background(), ds, outliers, []int{2}, anex.NewLOF(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,10 @@ func TestPublicAPIDetectorConstructors(t *testing.T) {
 		anex.NewFastABOD(0),
 		anex.NewIsolationForest(1),
 	} {
-		scores := det.Scores(ds.FullView())
+		scores, err := det.Scores(context.Background(), ds.FullView())
+		if err != nil {
+			t.Fatalf("%s: %v", det.Name(), err)
+		}
 		if len(scores) != ds.N() {
 			t.Errorf("%s returned %d scores", det.Name(), len(scores))
 		}
@@ -178,7 +182,7 @@ func TestPublicAPIDetectorConstructors(t *testing.T) {
 func TestPublicAPIGroupSummarizer(t *testing.T) {
 	ds, gt := plantedDataset(t, 9)
 	g := anex.NewGroupSummarizer(anex.CachedDetector(anex.NewLOF(15)))
-	groups, err := g.GroupOutliers(ds, gt.Outliers(), 2)
+	groups, err := g.GroupOutliers(context.Background(), ds, gt.Outliers(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +199,7 @@ func TestPublicAPIGroupSummarizer(t *testing.T) {
 
 func TestPublicAPIRunGrid(t *testing.T) {
 	ds, gt := plantedDataset(t, 10)
-	results := anex.RunGrid(anex.GridSpec{
+	results, gerr := anex.RunGrid(context.Background(), anex.GridSpec{
 		Dataset:     ds,
 		GroundTruth: gt,
 		Dims:        []int{2},
@@ -209,6 +213,9 @@ func TestPublicAPIRunGrid(t *testing.T) {
 		},
 		Workers: 2,
 	})
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
 	if len(results) != 4 {
 		t.Fatalf("%d grid results, want 4 (one detector × four algorithms)", len(results))
 	}
@@ -238,7 +245,7 @@ func TestPublicAPILODAAndStream(t *testing.T) {
 	}
 	row := make([]float64, ds.D())
 	for i := 0; i < 40; i++ {
-		if _, err := mon.Push(ds.Row(i, row)); err != nil {
+		if _, err := mon.Push(context.Background(), ds.Row(i, row)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -263,7 +270,7 @@ func TestPublicAPIDetectorQualityMetrics(t *testing.T) {
 
 func TestPublicAPISurrogate(t *testing.T) {
 	ds, gt := plantedDataset(t, 12)
-	forest, r2, err := anex.ExplainDetectorWithSurrogate(ds, anex.NewLOF(15), anex.SurrogateForestOptions{
+	forest, r2, err := anex.ExplainDetectorWithSurrogate(context.Background(), ds, anex.NewLOF(15), anex.SurrogateForestOptions{
 		Trees: 10, Seed: 1, Tree: anex.SurrogateTreeOptions{MaxDepth: 4},
 	})
 	if err != nil {
@@ -280,7 +287,11 @@ func TestPublicAPISurrogate(t *testing.T) {
 	if sig.Dim() > 3 {
 		t.Errorf("signature %v exceeds cap", sig)
 	}
-	tree, err := anex.FitSurrogateTree(ds, anex.NewLOF(15).Scores(ds.FullView()), anex.SurrogateTreeOptions{})
+	target, err := anex.NewLOF(15).Scores(context.Background(), ds.FullView())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := anex.FitSurrogateTree(ds, target, anex.SurrogateTreeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,13 +315,17 @@ func TestPublicAPIPlotAndRankedSummaries(t *testing.T) {
 	det := anex.CachedDetector(anex.NewLOF(15))
 	lo := anex.NewLookOut(det)
 	lo.Budget = 10
-	res := anex.SummarizeOutliersRanked(ds, gt, "LOF", lo, det, 2)
+	res := anex.SummarizeOutliersRanked(context.Background(), ds, gt, "LOF", lo, det, 2)
 	if res.Err != nil || res.MAP <= 0 {
 		t.Errorf("ranked summaries: %+v", res)
 	}
 	// LODA and kNN-dist constructors.
 	for _, d := range []anex.Detector{anex.NewLODA(1), anex.NewKNNDist(0)} {
-		if got := d.Scores(ds.FullView()); len(got) != ds.N() {
+		got, derr := d.Scores(context.Background(), ds.FullView())
+		if derr != nil {
+			t.Fatalf("%s: %v", d.Name(), derr)
+		}
+		if len(got) != ds.N() {
 			t.Errorf("%s scores %d", d.Name(), len(got))
 		}
 	}

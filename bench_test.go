@@ -6,6 +6,7 @@
 package anex_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -19,6 +20,8 @@ import (
 	"anex/internal/summarize"
 	"anex/internal/synth"
 )
+
+var bctx = context.Background()
 
 // benchDataset returns a 1000×10 view-friendly dataset with planted 2d/3d
 // subspace outliers — the sample size of the paper's timing experiments.
@@ -52,7 +55,7 @@ func BenchmarkDetectorPerSubspace(b *testing.B) {
 	for _, det := range dets {
 		b.Run(det.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				det.Scores(view)
+				det.Scores(bctx, view)
 			}
 		})
 	}
@@ -109,7 +112,7 @@ func figure9Cell(b *testing.B, mk func(det anex.Detector) anex.PointExplainer, d
 	var mapSum float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := anex.ExplainOutliers(ds, gt, det.Name(), expl, 2)
+		res := anex.ExplainOutliers(bctx, ds, gt, det.Name(), expl, 2)
 		if res.Err != nil {
 			b.Fatal(res.Err)
 		}
@@ -150,7 +153,7 @@ func figure10Cell(b *testing.B, mk func(det anex.Detector) anex.Summarizer, det 
 	var mapSum float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := anex.SummarizeOutliers(ds, gt, det.Name(), sum, 2)
+		res := anex.SummarizeOutliers(bctx, ds, gt, det.Name(), sum, 2)
 		if res.Err != nil {
 			b.Fatal(res.Err)
 		}
@@ -199,7 +202,7 @@ func BenchmarkFigure11(b *testing.B) {
 		e := anex.NewBeamFX(anex.NewLOF(15))
 		e.Width = 30
 		for i := 0; i < b.N; i++ {
-			if res := anex.ExplainOutliers(ds, small, "LOF", e, 2); res.Err != nil {
+			if res := anex.ExplainOutliers(bctx, ds, small, "LOF", e, 2); res.Err != nil {
 				b.Fatal(res.Err)
 			}
 		}
@@ -208,7 +211,7 @@ func BenchmarkFigure11(b *testing.B) {
 		e := anex.NewRefOut(anex.NewLOF(15), 1)
 		e.PoolSize = 60
 		for i := 0; i < b.N; i++ {
-			if res := anex.ExplainOutliers(ds, small, "LOF", e, 2); res.Err != nil {
+			if res := anex.ExplainOutliers(bctx, ds, small, "LOF", e, 2); res.Err != nil {
 				b.Fatal(res.Err)
 			}
 		}
@@ -217,7 +220,7 @@ func BenchmarkFigure11(b *testing.B) {
 		s := anex.NewLookOut(anex.NewLOF(15))
 		s.Budget = 30
 		for i := 0; i < b.N; i++ {
-			if res := anex.SummarizeOutliers(ds, small, "LOF", s, 2); res.Err != nil {
+			if res := anex.SummarizeOutliers(bctx, ds, small, "LOF", s, 2); res.Err != nil {
 				b.Fatal(res.Err)
 			}
 		}
@@ -226,7 +229,7 @@ func BenchmarkFigure11(b *testing.B) {
 		s := anex.NewHiCSFX(anex.NewLOF(15), 1)
 		s.MCIterations = 40
 		for i := 0; i < b.N; i++ {
-			if res := anex.SummarizeOutliers(ds, small, "LOF", s, 2); res.Err != nil {
+			if res := anex.SummarizeOutliers(bctx, ds, small, "LOF", s, 2); res.Err != nil {
 				b.Fatal(res.Err)
 			}
 		}
@@ -243,7 +246,7 @@ func BenchmarkTable2(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rw, err := synth.BuildRealWorld(
+	rw, err := synth.BuildRealWorld(bctx,
 		synth.FullSpaceConfig{Name: "t2-real", N: 100, D: 6, NumOutliers: 8, Seed: 2},
 		[]int{2}, detector.NewLOF(detector.DefaultLOFK))
 	if err != nil {
@@ -256,12 +259,12 @@ func BenchmarkTable2(b *testing.B) {
 			RealWorld: []synth.TestbedDataset{rw},
 		},
 	}
-	s.PointResults() // populate caches outside the timed loop
-	s.SummaryResults()
-	s.TimingResults()
+	s.PointResults(bctx) // populate caches outside the timed loop
+	s.SummaryResults(bctx)
+	s.TimingResults(bctx)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if tbl := s.Table2(); len(tbl.Rows) == 0 {
+		if tbl := s.Table2(bctx); len(tbl.Rows) == 0 {
 			b.Fatal("table 2 empty")
 		}
 	}
@@ -280,7 +283,7 @@ func BenchmarkAblationRawVsZScore(b *testing.B) {
 		var mapSum float64
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			res := pipeline.RunPointExplanation(ds, gt, pipeline.PointPipeline{Detector: "LOF", Explainer: e}, 3)
+			res := pipeline.RunPointExplanation(bctx, ds, gt, pipeline.PointPipeline{Detector: "LOF", Explainer: e}, 3)
 			if res.Err != nil {
 				b.Fatal(res.Err)
 			}
@@ -333,7 +336,7 @@ func BenchmarkAblationHiCSTest(b *testing.B) {
 		var mapSum float64
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			res := pipeline.RunSummarization(ds, gt, pipeline.SummaryPipeline{Detector: "LOF", Summarizer: h}, 2)
+			res := pipeline.RunSummarization(bctx, ds, gt, pipeline.SummaryPipeline{Detector: "LOF", Summarizer: h}, 2)
 			if res.Err != nil {
 				b.Fatal(res.Err)
 			}
@@ -353,13 +356,13 @@ func BenchmarkAblationIForestAveraging(b *testing.B) {
 	b.Run("reps=1", func(b *testing.B) {
 		f := &anex.IsolationForest{Trees: 100, Subsample: 256, Repetitions: 1, Seed: 1}
 		for i := 0; i < b.N; i++ {
-			f.Scores(view)
+			f.Scores(bctx, view)
 		}
 	})
 	b.Run("reps=10", func(b *testing.B) {
 		f := &anex.IsolationForest{Trees: 100, Subsample: 256, Repetitions: 10, Seed: 1}
 		for i := 0; i < b.N; i++ {
-			f.Scores(view)
+			f.Scores(bctx, view)
 		}
 	})
 }
@@ -374,7 +377,9 @@ func BenchmarkContrastVsLOF(b *testing.B) {
 	b.Run("hics-contrast", func(b *testing.B) {
 		h := &summarize.HiCS{Detector: anex.NewLOF(15), MCIterations: 100, Seed: 1, FixedDim: true}
 		for i := 0; i < b.N; i++ {
-			h.SearchContrastSubspaces(ds, 2)
+			if _, err := h.SearchContrastSubspaces(bctx, ds, 2); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("lof-score", func(b *testing.B) {
@@ -384,7 +389,7 @@ func BenchmarkContrastVsLOF(b *testing.B) {
 			e := subspace.NewEnumerator(ds.D(), 2)
 			n := int64(0)
 			for s := e.Next(); s != nil; s = e.Next() {
-				lof.Scores(ds.View(s))
+				lof.Scores(bctx, ds.View(s))
 				n++
 			}
 			if n != want {
@@ -416,7 +421,7 @@ func BenchmarkSurrogateVsBeamPerPoint(b *testing.B) {
 	p := gt.Outliers()[0]
 	row := make([]float64, ds.D())
 	b.Run("surrogate-signature", func(b *testing.B) {
-		forest, _, err := anex.ExplainDetectorWithSurrogate(ds, anex.NewLOF(15), anex.SurrogateForestOptions{
+		forest, _, err := anex.ExplainDetectorWithSurrogate(bctx, ds, anex.NewLOF(15), anex.SurrogateForestOptions{
 			Trees: 20, Seed: 1, Tree: anex.SurrogateTreeOptions{MaxDepth: 5},
 		})
 		if err != nil {
@@ -431,13 +436,16 @@ func BenchmarkSurrogateVsBeamPerPoint(b *testing.B) {
 		beam := anex.NewBeamFX(anex.NewLOF(15))
 		beam.Width = 30
 		for i := 0; i < b.N; i++ {
-			if _, err := beam.ExplainPoint(ds, p, 2); err != nil {
+			if _, err := beam.ExplainPoint(bctx, ds, p, 2); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("surrogate-fit", func(b *testing.B) {
-		scores := anex.NewLOF(15).Scores(ds.FullView())
+		scores, err := anex.NewLOF(15).Scores(bctx, ds.FullView())
+		if err != nil {
+			b.Fatal(err)
+		}
 		for i := 0; i < b.N; i++ {
 			if _, err := anex.FitSurrogateForest(ds, scores, anex.SurrogateForestOptions{
 				Trees: 20, Seed: 1, Tree: anex.SurrogateTreeOptions{MaxDepth: 5},

@@ -9,17 +9,25 @@
 // At the default small scale the full run finishes in minutes on a laptop;
 // paper scale matches the dataset shapes of the paper's Table 1 and can
 // take hours for the heaviest cells, exactly like the original study.
+// Interrupting a run (SIGINT/SIGTERM) aborts the in-flight experiment; with
+// -journal, completed pipeline cells persist across invocations, so
+// re-running the same command resumes where the interrupted run stopped.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"anex/internal/experiments"
+	"anex/internal/pipeline"
 	"anex/internal/synth"
 )
 
@@ -39,13 +47,24 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric, *workers); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := run(ctx, *scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric, *workers)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "anexbench: interrupted")
+		if *journal != "" {
+			fmt.Fprintf(os.Stderr, "re-run the same command to resume from %s\n", *journal)
+		}
+		os.Exit(130)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "anexbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdPath, journalPath, detectors, metric string, workers int) error {
+func run(ctx context.Context, scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdPath, journalPath, detectors, metric string, workers int) error {
 	scale, err := synth.ParseScale(scaleFlag)
 	if err != nil {
 		return err
@@ -69,10 +88,10 @@ func run(scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdP
 			detFilter = append(detFilter, strings.TrimSpace(name))
 		}
 	}
-	var journal *experiments.Journal
+	var journal *pipeline.Journal
 	if journalPath != "" {
 		var err error
-		journal, err = experiments.OpenJournal(journalPath)
+		journal, err = pipeline.OpenJournal(journalPath)
 		if err != nil {
 			return err
 		}
@@ -81,7 +100,7 @@ func run(scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdP
 			fmt.Fprintf(os.Stderr, "resuming: %d cells journalled in %s\n", n, journalPath)
 		}
 	}
-	session, err := experiments.NewSession(experiments.Config{
+	session, err := experiments.NewSession(ctx, experiments.Config{
 		Scale:          scale,
 		Seed:           seed,
 		Progress:       progress,
@@ -97,11 +116,11 @@ func run(scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdP
 
 	type gen struct {
 		name  string
-		build func() *experiments.Table
+		build func(context.Context) *experiments.Table
 	}
 	gens := []gen{
-		{"table1", session.Table1},
-		{"figure8", session.Figure8},
+		{"table1", func(context.Context) *experiments.Table { return session.Table1() }},
+		{"figure8", func(context.Context) *experiments.Table { return session.Figure8() }},
 		{"figure9", session.Figure9},
 		{"figure10", session.Figure10},
 		{"figure11", session.Figure11},
@@ -128,7 +147,7 @@ func run(scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdP
 			continue
 		}
 		matched = true
-		table := g.build()
+		table := g.build(ctx)
 		fmt.Println()
 		if err := table.Render(os.Stdout); err != nil {
 			return err
@@ -155,6 +174,11 @@ func run(scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdP
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+		// An interrupt mid-experiment leaves the remaining tables full of
+		// cancelled cells; render what we have and stop cleanly.
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 	}
 	if !matched {

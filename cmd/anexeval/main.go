@@ -5,18 +5,26 @@
 // prints MAP, mean recall and runtime per pipeline — the tool for deciding
 // which detector/explainer combination fits a new dataset.
 //
+// Interrupting a run (SIGINT/SIGTERM) stops scheduling new cells, prints
+// the cells that finished, and — with -journal — leaves a checkpoint file
+// from which an identical re-invocation resumes, skipping completed cells.
+//
 // Usage:
 //
 //	anexeval -data d.csv -gt d.groundtruth.json [-dims 2,3] [-seed N]
-//	         [-workers N] [-topk 30]
+//	         [-workers N] [-topk 30] [-journal run.journal] [-cell-timeout 5m]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"anex"
@@ -24,22 +32,32 @@ import (
 
 func main() {
 	var (
-		dataPath = flag.String("data", "", "CSV dataset (header row with feature names)")
-		gtPath   = flag.String("gt", "", "ground-truth JSON (point index → relevant subspace keys)")
-		dims     = flag.String("dims", "2", "comma-separated explanation dimensionalities")
-		seed     = flag.Int64("seed", 1, "random seed for stochastic algorithms")
-		workers  = flag.Int("workers", 0, "parallel pipeline workers (0 = GOMAXPROCS)")
-		topK     = flag.Int("topk", 0, "result-list bound per explainer (0 = paper default 100)")
+		dataPath    = flag.String("data", "", "CSV dataset (header row with feature names)")
+		gtPath      = flag.String("gt", "", "ground-truth JSON (point index → relevant subspace keys)")
+		dims        = flag.String("dims", "2", "comma-separated explanation dimensionalities")
+		seed        = flag.Int64("seed", 1, "random seed for stochastic algorithms")
+		workers     = flag.Int("workers", 0, "parallel pipeline workers (0 = GOMAXPROCS)")
+		topK        = flag.Int("topk", 0, "result-list bound per explainer (0 = paper default 100)")
+		journalPath = flag.String("journal", "", "checkpoint completed cells to this file and resume from it")
+		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline (0 = none); timed-out cells report an error, the rest of the grid completes")
 	)
 	flag.Parse()
 
-	if err := run(*dataPath, *gtPath, *dims, *seed, *workers, *topK); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := run(ctx, *dataPath, *gtPath, *dims, *seed, *workers, *topK, *journalPath, *cellTimeout)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "anexeval: interrupted")
+		os.Exit(130)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "anexeval:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, gtPath, dimsArg string, seed int64, workers, topK int) error {
+func run(ctx context.Context, dataPath, gtPath, dimsArg string, seed int64, workers, topK int, journalPath string, cellTimeout time.Duration) error {
 	if dataPath == "" || gtPath == "" {
 		return fmt.Errorf("both -data and -gt are required")
 	}
@@ -68,11 +86,23 @@ func run(dataPath, gtPath, dimsArg string, seed int64, workers, topK int) error 
 		dims = append(dims, d)
 	}
 
+	var journal *anex.Journal
+	if journalPath != "" {
+		journal, err = anex.OpenJournal(journalPath)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if n := journal.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resuming: %d cells journalled in %s\n", n, journalPath)
+		}
+	}
+
 	fmt.Printf("%s: %d points × %d features, %d outliers; dims %v\n\n",
 		ds.Name(), ds.N(), ds.D(), gt.NumOutliers(), dims)
 
 	start := time.Now()
-	results := anex.RunGrid(anex.GridSpec{
+	results, jerr := anex.RunGrid(ctx, anex.GridSpec{
 		Dataset:     ds,
 		GroundTruth: gt,
 		Dims:        dims,
@@ -80,14 +110,18 @@ func run(dataPath, gtPath, dimsArg string, seed int64, workers, topK int) error 
 		Options:     anex.PipelineOptions{TopK: topK},
 		Cached:      true,
 		Workers:     workers,
+		Journal:     journal,
+		CellTimeout: cellTimeout,
 	})
 	fmt.Printf("%-4s %-10s %-9s %8s %8s %12s %12s %12s\n", "dim", "explainer", "detector", "MAP", "recall", "runtime", "scoring", "search")
 	fmt.Println(strings.Repeat("-", 82))
+	completed := 0
 	for _, r := range results {
 		if r.Err != nil {
 			fmt.Printf("%-4d %-10s %-9s %8s %8s %12s %12s %12s  (%v)\n", r.TargetDim, r.Explainer, r.Detector, "err", "err", "-", "-", "-", r.Err)
 			continue
 		}
+		completed++
 		if r.PointsEvaluated == 0 {
 			fmt.Printf("%-4d %-10s %-9s %8s %8s %12s %12s %12s\n", r.TargetDim, r.Explainer, r.Detector, "-", "-", "-", "-", "-")
 			continue
@@ -96,7 +130,16 @@ func run(dataPath, gtPath, dimsArg string, seed int64, workers, topK int) error 
 			r.TargetDim, r.Explainer, r.Detector, r.MAP, r.MeanRecall,
 			r.Duration.Round(time.Millisecond), r.ScoringTime.Round(time.Millisecond), r.SearchTime.Round(time.Millisecond))
 	}
-	fmt.Printf("\ntotal %s over %d pipeline cells\n", time.Since(start).Round(time.Millisecond), len(results))
+	fmt.Printf("\ntotal %s over %d pipeline cells (%d completed)\n", time.Since(start).Round(time.Millisecond), len(results), completed)
+	if jerr != nil {
+		return fmt.Errorf("journal: %w", jerr)
+	}
+	if err := ctx.Err(); err != nil {
+		if journalPath != "" {
+			fmt.Fprintf(os.Stderr, "interrupted: re-run the same command to resume from %s\n", journalPath)
+		}
+		return err
+	}
 	return nil
 }
 

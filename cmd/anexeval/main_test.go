@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -57,7 +58,7 @@ func captureStdout(t *testing.T, fn func() error) (string, error) {
 func TestRunEvaluatesGrid(t *testing.T) {
 	dataPath, gtPath := writeTestbed(t)
 	out, err := captureStdout(t, func() error {
-		return run(dataPath, gtPath, "2", 1, 1, 10)
+		return run(context.Background(), dataPath, gtPath, "2", 1, 1, 10, "", 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -86,17 +87,69 @@ func TestRunArgumentValidation(t *testing.T) {
 		name string
 		fn   func() error
 	}{
-		{"missing data", func() error { return run("", gtPath, "2", 1, 1, 0) }},
-		{"missing gt", func() error { return run(dataPath, "", "2", 1, 1, 0) }},
-		{"bad dim", func() error { return run(dataPath, gtPath, "1", 1, 1, 0) }},
-		{"dim too high", func() error { return run(dataPath, gtPath, "99", 1, 1, 0) }},
-		{"nonsense dim", func() error { return run(dataPath, gtPath, "x", 1, 1, 0) }},
-		{"missing file", func() error { return run("/nope.csv", gtPath, "2", 1, 1, 0) }},
-		{"missing gt file", func() error { return run(dataPath, "/nope.json", "2", 1, 1, 0) }},
+		{"missing data", func() error { return run(context.Background(), "", gtPath, "2", 1, 1, 0, "", 0) }},
+		{"missing gt", func() error { return run(context.Background(), dataPath, "", "2", 1, 1, 0, "", 0) }},
+		{"bad dim", func() error { return run(context.Background(), dataPath, gtPath, "1", 1, 1, 0, "", 0) }},
+		{"dim too high", func() error { return run(context.Background(), dataPath, gtPath, "99", 1, 1, 0, "", 0) }},
+		{"nonsense dim", func() error { return run(context.Background(), dataPath, gtPath, "x", 1, 1, 0, "", 0) }},
+		{"missing file", func() error { return run(context.Background(), "/nope.csv", gtPath, "2", 1, 1, 0, "", 0) }},
+		{"missing gt file", func() error { return run(context.Background(), dataPath, "/nope.json", "2", 1, 1, 0, "", 0) }},
 	}
 	for _, c := range cases {
 		if _, err := captureStdout(t, c.fn); err == nil {
 			t.Errorf("%s should fail", c.name)
 		}
+	}
+}
+
+func TestRunJournalResume(t *testing.T) {
+	dataPath, gtPath := writeTestbed(t)
+	journalPath := filepath.Join(t.TempDir(), "eval.journal")
+	// The resume note goes to stderr; capture both streams.
+	captureBoth := func(fn func() error) (stdout, stderr string, err error) {
+		oldErr := os.Stderr
+		re, we, perr := os.Pipe()
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		os.Stderr = we
+		stdout, err = captureStdout(t, fn)
+		we.Close()
+		os.Stderr = oldErr
+		buf := make([]byte, 1<<16)
+		n, _ := re.Read(buf)
+		return stdout, string(buf[:n]), err
+	}
+	first, firstErr, err := captureBoth(func() error {
+		return run(context.Background(), dataPath, gtPath, "2", 1, 1, 10, journalPath, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(firstErr, "resuming:") {
+		t.Errorf("fresh journal claimed a resume:\n%s", firstErr)
+	}
+	second, secondErr, err := captureBoth(func() error {
+		return run(context.Background(), dataPath, gtPath, "2", 1, 1, 10, journalPath, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(secondErr, "resuming: 12 cells") {
+		t.Errorf("second run did not resume from the journal:\n%s", secondErr)
+	}
+	// The resumed run reproduces the same result table, row for row — the
+	// journal replays recorded timings too. Only the per-invocation total
+	// line below the table may differ.
+	tableOf := func(out string) string {
+		start := strings.Index(out, "dim")
+		end := strings.Index(out, "total ")
+		if start < 0 || end < 0 || end < start {
+			return out
+		}
+		return out[start:end]
+	}
+	if tableOf(first) != tableOf(second) {
+		t.Errorf("resumed table differs:\n--- first\n%s\n--- second\n%s", first, second)
 	}
 }

@@ -14,10 +14,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"anex/internal/dataset"
 	"anex/internal/detector"
@@ -35,13 +39,21 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*scaleFlag, *seed, *outDir, *family, *derive); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := run(ctx, *scaleFlag, *seed, *outDir, *family, *derive)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "anexgen: interrupted")
+		os.Exit(130)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "anexgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleFlag string, seed int64, outDir, family string, derive bool) error {
+func run(ctx context.Context, scaleFlag string, seed int64, outDir, family string, derive bool) error {
 	scale, err := synth.ParseScale(scaleFlag)
 	if err != nil {
 		return err
@@ -70,7 +82,7 @@ func run(scaleFlag string, seed int64, outDir, family string, derive bool) error
 			var gt *dataset.GroundTruth
 			if derive {
 				fmt.Fprintf(os.Stderr, "deriving ground truth for %s (exhaustive LOF search)…\n", c.Name)
-				gt, err = synth.DeriveTopSubspaceGroundTruth(ds, outliers, synth.GroundTruthDims(scale), detector.NewLOF(detector.DefaultLOFK))
+				gt, err = synth.DeriveTopSubspaceGroundTruth(ctx, ds, outliers, synth.GroundTruthDims(scale), detector.NewLOF(detector.DefaultLOFK))
 				if err != nil {
 					return err
 				}

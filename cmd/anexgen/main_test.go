@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,7 +11,7 @@ import (
 
 func TestRunSyntheticFamily(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("small", 1, dir, "synthetic", false); err != nil {
+	if err := run(context.Background(), "small", 1, dir, "synthetic", false); err != nil {
 		t.Fatal(err)
 	}
 	// Five synthetic datasets, each with CSV + ground truth.
@@ -48,7 +49,7 @@ func TestRunRealFamilyWithDerivation(t *testing.T) {
 		t.Skip("derives ground truth exhaustively")
 	}
 	dir := t.TempDir()
-	if err := run("small", 1, dir, "real", true); err != nil {
+	if err := run(context.Background(), "small", 1, dir, "real", true); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(filepath.Join(dir, "breast-like.groundtruth.json"))
@@ -73,7 +74,7 @@ func TestRunRealFamilyWithDerivation(t *testing.T) {
 
 func TestRunRealFamilyWithoutDerivation(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("small", 1, dir, "real", false); err != nil {
+	if err := run(context.Background(), "small", 1, dir, "real", false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(filepath.Join(dir, "electricity-like.groundtruth.json"))
@@ -91,10 +92,10 @@ func TestRunRealFamilyWithoutDerivation(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("huge", 1, t.TempDir(), "all", false); err == nil {
+	if err := run(context.Background(), "huge", 1, t.TempDir(), "all", false); err == nil {
 		t.Error("unknown scale should fail")
 	}
-	if err := run("small", 1, t.TempDir(), "imaginary", false); err == nil {
+	if err := run(context.Background(), "small", 1, t.TempDir(), "imaginary", false); err == nil {
 		t.Error("unknown family should fail")
 	}
 }

@@ -14,11 +14,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"anex"
 )
@@ -37,13 +41,21 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*dataPath, *points, *algo, *detName, *dim, *top, *seed, *plot, *workers); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := run(ctx, *dataPath, *points, *algo, *detName, *dim, *top, *seed, *plot, *workers)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "anexplain: interrupted")
+		os.Exit(130)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "anexplain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, pointsArg, algo, detName string, dim, top int, seed int64, plotTop bool, workers int) error {
+func run(ctx context.Context, dataPath, pointsArg, algo, detName string, dim, top int, seed int64, plotTop bool, workers int) error {
 	if dataPath == "" {
 		return fmt.Errorf("missing -data")
 	}
@@ -109,7 +121,7 @@ func run(dataPath, pointsArg, algo, detName string, dim, top int, seed int64, pl
 			explainer = anex.NewRefOut(det, seed)
 		}
 		for _, p := range points {
-			list, err := explainer.ExplainPoint(ds, p, dim)
+			list, err := explainer.ExplainPoint(ctx, ds, p, dim)
 			if err != nil {
 				return err
 			}
@@ -126,7 +138,7 @@ func run(dataPath, pointsArg, algo, detName string, dim, top int, seed int64, pl
 		} else {
 			summarizer = anex.NewHiCSFX(det, seed)
 		}
-		list, err := summarizer.Summarize(ds, points, dim)
+		list, err := summarizer.Summarize(ctx, ds, points, dim)
 		if err != nil {
 			return err
 		}

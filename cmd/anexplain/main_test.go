@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -60,7 +61,7 @@ func captureStdout(t *testing.T, fn func() error) (string, error) {
 func TestRunBeamExplainsPlantedPair(t *testing.T) {
 	path := writeTestCSV(t)
 	out, err := captureStdout(t, func() error {
-		return run(path, "0", "beam", "lof", 2, 3, 1, false, 1)
+		return run(context.Background(), path, "0", "beam", "lof", 2, 3, 1, false, 1)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -74,7 +75,7 @@ func TestRunSummaryAlgorithms(t *testing.T) {
 	path := writeTestCSV(t)
 	for _, algo := range []string{"lookout", "hics"} {
 		out, err := captureStdout(t, func() error {
-			return run(path, "0", algo, "lof", 2, 3, 1, false, 1)
+			return run(context.Background(), path, "0", algo, "lof", 2, 3, 1, false, 1)
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
@@ -89,7 +90,7 @@ func TestRunAllDetectors(t *testing.T) {
 	path := writeTestCSV(t)
 	for _, det := range []string{"lof", "abod", "iforest"} {
 		if _, err := captureStdout(t, func() error {
-			return run(path, "0", "refout", det, 2, 2, 1, false, 1)
+			return run(context.Background(), path, "0", "refout", det, 2, 2, 1, false, 1)
 		}); err != nil {
 			t.Fatalf("%s: %v", det, err)
 		}
@@ -102,12 +103,14 @@ func TestRunArgumentErrors(t *testing.T) {
 		name string
 		fn   func() error
 	}{
-		{"missing data", func() error { return run("", "0", "beam", "lof", 2, 3, 1, false, 1) }},
-		{"missing points", func() error { return run(path, "", "beam", "lof", 2, 3, 1, false, 1) }},
-		{"bad point", func() error { return run(path, "x", "beam", "lof", 2, 3, 1, false, 1) }},
-		{"bad algo", func() error { return run(path, "0", "nope", "lof", 2, 3, 1, false, 1) }},
-		{"bad detector", func() error { return run(path, "0", "beam", "nope", 2, 3, 1, false, 1) }},
-		{"missing file", func() error { return run("/nonexistent.csv", "0", "beam", "lof", 2, 3, 1, false, 1) }},
+		{"missing data", func() error { return run(context.Background(), "", "0", "beam", "lof", 2, 3, 1, false, 1) }},
+		{"missing points", func() error { return run(context.Background(), path, "", "beam", "lof", 2, 3, 1, false, 1) }},
+		{"bad point", func() error { return run(context.Background(), path, "x", "beam", "lof", 2, 3, 1, false, 1) }},
+		{"bad algo", func() error { return run(context.Background(), path, "0", "nope", "lof", 2, 3, 1, false, 1) }},
+		{"bad detector", func() error { return run(context.Background(), path, "0", "beam", "nope", 2, 3, 1, false, 1) }},
+		{"missing file", func() error {
+			return run(context.Background(), "/nonexistent.csv", "0", "beam", "lof", 2, 3, 1, false, 1)
+		}},
 	}
 	for _, c := range cases {
 		if _, err := captureStdout(t, c.fn); err == nil {
@@ -119,7 +122,7 @@ func TestRunArgumentErrors(t *testing.T) {
 func TestRunWithPlot(t *testing.T) {
 	path := writeTestCSV(t)
 	out, err := captureStdout(t, func() error {
-		return run(path, "0", "beam", "lof", 2, 3, 1, true, 1)
+		return run(context.Background(), path, "0", "beam", "lof", 2, 3, 1, true, 1)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package anex_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -38,7 +39,7 @@ func exampleDataset() *anex.Dataset {
 func ExampleBeam_ExplainPoint() {
 	ds := exampleDataset()
 	beam := anex.NewBeamFX(anex.NewLOF(15))
-	explanations, err := beam.ExplainPoint(ds, 0, 2)
+	explanations, err := beam.ExplainPoint(context.Background(), ds, 0, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func ExampleLookOut_Summarize() {
 	ds := exampleDataset()
 	lookout := anex.NewLookOut(anex.NewLOF(15))
 	lookout.Budget = 3
-	summary, err := lookout.Summarize(ds, []int{0}, 2)
+	summary, err := lookout.Summarize(context.Background(), ds, []int{0}, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

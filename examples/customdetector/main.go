@@ -4,7 +4,7 @@
 // Every explainer in anex is detector-agnostic: anything implementing
 //
 //	Name() string
-//	Scores(v *anex.View) []float64   // higher = more outlying
+//	Scores(ctx context.Context, v *anex.View) ([]float64, error)   // higher = more outlying
 //
 // slots into Beam, RefOut, LookOut and HiCS. This example implements a
 // tiny Mahalanobis-style detector (distance from the per-view mean, scaled
@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -31,7 +32,7 @@ type zDistance struct{}
 
 func (zDistance) Name() string { return "z-dist" }
 
-func (zDistance) Scores(v *anex.View) []float64 {
+func (zDistance) Scores(_ context.Context, v *anex.View) ([]float64, error) {
 	n, d := v.N(), v.Dim()
 	means := make([]float64, d)
 	for i := 0; i < n; i++ {
@@ -67,10 +68,11 @@ func (zDistance) Scores(v *anex.View) []float64 {
 		}
 		scores[i] = math.Sqrt(sum / float64(d))
 	}
-	return scores
+	return scores, nil
 }
 
 func main() {
+	ctx := context.Background()
 	// Full-space outliers: the regime where a global deviation detector
 	// has a fair chance.
 	ds, outliers, err := anex.GenerateFullSpaceOutliers(anex.FullSpaceOutlierConfig{
@@ -94,7 +96,10 @@ func main() {
 	}
 	fmt.Println("detector quality on the full space:")
 	for _, det := range detectors {
-		scores := det.Scores(ds.FullView())
+		scores, err := det.Scores(ctx, ds.FullView())
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %-9s ROC AUC %.3f   P@n %.3f\n",
 			det.Name(), anex.ROCAUC(scores, isOutlier), anex.PrecisionAtN(scores, isOutlier, 0))
 	}
@@ -102,13 +107,13 @@ func main() {
 	// Step 2: pair the custom detector with Beam and evaluate the
 	// explanations against a LOF-derived ground truth, exactly as the
 	// paper pairs every detector with every explainer.
-	gt, err := anex.DeriveGroundTruth(ds, outliers, []int{2}, anex.NewLOF(15))
+	gt, err := anex.DeriveGroundTruth(ctx, ds, outliers, []int{2}, anex.NewLOF(15))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nexplanation quality (Beam at 2d, LOF-derived ground truth):")
 	for _, det := range []anex.Detector{zDistance{}, anex.NewLOF(15)} {
-		res := anex.ExplainOutliers(ds, gt, det.Name(), anex.NewBeamFX(anex.CachedDetector(det)), 2)
+		res := anex.ExplainOutliers(ctx, ds, gt, det.Name(), anex.NewBeamFX(anex.CachedDetector(det)), 2)
 		if res.Err != nil {
 			log.Fatal(res.Err)
 		}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,6 +26,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	ds, flagged, err := anex.GenerateFullSpaceOutliers(anex.FullSpaceOutlierConfig{
 		Name:        "transactions",
 		N:           400,
@@ -40,7 +42,7 @@ func main() {
 	// Ground truth: for each flagged transaction, the attribute pair and
 	// triple where it deviates most (exhaustive LOF search, Section 3.2).
 	lof := anex.NewLOF(15)
-	gt, err := anex.DeriveGroundTruth(ds, flagged, []int{2, 3}, lof)
+	gt, err := anex.DeriveGroundTruth(ctx, ds, flagged, []int{2, 3}, lof)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func main() {
 	// Show one concrete explanation.
 	p := flagged[0]
 	beam := anex.NewBeamFX(anex.CachedDetector(lof))
-	list, err := beam.ExplainPoint(ds, p, 2)
+	list, err := beam.ExplainPoint(ctx, ds, p, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,8 +72,8 @@ func main() {
 	}
 	for _, d := range detectors {
 		cached := anex.CachedDetector(d.det)
-		beamRes := anex.ExplainOutliers(ds, gt, d.name, anex.NewBeamFX(cached), 2)
-		refoutRes := anex.ExplainOutliers(ds, gt, d.name, anex.NewRefOut(cached, 1), 2)
+		beamRes := anex.ExplainOutliers(ctx, ds, gt, d.name, anex.NewBeamFX(cached), 2)
+		refoutRes := anex.ExplainOutliers(ctx, ds, gt, d.name, anex.NewRefOut(cached, 1), 2)
 		if beamRes.Err != nil || refoutRes.Err != nil {
 			log.Fatal(beamRes.Err, refoutRes.Err)
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Plant three fault families in a 12-feature inspection log.
 	ds, gt, err := anex.GenerateSubspaceOutliers(anex.SubspaceOutlierConfig{
 		Name:                "inspection-log",
@@ -42,7 +44,7 @@ func main() {
 	g.MinGroupSize = 3
 
 	// The 2d families first…
-	groups2, err := g.GroupOutliers(ds, flagged, 2)
+	groups2, err := g.GroupOutliers(ctx, ds, flagged, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 	}
 
 	// …then check the triple family at 3d.
-	groups3, err := g.GroupOutliers(ds, flagged, 3)
+	groups3, err := g.GroupOutliers(ctx, ds, flagged, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +78,7 @@ func main() {
 	fmt.Println("compare: a flat LookOut summary interleaves all families")
 	lookout := anex.NewLookOut(det)
 	lookout.Budget = 3
-	flat, err := lookout.Summarize(ds, flagged, 2)
+	flat, err := lookout.Summarize(ctx, ds, flagged, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

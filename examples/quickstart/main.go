@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(7))
 	const n = 300
 
@@ -57,7 +59,10 @@ func main() {
 	// Step 1: an off-the-shelf detector confirms the point is NOT visible
 	// in the full feature space (the noise features mask it).
 	det := anex.NewLOF(15)
-	full := det.Scores(ds.FullView())
+	full, err := det.Scores(ctx, ds.FullView())
+	if err != nil {
+		log.Fatal(err)
+	}
 	rank := 1
 	for i, s := range full {
 		if i != suspect && s > full[suspect] {
@@ -68,7 +73,7 @@ func main() {
 
 	// Step 2: ask Beam which 2d subspace explains the point's outlyingness.
 	beam := anex.NewBeamFX(det)
-	explanations, err := beam.ExplainPoint(ds, suspect, 2)
+	explanations, err := beam.ExplainPoint(ctx, ds, suspect, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,6 +25,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// 16 channels: three coupled groups (2, 3 and 4 channels wide) and
 	// 7 independent channels. Each coupled group has 4 faulty records.
 	ds, gt, err := anex.GenerateSubspaceOutliers(anex.SubspaceOutlierConfig{
@@ -48,7 +50,7 @@ func main() {
 	// faulty records' outlyingness.
 	lookout := anex.NewLookOut(det)
 	lookout.Budget = 3
-	loSummary, err := lookout.Summarize(ds, faulty, 2)
+	loSummary, err := lookout.Summarize(ctx, ds, faulty, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func main() {
 	// then ranks them for the faulty records.
 	hics := anex.NewHiCSFX(det, 7)
 	hics.MCIterations = 60
-	hicsSummary, err := hics.Summarize(ds, faulty, 2)
+	hicsSummary, err := hics.Summarize(ctx, ds, faulty, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

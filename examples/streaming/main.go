@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -44,6 +45,7 @@ func normalRecord(rng *rand.Rand) []float64 {
 }
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(11))
 	det := anex.NewLOF(15)
 	monitor, err := anex.NewStreamMonitor(anex.StreamConfig{
@@ -69,7 +71,7 @@ func main() {
 			rec[queue] = 0.1                        // queue is empty…
 			rec[latency] = 0.9 + rng.Float64()*0.05 // …but latency spiked
 		}
-		alerts, err := monitor.Push(rec)
+		alerts, err := monitor.Push(ctx, rec)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	ds, flagged, err := anex.GenerateFullSpaceOutliers(anex.FullSpaceOutlierConfig{
 		Name: "claims", N: 400, D: 12, NumOutliers: 30, Seed: 21,
 	})
@@ -30,7 +32,7 @@ func main() {
 
 	// One-time surrogate fitting on the detector's full-space scores.
 	start := time.Now()
-	forest, r2, err := anex.ExplainDetectorWithSurrogate(ds, det, anex.SurrogateForestOptions{
+	forest, r2, err := anex.ExplainDetectorWithSurrogate(ctx, ds, det, anex.SurrogateForestOptions{
 		Trees: 25, Seed: 1, Tree: anex.SurrogateTreeOptions{MaxDepth: 5},
 	})
 	if err != nil {
@@ -57,7 +59,7 @@ func main() {
 
 	beam := anex.NewBeamFX(anex.CachedDetector(det))
 	start = time.Now()
-	searched, err := beam.ExplainPoint(ds, p, 2)
+	searched, err := beam.ExplainPoint(ctx, ds, p, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

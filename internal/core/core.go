@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -18,11 +19,17 @@ import (
 // outlyingness score per point of the view, where HIGHER means MORE
 // outlying. Detectors whose native score is inverted (ABOD) must negate or
 // transform internally so every consumer can assume this orientation.
+//
+// Every algorithm observes ctx between units of work (points, candidate
+// subspaces), so a deadline or cancellation propagates through the whole
+// execution stack: a cancelled Scores call returns ctx's error and its
+// partial output must be discarded.
 type Detector interface {
 	// Name identifies the detector in experiment output ("LOF", …).
 	Name() string
-	// Scores computes an outlyingness score for every point of the view.
-	Scores(v *dataset.View) []float64
+	// Scores computes an outlyingness score for every point of the view,
+	// observing ctx between points. On error the returned slice is invalid.
+	Scores(ctx context.Context, v *dataset.View) ([]float64, error)
 }
 
 // PointExplainer ranks the subspaces of the requested dimensionality that
@@ -32,8 +39,9 @@ type PointExplainer interface {
 	Name() string
 	// ExplainPoint returns subspaces ranked by how well they explain the
 	// outlyingness of point p, best first. targetDim is the requested
-	// explanation dimensionality.
-	ExplainPoint(ds *dataset.Dataset, p, targetDim int) ([]ScoredSubspace, error)
+	// explanation dimensionality. Cancellation of ctx aborts the search
+	// with ctx's error.
+	ExplainPoint(ctx context.Context, ds *dataset.Dataset, p, targetDim int) ([]ScoredSubspace, error)
 }
 
 // Summarizer ranks the subspaces of the requested dimensionality that
@@ -43,8 +51,9 @@ type Summarizer interface {
 	// Name identifies the summarizer in experiment output ("LookOut", …).
 	Name() string
 	// Summarize returns subspaces ranked by collective explanation
-	// quality for the given points, best first.
-	Summarize(ds *dataset.Dataset, points []int, targetDim int) ([]ScoredSubspace, error)
+	// quality for the given points, best first. Cancellation of ctx aborts
+	// the search with ctx's error.
+	Summarize(ctx context.Context, ds *dataset.Dataset, points []int, targetDim int) ([]ScoredSubspace, error)
 }
 
 // ScoredSubspace pairs a subspace with the score its producer assigned.

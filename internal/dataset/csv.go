@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 )
@@ -29,12 +30,27 @@ func (ds *Dataset) WriteCSV(w io.Writer) error {
 
 // ReadCSV reads a dataset from CSV. If header is true the first record is
 // interpreted as feature names; otherwise names F0…F(d−1) are generated.
+//
+// Input is validated strictly: every row must have the same number of fields
+// as the first, and every value must be a finite float — NaN and ±Inf parse
+// successfully but poison distance computations and detector scores far from
+// their source, so they are rejected here with the offending row and column
+// named.
 func ReadCSV(name string, r io.Reader, header bool) (*Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
+	// The csv package's own ragged-row check is kept off so the error can
+	// name the dataset, row, and both field counts in this package's format.
+	cr.FieldsPerRecord = -1
 	var features []string
 	var cols [][]float64
 	row := 0
+	colName := func(f int) string {
+		if f < len(features) {
+			return fmt.Sprintf("column %d (%s)", f, features[f])
+		}
+		return fmt.Sprintf("column %d", f)
+	}
 	for {
 		record, err := cr.Read()
 		if err == io.EOF {
@@ -59,7 +75,10 @@ func ReadCSV(name string, r io.Reader, header bool) (*Dataset, error) {
 		for f, field := range record {
 			v, err := strconv.ParseFloat(field, 64)
 			if err != nil {
-				return nil, fmt.Errorf("dataset %q: row %d field %d: %w", name, row, f, err)
+				return nil, fmt.Errorf("dataset %q: row %d %s: %w", name, row, colName(f), err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset %q: row %d %s: non-finite value %q", name, row, colName(f), field)
 			}
 			cols[f] = append(cols[f], v)
 		}

@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestReadCSVRejectsNonFinite: NaN and ±Inf parse as valid floats but poison
+// every distance and score computed from them, so ReadCSV must reject them
+// naming the offending row and column.
+func TestReadCSVRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		name, csv string
+		wantIn    []string
+	}{
+		{"NaN", "a,b\n1,2\n3,NaN\n", []string{"row 1", "column 1 (b)", "NaN"}},
+		{"+Inf", "a,b\nInf,2\n", []string{"row 0", "column 0 (a)", "Inf"}},
+		{"-Inf", "a,b\n1,-Inf\n", []string{"row 0", "column 1 (b)"}},
+		{"headerless NaN", "1,2\nnan,4\n", []string{"row 1", "column 0"}},
+	}
+	for _, c := range cases {
+		_, err := ReadCSV("x", strings.NewReader(c.csv), strings.Contains(c.csv, "a,b"))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		for _, want := range c.wantIn {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q does not name %q", c.name, err, want)
+			}
+		}
+	}
+}
+
+// TestReadCSVRejectsRaggedRows: a row with a different field count fails with
+// the row number and both counts.
+func TestReadCSVRejectsRaggedRows(t *testing.T) {
+	_, err := ReadCSV("x", strings.NewReader("a,b\n1,2\n3,4,5\n"), true)
+	if err == nil {
+		t.Fatal("ragged row accepted")
+	}
+	for _, want := range []string{"row 1", "3 fields", "want 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+}
+
+// FuzzReadCSV drives arbitrary byte input through the parser. The invariant:
+// ReadCSV either errors, or returns a dataset in which every value is finite
+// and every column has exactly N values — no partial or poisoned dataset
+// ever escapes.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n3,4\n", true)
+	f.Add("1,2\n3,4\n", false)
+	f.Add("a,b\n1,NaN\n", true)
+	f.Add("a,b\n1\n", true)
+	f.Add("x\n+Inf\n", true)
+	f.Add("", false)
+	f.Add("a,b\n1,2\n3,4,5\n", true)
+	f.Add("\"quoted\nnewline\",2\n1,2\n", false)
+	f.Fuzz(func(t *testing.T, data string, header bool) {
+		ds, err := ReadCSV("fuzz", strings.NewReader(data), header)
+		if err != nil {
+			return
+		}
+		if ds.N() <= 0 || ds.D() <= 0 {
+			t.Fatalf("accepted dataset with shape %d×%d", ds.N(), ds.D())
+		}
+		for fi := 0; fi < ds.D(); fi++ {
+			col := ds.Column(fi)
+			if len(col) != ds.N() {
+				t.Fatalf("column %d has %d values, want %d", fi, len(col), ds.N())
+			}
+			for i, v := range col {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite value %v at row %d column %d slipped through", v, i, fi)
+				}
+			}
+		}
+	})
+}

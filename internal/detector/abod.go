@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"context"
 	"math"
 
 	"anex/internal/dataset"
@@ -42,10 +43,12 @@ func (a *FastABOD) k() int {
 	return a.K
 }
 
-// Scores computes −ABOF for every point of the view.
-func (a *FastABOD) Scores(v *dataset.View) []float64 {
+// Scores computes −ABOF for every point of the view. K values ≥ n are
+// clamped to n−1 (the complete neighbourhood), so degenerate
+// parameterisations degrade instead of indexing out of bounds.
+func (a *FastABOD) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 	if err := checkView("FastABOD", v); err != nil {
-		panic(err) // contract violation, not a data error
+		return nil, err
 	}
 	n := v.N()
 	k := a.k()
@@ -55,10 +58,13 @@ func (a *FastABOD) Scores(v *dataset.View) []float64 {
 	scores := make([]float64, n)
 	if k < 2 {
 		// No angle pairs exist; everything is equally (non-)outlying.
-		return scores
+		return scores, nil
 	}
 	ix := neighbors.NewIndex(v.Points())
-	nnIdx, _ := neighbors.AllKNNParallel(ix, k, a.Workers)
+	nnIdx, _, err := neighbors.AllKNNParallel(ctx, ix, k, a.Workers)
+	if err != nil {
+		return nil, err
+	}
 
 	dim := v.Dim()
 	// One pair of difference-vector scratch buffers per worker shard: the
@@ -70,7 +76,7 @@ func (a *FastABOD) Scores(v *dataset.View) []float64 {
 		scratchA[s] = make([]float64, dim)
 		scratchB[s] = make([]float64, dim)
 	}
-	parallel.ForEachShard(a.Workers, n, func(shard, i int) {
+	err = parallel.ForEachShard(ctx, a.Workers, n, func(shard, i int) {
 		da, db := scratchA[shard], scratchB[shard]
 		p := v.Point(i)
 		nbrs := nnIdx[i]
@@ -115,6 +121,9 @@ func (a *FastABOD) Scores(v *dataset.View) []float64 {
 		abof := m2 / float64(count) // population variance of the spectrum
 		scores[i] = -abof
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Replace the -Inf sentinels with the minimum finite score so that
 	// downstream statistics stay finite.
 	minFinite := math.Inf(1)
@@ -131,5 +140,5 @@ func (a *FastABOD) Scores(v *dataset.View) []float64 {
 			scores[i] = minFinite
 		}
 	}
-	return scores
+	return scores, nil
 }

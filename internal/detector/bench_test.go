@@ -1,11 +1,14 @@
 package detector
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"anex/internal/dataset"
 )
+
+var ctx = context.Background()
 
 func benchView(b *testing.B, n, d int) *dataset.View {
 	b.Helper()
@@ -31,31 +34,31 @@ func BenchmarkDetectors1000x3(b *testing.B) {
 	b.Run("LOF", func(b *testing.B) {
 		det := NewLOF(15)
 		for i := 0; i < b.N; i++ {
-			det.Scores(view)
+			det.Scores(ctx, view)
 		}
 	})
 	b.Run("FastABOD", func(b *testing.B) {
 		det := NewFastABOD(10)
 		for i := 0; i < b.N; i++ {
-			det.Scores(view)
+			det.Scores(ctx, view)
 		}
 	})
 	b.Run("iForest-1rep", func(b *testing.B) {
 		det := &IsolationForest{Trees: 100, Subsample: 256, Repetitions: 1, Seed: 1}
 		for i := 0; i < b.N; i++ {
-			det.Scores(view)
+			det.Scores(ctx, view)
 		}
 	})
 	b.Run("LODA", func(b *testing.B) {
 		det := NewLODA(1)
 		for i := 0; i < b.N; i++ {
-			det.Scores(view)
+			det.Scores(ctx, view)
 		}
 	})
 	b.Run("kNN-dist", func(b *testing.B) {
 		det := NewKNNDist(10)
 		for i := 0; i < b.N; i++ {
-			det.Scores(view)
+			det.Scores(ctx, view)
 		}
 	})
 }
@@ -66,7 +69,7 @@ func BenchmarkLOFByDimensionality(b *testing.B) {
 		b.Run(string(rune('0'+d/10))+string(rune('0'+d%10))+"d", func(b *testing.B) {
 			det := NewLOF(15)
 			for i := 0; i < b.N; i++ {
-				det.Scores(view)
+				det.Scores(ctx, view)
 			}
 		})
 	}
@@ -75,9 +78,9 @@ func BenchmarkLOFByDimensionality(b *testing.B) {
 func BenchmarkCachedDetectorHit(b *testing.B) {
 	view := benchView(b, 500, 3)
 	c := NewCached(NewLOF(15))
-	c.Scores(view) // warm
+	c.Scores(ctx, view) // warm
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Scores(view)
+		c.Scores(ctx, view)
 	}
 }

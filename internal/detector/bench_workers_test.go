@@ -15,19 +15,19 @@ func BenchmarkDetectorWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("LOF/workers=%d", w), func(b *testing.B) {
 			det := &LOF{K: 15, Workers: w}
 			for i := 0; i < b.N; i++ {
-				det.Scores(view)
+				det.Scores(ctx, view)
 			}
 		})
 		b.Run(fmt.Sprintf("FastABOD/workers=%d", w), func(b *testing.B) {
 			det := &FastABOD{K: 10, Workers: w}
 			for i := 0; i < b.N; i++ {
-				det.Scores(view)
+				det.Scores(ctx, view)
 			}
 		})
 		b.Run(fmt.Sprintf("iForest/workers=%d", w), func(b *testing.B) {
 			det := &IsolationForest{Trees: 100, Subsample: 256, Repetitions: 1, Seed: 1, Workers: w}
 			for i := 0; i < b.N; i++ {
-				det.Scores(view)
+				det.Scores(ctx, view)
 			}
 		})
 	}

@@ -1,7 +1,9 @@
 package detector
 
 import (
+	"context"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -21,10 +23,10 @@ type gatedDetector struct {
 
 func (g *gatedDetector) Name() string { return "gated" }
 
-func (g *gatedDetector) Scores(v *dataset.View) []float64 {
+func (g *gatedDetector) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 	g.inner.Add(1)
 	<-g.gate
-	return g.scores
+	return g.scores, nil
 }
 
 func smallView(t testing.TB, seed int64) *dataset.View {
@@ -54,12 +56,13 @@ func TestCachedSingleflight(t *testing.T) {
 
 	const n = 16
 	results := make([][]float64, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
-			results[i] = c.Scores(view)
+			results[i], errs[i] = c.Scores(ctx, view)
 		}(i)
 	}
 	// Wait until all n goroutines have entered Scores (each increments the
@@ -86,13 +89,16 @@ func TestCachedSingleflight(t *testing.T) {
 		t.Errorf("stats = (%d calls, %d hits), want (%d, %d)", calls, hits, n, n-1)
 	}
 	for i, r := range results {
+		if errs[i] != nil {
+			t.Fatalf("caller %d error: %v", i, errs[i])
+		}
 		if len(r) != 3 || r[0] != 1 || r[1] != 2 || r[2] != 3 {
 			t.Fatalf("caller %d got scores %v", i, r)
 		}
 	}
 	// A subsequent call is a plain memo hit.
-	if s := c.Scores(view); len(s) != 3 {
-		t.Errorf("post-flight hit returned %v", s)
+	if s, err := c.Scores(ctx, view); err != nil || len(s) != 3 {
+		t.Errorf("post-flight hit returned %v, %v", s, err)
 	}
 	if calls, hits := c.Stats(); calls != n+1 || hits != n {
 		t.Errorf("post-flight stats = (%d, %d), want (%d, %d)", calls, hits, n+1, n)
@@ -121,8 +127,8 @@ func TestCachedConcurrentDistinctKeys(t *testing.T) {
 	c := NewCached(inner)
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go func() { defer wg.Done(); c.Scores(viewA) }()
-	go func() { defer wg.Done(); c.Scores(viewB) }()
+	go func() { defer wg.Done(); c.Scores(ctx, viewA) }()
+	go func() { defer wg.Done(); c.Scores(ctx, viewB) }()
 	// Both keys must reach the inner detector: two leaders, no cross-key
 	// blocking. Only then release them.
 	deadline := time.Now().Add(10 * time.Second)
@@ -139,15 +145,194 @@ func TestCachedConcurrentDistinctKeys(t *testing.T) {
 	}
 }
 
+// panickyDetector blocks on its gate, then panics — the probe for leader
+// crash containment.
+type panickyDetector struct {
+	gate chan struct{}
+}
+
+func (p *panickyDetector) Name() string { return "panicky" }
+
+func (p *panickyDetector) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
+	<-p.gate
+	panic("detector crashed")
+}
+
+// TestCachedLeaderPanicReleasesWaitersWithError asserts the fault-containment
+// contract: when the singleflight leader's inner computation panics, every
+// concurrent waiter is released with an ERROR (not a cascading panic in its
+// own goroutine), while the panic itself continues up the leader's stack.
+func TestCachedLeaderPanicReleasesWaitersWithError(t *testing.T) {
+	view := smallView(t, 3)
+	inner := &panickyDetector{gate: make(chan struct{})}
+	c := NewCached(inner)
+
+	const n = 8
+	var panics, errsWithMark atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// Only the leader's goroutine may see the panic.
+					panics.Add(1)
+				}
+			}()
+			_, err := c.Scores(ctx, view)
+			if err != nil && strings.Contains(err.Error(), "panicked in its leader") {
+				errsWithMark.Add(1)
+			}
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if calls, _ := c.Stats(); calls == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for concurrent callers")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(inner.gate)
+	wg.Wait()
+
+	if got := panics.Load(); got != 1 {
+		t.Errorf("%d goroutines panicked, want exactly 1 (the leader)", got)
+	}
+	if got := errsWithMark.Load(); got != n-1 {
+		t.Errorf("%d waiters got the leader-panic error, want %d", got, n-1)
+	}
+	// The failure must not be memoised: a later call runs the inner
+	// detector again (and panics again, proving a fresh computation).
+	func() {
+		defer func() { recover() }()
+		_, err := c.Scores(ctx, view)
+		t.Errorf("post-crash call returned err=%v instead of recomputing", err)
+	}()
+}
+
+// retryProbeDetector fails its first call by blocking until that call's ctx
+// is cancelled; later calls succeed. It probes the waiter-retry path: a
+// leader cancelled by its own context must not poison waiters whose
+// contexts are still live.
+type retryProbeDetector struct {
+	calls  atomic.Int32
+	scores []float64
+}
+
+func (d *retryProbeDetector) Name() string { return "retry-probe" }
+
+func (d *retryProbeDetector) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
+	if d.calls.Add(1) == 1 {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return d.scores, nil
+}
+
+func TestCachedWaiterRetriesAfterLeaderContextCancelled(t *testing.T) {
+	view := smallView(t, 4)
+	inner := &retryProbeDetector{scores: []float64{7, 7}}
+	c := NewCached(inner)
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.Scores(leaderCtx, view)
+		leaderErr <- err
+	}()
+	// Wait for the leader to enter the inner detector.
+	deadline := time.Now().Add(10 * time.Second)
+	for inner.calls.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never reached the inner detector")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A waiter with a live context joins the in-flight call.
+	waiterScores := make(chan []float64, 1)
+	waiterErrC := make(chan error, 1)
+	go func() {
+		s, err := c.Scores(context.Background(), view)
+		waiterScores <- s
+		waiterErrC <- err
+	}()
+	// Let the waiter park on the in-flight call, then kill the leader.
+	for {
+		if calls, _ := c.Stats(); calls == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never entered Scores")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+
+	if err := <-leaderErr; err == nil {
+		t.Error("cancelled leader returned nil error")
+	}
+	if err := <-waiterErrC; err != nil {
+		t.Fatalf("waiter inherited the leader's cancellation: %v", err)
+	}
+	if s := <-waiterScores; len(s) != 2 || s[0] != 7 {
+		t.Errorf("waiter scores = %v after retry", s)
+	}
+	if got := inner.calls.Load(); got != 2 {
+		t.Errorf("inner detector ran %d times, want 2 (failed leader + retrying waiter)", got)
+	}
+}
+
+// TestCachedWaiterOwnContextCancelled: a waiter whose OWN context dies while
+// parked on another goroutine's computation returns promptly with its error.
+func TestCachedWaiterOwnContextCancelled(t *testing.T) {
+	view := smallView(t, 5)
+	inner := &gatedDetector{gate: make(chan struct{}), scores: []float64{1}}
+	c := NewCached(inner)
+	go c.Scores(context.Background(), view) // leader, parked on the gate
+	deadline := time.Now().Add(10 * time.Second)
+	for inner.inner.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Scores(waiterCtx, view)
+		done <- err
+	}()
+	for {
+		if calls, _ := c.Stats(); calls == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelWaiter()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("waiter with dead context returned nil error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter did not unblock on its own cancellation")
+	}
+	close(inner.gate) // release the leader for cleanup
+}
+
 // TestDetectorWorkerCountInvariance asserts the determinism contract of the
 // parallel inner loops: every detector returns bit-identical scores at any
 // worker count.
 func TestDetectorWorkerCountInvariance(t *testing.T) {
 	view := smallView(t, 3)
 	t.Run("iForest", func(t *testing.T) {
-		serial := (&IsolationForest{Trees: 20, Subsample: 32, Repetitions: 3, Seed: 7}).Scores(view)
+		serial := mustScores(t, &IsolationForest{Trees: 20, Subsample: 32, Repetitions: 3, Seed: 7}, view)
 		for _, w := range []int{2, 8} {
-			par := (&IsolationForest{Trees: 20, Subsample: 32, Repetitions: 3, Seed: 7, Workers: w}).Scores(view)
+			par := mustScores(t, &IsolationForest{Trees: 20, Subsample: 32, Repetitions: 3, Seed: 7, Workers: w}, view)
 			for i := range serial {
 				if par[i] != serial[i] {
 					t.Fatalf("workers=%d: score[%d] = %v, serial %v", w, i, par[i], serial[i])
@@ -156,8 +341,8 @@ func TestDetectorWorkerCountInvariance(t *testing.T) {
 		}
 	})
 	t.Run("LOF", func(t *testing.T) {
-		serial := NewLOF(5).Scores(view)
-		par := (&LOF{K: 5, Workers: 8}).Scores(view)
+		serial := mustScores(t, NewLOF(5), view)
+		par := mustScores(t, &LOF{K: 5, Workers: 8}, view)
 		for i := range serial {
 			if par[i] != serial[i] {
 				t.Fatalf("score[%d] = %v, serial %v", i, par[i], serial[i])
@@ -165,8 +350,8 @@ func TestDetectorWorkerCountInvariance(t *testing.T) {
 		}
 	})
 	t.Run("FastABOD", func(t *testing.T) {
-		serial := NewFastABOD(5).Scores(view)
-		par := (&FastABOD{K: 5, Workers: 8}).Scores(view)
+		serial := mustScores(t, NewFastABOD(5), view)
+		par := mustScores(t, &FastABOD{K: 5, Workers: 8}, view)
 		for i := range serial {
 			if par[i] != serial[i] {
 				t.Fatalf("score[%d] = %v, serial %v", i, par[i], serial[i])
@@ -186,7 +371,7 @@ func TestTimedDetector(t *testing.T) {
 	if td.Elapsed() != 0 || td.Calls() != 0 {
 		t.Error("fresh timer not zero")
 	}
-	s := td.Scores(view)
+	s := mustScores(t, td, view)
 	if len(s) != view.N() {
 		t.Fatalf("scores len %d", len(s))
 	}

@@ -5,10 +5,14 @@
 // memoises per-subspace scores across explainers.
 //
 // All detectors return scores where higher means more outlying, as required
-// by the core.Detector contract.
+// by the core.Detector contract, and observe their context between points
+// so per-cell deadlines and SIGINT cancellation propagate into the hottest
+// scoring loops.
 package detector
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -23,6 +27,14 @@ import (
 // deduplicated singleflight-style: one caller computes while the others
 // wait for its result, so a subspace is never scored twice no matter how
 // many pipeline workers race on it.
+//
+// Fault containment: a leader whose inner computation panics releases its
+// waiters with an ERROR describing the crash (never a cascading re-panic in
+// their goroutines) while the panic itself continues up the leader's own
+// stack, where the pipeline's cell isolation converts it into that cell's
+// Result.Err. A leader that fails because its OWN context was cancelled
+// does not poison waiters either: waiters whose contexts are still live
+// simply retry, electing a new leader.
 type Cached struct {
 	inner core.Detector
 
@@ -38,7 +50,7 @@ type Cached struct {
 type inflightCall struct {
 	done   chan struct{}
 	scores []float64
-	ok     bool // false if the leader's inner.Scores panicked
+	err    error // non-nil when the leader failed (error or panic)
 }
 
 // NewCached wraps d with a score memo keyed by (dataset name, subspace);
@@ -58,44 +70,76 @@ func (c *Cached) Name() string { return c.inner.Name() }
 // first access. The returned slice is shared; callers must not mutate it.
 // When several goroutines miss on the same key simultaneously, exactly one
 // runs the inner detector and the rest block until it finishes — a waiter
-// counts as a hit, since it triggers no inner work.
-func (c *Cached) Scores(v *dataset.View) []float64 {
+// counts as a hit, since it triggers no inner work. A waiter also unblocks
+// when its own ctx is cancelled, returning ctx's error without waiting for
+// the leader.
+func (c *Cached) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 	key := v.Dataset().Name() + "|" + v.Subspace().Key()
 	c.mu.Lock()
 	c.calls++
-	if s, ok := c.memo[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		return s
-	}
-	if call, ok := c.inflight[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		<-call.done
-		if !call.ok {
-			panic(fmt.Sprintf("detector: concurrent %s computation for %q panicked in its leader", c.inner.Name(), key))
-		}
-		return call.scores
-	}
-	call := &inflightCall{done: make(chan struct{})}
-	c.inflight[key] = call
 	c.mu.Unlock()
-
-	// The leader computes outside the lock. The deferred cleanup releases
-	// waiters even if the inner detector panics (a contract violation),
-	// so no goroutine is left blocked.
-	defer func() {
+	for {
 		c.mu.Lock()
-		if call.ok {
+		if s, ok := c.memo[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return s, nil
+		}
+		if call, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if call.err != nil {
+				// A leader cancelled by ITS context must not fail waiters
+				// whose contexts are still live: retry (becoming the new
+				// leader or finding a published memo).
+				if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				return nil, call.err
+			}
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			return call.scores, nil
+		}
+		call := &inflightCall{done: make(chan struct{})}
+		c.inflight[key] = call
+		c.mu.Unlock()
+		return c.lead(ctx, v, key, call)
+	}
+}
+
+// lead runs the inner detector as the key's singleflight leader and
+// publishes the outcome to waiters. A panicking inner detector surfaces to
+// waiters as an error; the panic itself continues up the leader's stack.
+func (c *Cached) lead(ctx context.Context, v *dataset.View, key string, call *inflightCall) ([]float64, error) {
+	completed := false
+	defer func() {
+		if !completed {
+			// inner.Scores panicked. Record an error for the waiters —
+			// re-panicking in THEIR goroutines would crash call sites that
+			// never touched the faulty computation — and let the panic
+			// continue through this (the leader's) stack.
+			call.err = fmt.Errorf("detector: concurrent %s computation for %q panicked in its leader", c.inner.Name(), key)
+		}
+		c.mu.Lock()
+		if call.err == nil {
 			c.memo[key] = call.scores
 		}
 		delete(c.inflight, key)
 		c.mu.Unlock()
 		close(call.done)
 	}()
-	call.scores = c.inner.Scores(v)
-	call.ok = true
-	return call.scores
+	call.scores, call.err = c.inner.Scores(ctx, v)
+	completed = true
+	return call.scores, call.err
 }
 
 // Stats returns cache calls and hits since construction. A call that waited
@@ -116,6 +160,9 @@ func (c *Cached) Reset() {
 	c.calls, c.hits = 0, 0
 }
 
+var _ core.Detector = (*Cached)(nil)
+
+// checkView validates the common Scores preconditions.
 func checkView(name string, v *dataset.View) error {
 	if v == nil || v.N() == 0 {
 		return fmt.Errorf("%s: empty view", name)

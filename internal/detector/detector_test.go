@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -10,6 +11,17 @@ import (
 	"anex/internal/dataset"
 	"anex/internal/subspace"
 )
+
+// mustScores runs the detector and fails the test on error — the common
+// case for tests exercising well-formed inputs.
+func mustScores(t *testing.T, d core.Detector, v *dataset.View) []float64 {
+	t.Helper()
+	scores, err := d.Scores(context.Background(), v)
+	if err != nil {
+		t.Fatalf("%s.Scores: %v", d.Name(), err)
+	}
+	return scores
+}
 
 // clusterWithOutlier builds a 2d dataset: a dense Gaussian cluster of n−1
 // points around the origin plus one point far away at (off, off). The
@@ -71,7 +83,7 @@ func argMax(xs []float64) int {
 
 func TestLOFScoresInliersNearOne(t *testing.T) {
 	ds := clusterWithOutlier(t, 200, 50, 1)
-	scores := NewLOF(15).Scores(ds.FullView())
+	scores := mustScores(t, NewLOF(15), ds.FullView())
 	outlier := ds.N() - 1
 	if got := argMax(scores); got != outlier {
 		t.Fatalf("LOF top point = %d, want %d", got, outlier)
@@ -92,7 +104,7 @@ func TestLOFScoresInliersNearOne(t *testing.T) {
 
 func TestLOFFindsLocalOutlier(t *testing.T) {
 	ds, outlier := twoDensityClusters(t, 2)
-	scores := NewLOF(15).Scores(ds.FullView())
+	scores := mustScores(t, NewLOF(15), ds.FullView())
 	if got := argMax(scores); got != outlier {
 		t.Fatalf("LOF missed the local density outlier: top = %d, want %d", got, outlier)
 	}
@@ -107,7 +119,7 @@ func TestLOFDefaultsAndTinyData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := l.Scores(ds.FullView()); len(got) != 1 || got[0] != 1 {
+	if got := mustScores(t, l, ds.FullView()); len(got) != 1 || got[0] != 1 {
 		t.Errorf("single point scores = %v", got)
 	}
 }
@@ -119,7 +131,7 @@ func TestLOFDuplicatePoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scores := NewLOF(3).Scores(ds.FullView())
+	scores := mustScores(t, NewLOF(3), ds.FullView())
 	for i, s := range scores {
 		if math.IsNaN(s) || math.IsInf(s, 0) {
 			t.Fatalf("score[%d] = %v", i, s)
@@ -132,7 +144,7 @@ func TestLOFDuplicatePoints(t *testing.T) {
 
 func TestFastABODFindsBorderPoint(t *testing.T) {
 	ds := clusterWithOutlier(t, 120, 10, 3)
-	scores := NewFastABOD(10).Scores(ds.FullView())
+	scores := mustScores(t, NewFastABOD(10), ds.FullView())
 	outlier := ds.N() - 1
 	if got := argMax(scores); got != outlier {
 		t.Fatalf("FastABOD top point = %d, want %d", got, outlier)
@@ -142,7 +154,7 @@ func TestFastABODFindsBorderPoint(t *testing.T) {
 func TestFastABODOrientation(t *testing.T) {
 	// Higher score must mean more outlying (the raw ABOF is negated).
 	ds := clusterWithOutlier(t, 100, 20, 4)
-	scores := NewFastABOD(10).Scores(ds.FullView())
+	scores := mustScores(t, NewFastABOD(10), ds.FullView())
 	outlier := ds.N() - 1
 	inlierScore := scores[0]
 	if scores[outlier] <= inlierScore {
@@ -160,7 +172,7 @@ func TestFastABODDegenerate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scores := l.Scores(ds.FullView())
+	scores := mustScores(t, l, ds.FullView())
 	if scores[0] != 0 || scores[1] != 0 {
 		t.Errorf("degenerate scores = %v", scores)
 	}
@@ -169,9 +181,37 @@ func TestFastABODDegenerate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range l.Scores(dup.FullView()) {
+	for _, s := range mustScores(t, l, dup.FullView()) {
 		if math.IsNaN(s) || math.IsInf(s, 0) {
 			t.Fatalf("non-finite score %v", s)
+		}
+	}
+}
+
+// TestKNNDetectorsClampOversizedK: every neighbourhood-based detector must
+// clamp k ≥ n to n−1 rather than index out of bounds. An absurd k still
+// produces a full, finite score vector. Only kNN-dist additionally keeps
+// the planted outlier on top: with the complete neighbourhood the farthest
+// point stays farthest, while LOF's and FastABOD's local statistics
+// legitimately flatten when every point shares the same neighbour set.
+func TestKNNDetectorsClampOversizedK(t *testing.T) {
+	ds := clusterWithOutlier(t, 10, 8, 21)
+	for _, d := range []core.Detector{NewLOF(999), NewFastABOD(999), NewKNNDist(999)} {
+		scores := mustScores(t, d, ds.FullView())
+		if len(scores) != ds.N() {
+			t.Fatalf("%s with k=999: %d scores for %d points", d.Name(), len(scores), ds.N())
+		}
+		top, topScore := 0, math.Inf(-1)
+		for i, s := range scores {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Fatalf("%s with k=999: non-finite score %v at %d", d.Name(), s, i)
+			}
+			if s > topScore {
+				top, topScore = i, s
+			}
+		}
+		if d.Name() == "kNN-dist" && top != ds.N()-1 {
+			t.Errorf("%s with clamped k ranks point %d over the planted outlier", d.Name(), top)
 		}
 	}
 }
@@ -179,7 +219,7 @@ func TestFastABODDegenerate(t *testing.T) {
 func TestIsolationForestFindsOutlier(t *testing.T) {
 	ds := clusterWithOutlier(t, 256, 30, 5)
 	f := &IsolationForest{Trees: 50, Subsample: 64, Repetitions: 2, Seed: 7}
-	scores := f.Scores(ds.FullView())
+	scores := mustScores(t, f, ds.FullView())
 	outlier := ds.N() - 1
 	if got := argMax(scores); got != outlier {
 		t.Fatalf("iForest top point = %d, want %d", got, outlier)
@@ -197,8 +237,8 @@ func TestIsolationForestFindsOutlier(t *testing.T) {
 func TestIsolationForestDeterminism(t *testing.T) {
 	ds := clusterWithOutlier(t, 100, 10, 6)
 	f := &IsolationForest{Trees: 20, Subsample: 32, Repetitions: 2, Seed: 9}
-	a := f.Scores(ds.FullView())
-	b := f.Scores(ds.FullView())
+	a := mustScores(t, f, ds.FullView())
+	b := mustScores(t, f, ds.FullView())
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("nondeterministic score at %d: %v vs %v", i, a[i], b[i])
@@ -206,8 +246,8 @@ func TestIsolationForestDeterminism(t *testing.T) {
 	}
 	// A different subspace gets a different stream but stays deterministic.
 	v := ds.View(subspace.New(0))
-	c := f.Scores(v)
-	d := f.Scores(v)
+	c := mustScores(t, f, v)
+	d := mustScores(t, f, v)
 	for i := range c {
 		if c[i] != d[i] {
 			t.Fatalf("nondeterministic subspace score at %d", i)
@@ -224,7 +264,7 @@ func TestIsolationForestRepetitionAveragingReducesVariance(t *testing.T) {
 		var vals []float64
 		for seed := int64(0); seed < 12; seed++ {
 			f.Seed = seed
-			vals = append(vals, f.Scores(ds.FullView())[ds.N()-1])
+			vals = append(vals, mustScores(t, f, ds.FullView())[ds.N()-1])
 		}
 		var m, m2 float64
 		for i, v := range vals {
@@ -247,7 +287,7 @@ func TestIsolationForestConstantData(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := &IsolationForest{Trees: 10, Subsample: 8, Repetitions: 1}
-	for _, s := range f.Scores(ds.FullView()) {
+	for _, s := range mustScores(t, f, ds.FullView()) {
 		if math.IsNaN(s) || math.IsInf(s, 0) {
 			t.Fatalf("non-finite score %v on constant data", s)
 		}
@@ -283,8 +323,8 @@ func TestCachedDetector(t *testing.T) {
 		t.Errorf("name = %q", c.Name())
 	}
 	v := ds.View(subspace.New(0, 1))
-	a := c.Scores(v)
-	b := c.Scores(ds.View(subspace.New(0, 1)))
+	a := mustScores(t, c, v)
+	b := mustScores(t, c, ds.View(subspace.New(0, 1)))
 	calls, hits := c.Stats()
 	if calls != 2 || hits != 1 {
 		t.Errorf("calls=%d hits=%d", calls, hits)
@@ -295,7 +335,7 @@ func TestCachedDetector(t *testing.T) {
 		}
 	}
 	// Different subspace → different cache entry.
-	c.Scores(ds.View(subspace.New(0)))
+	mustScores(t, c, ds.View(subspace.New(0)))
 	calls, hits = c.Stats()
 	if calls != 3 || hits != 1 {
 		t.Errorf("after new subspace: calls=%d hits=%d", calls, hits)
@@ -319,6 +359,7 @@ func TestDetectorsImplementInterface(t *testing.T) {
 }
 
 func TestPropertyScoresAreFinite(t *testing.T) {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(123))
 	f := func(nRaw, dRaw uint8, seed int64) bool {
 		n := int(nRaw%40) + 3
@@ -341,7 +382,11 @@ func TestPropertyScoresAreFinite(t *testing.T) {
 			&IsolationForest{Trees: 5, Subsample: 16, Repetitions: 1, Seed: seed},
 		}
 		for _, det := range dets {
-			for _, s := range det.Scores(ds.FullView()) {
+			scores, err := det.Scores(ctx, ds.FullView())
+			if err != nil {
+				return false
+			}
+			for _, s := range scores {
 				if math.IsNaN(s) || math.IsInf(s, 0) {
 					return false
 				}

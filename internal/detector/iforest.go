@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -72,10 +73,11 @@ func (f *IsolationForest) repetitions() int {
 	return f.Repetitions
 }
 
-// Scores computes the averaged isolation score of every point of the view.
-func (f *IsolationForest) Scores(v *dataset.View) []float64 {
+// Scores computes the averaged isolation score of every point of the view,
+// observing ctx between repetitions and between scored points.
+func (f *IsolationForest) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 	if err := checkView("iForest", v); err != nil {
-		panic(err) // contract violation, not a data error
+		return nil, err
 	}
 	n := v.N()
 	psi := f.subsample()
@@ -88,13 +90,16 @@ func (f *IsolationForest) Scores(v *dataset.View) []float64 {
 	// which subspaces are evaluated.
 	base := f.Seed ^ hashString(v.Dataset().Name()+"|"+v.Subspace().Key())
 	for r := 0; r < reps; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rng := rand.New(rand.NewSource(base + int64(r)*int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)))
 		forest := buildForest(v, f.trees(), psi, rng)
 		c := averagePathLength(float64(psi))
 		// Each point's traversal of the (now immutable) forest is
 		// independent and accumulates into its own slot, in the same
 		// repetition order as the serial loop — bit-identical output.
-		parallel.ForEach(f.Workers, n, func(i int) {
+		err := parallel.ForEach(ctx, f.Workers, n, func(i int) {
 			var sum float64
 			for _, t := range forest {
 				sum += t.pathLength(v.Point(i))
@@ -102,11 +107,14 @@ func (f *IsolationForest) Scores(v *dataset.View) []float64 {
 			e := sum / float64(len(forest))
 			scores[i] += math.Pow(2, -e/c)
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	for i := range scores {
 		scores[i] /= float64(reps)
 	}
-	return scores
+	return scores, nil
 }
 
 // hashString is FNV-1a folded to int64, used to derive per-subspace seeds.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"anex/internal/core"
 	"anex/internal/dataset"
 )
 
@@ -59,8 +60,11 @@ func TestLOFSimilarityInvariance(t *testing.T) {
 		shift := float64(int(shiftSeed)-128) / 4
 		ds := randomDataset(rng, 60, 3)
 		lof := NewLOF(10)
-		a := lof.Scores(ds.FullView())
-		b := lof.Scores(transform(ds, scale, shift).FullView())
+		a, errA := lof.Scores(ctx, ds.FullView())
+		b, errB := lof.Scores(ctx, transform(ds, scale, shift).FullView())
+		if errA != nil || errB != nil {
+			return false
+		}
 		for i := range a {
 			if math.Abs(a[i]-b[i]) > 1e-9*(1+math.Abs(a[i])) {
 				return false
@@ -80,8 +84,8 @@ func TestABODRankingScaleInvariance(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	ds := randomDataset(rng, 80, 3)
 	abod := NewFastABOD(10)
-	a := abod.Scores(ds.FullView())
-	b := abod.Scores(transform(ds, 3.5, -2).FullView())
+	a := mustScores(t, abod, ds.FullView())
+	b := mustScores(t, abod, transform(ds, 3.5, -2).FullView())
 	ra := rankOf(a)
 	rb := rankOf(b)
 	mismatches := 0
@@ -106,7 +110,11 @@ func TestIForestScoreBounds(t *testing.T) {
 		d := int(dRaw%5) + 1
 		ds := randomDataset(rng, n, d)
 		det := &IsolationForest{Trees: 10, Subsample: 32, Repetitions: 1, Seed: seed}
-		for _, s := range det.Scores(ds.FullView()) {
+		scores, err := det.Scores(ctx, ds.FullView())
+		if err != nil {
+			return false
+		}
+		for _, s := range scores {
 			if s <= 0 || s >= 1 {
 				return false
 			}
@@ -134,8 +142,8 @@ func TestLOFSubspacePermutationInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := lof.Scores(orig.FullView())
-	b := lof.Scores(swapped.FullView())
+	a := mustScores(t, lof, orig.FullView())
+	b := mustScores(t, lof, swapped.FullView())
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("score[%d] differs under feature permutation", i)
@@ -150,9 +158,7 @@ func TestDetectorsDeterministicAcrossCalls(t *testing.T) {
 	ds := randomDataset(rng, 70, 3)
 	dets := []struct {
 		name string
-		det  interface {
-			Scores(*dataset.View) []float64
-		}
+		det  core.Detector
 	}{
 		{"LOF", NewLOF(10)},
 		{"FastABOD", NewFastABOD(8)},
@@ -161,8 +167,8 @@ func TestDetectorsDeterministicAcrossCalls(t *testing.T) {
 		{"kNN-dist", NewKNNDist(5)},
 	}
 	for _, d := range dets {
-		a := d.det.Scores(ds.FullView())
-		b := d.det.Scores(ds.FullView())
+		a := mustScores(t, d.det, ds.FullView())
+		b := mustScores(t, d.det, ds.FullView())
 		for i := range a {
 			if a[i] != b[i] {
 				t.Errorf("%s: nondeterministic score at %d", d.name, i)

@@ -1,6 +1,8 @@
 package detector
 
 import (
+	"context"
+
 	"anex/internal/dataset"
 	"anex/internal/neighbors"
 )
@@ -33,10 +35,10 @@ func (d *KNNDist) k() int {
 }
 
 // Scores returns the mean distance of each point to its k nearest
-// neighbours (higher = more outlying).
-func (d *KNNDist) Scores(v *dataset.View) []float64 {
+// neighbours (higher = more outlying). K values ≥ n are clamped to n−1.
+func (d *KNNDist) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 	if err := checkView("kNN-dist", v); err != nil {
-		panic(err) // contract violation, not a data error
+		return nil, err
 	}
 	n := v.N()
 	k := d.k()
@@ -45,10 +47,13 @@ func (d *KNNDist) Scores(v *dataset.View) []float64 {
 	}
 	scores := make([]float64, n)
 	if k < 1 {
-		return scores
+		return scores, nil
 	}
 	ix := neighbors.NewIndex(v.Points())
-	_, dist := neighbors.AllKNN(ix, k)
+	_, dist, err := neighbors.AllKNNParallel(ctx, ix, k, 1)
+	if err != nil {
+		return nil, err
+	}
 	for i := range scores {
 		var sum float64
 		for _, dd := range dist[i] {
@@ -56,5 +61,5 @@ func (d *KNNDist) Scores(v *dataset.View) []float64 {
 		}
 		scores[i] = sum / float64(len(dist[i]))
 	}
-	return scores
+	return scores, nil
 }

@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -43,17 +44,25 @@ func NewLODA(seed int64) *LODA { return &LODA{Seed: seed} }
 func (l *LODA) Name() string { return "LODA" }
 
 // Scores fits LODA on the view and returns the anomaly score of each point
-// (higher = more outlying).
-func (l *LODA) Scores(v *dataset.View) []float64 {
+// (higher = more outlying), observing ctx between points.
+func (l *LODA) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 	if err := checkView("LODA", v); err != nil {
-		panic(err) // contract violation, not a data error
+		return nil, err
 	}
 	model := FitLODA(v.Points(), l.Projections, l.Bins, l.Seed)
 	scores := make([]float64, v.N())
+	done := ctx.Done()
 	for i := range scores {
+		if done != nil && i%64 == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		scores[i] = model.Score(v.Point(i))
 	}
-	return scores
+	return scores, nil
 }
 
 // LODAModel is a fitted LODA: sparse projection vectors with per-projection

@@ -10,7 +10,7 @@ import (
 
 func TestLODAFindsClusterOutlier(t *testing.T) {
 	ds := clusterWithOutlier(t, 300, 25, 21)
-	scores := NewLODA(1).Scores(ds.FullView())
+	scores := mustScores(t, NewLODA(1), ds.FullView())
 	outlier := ds.N() - 1
 	if got := argMax(scores); got != outlier {
 		t.Fatalf("LODA top point = %d, want %d", got, outlier)
@@ -24,14 +24,14 @@ func TestLODAFindsClusterOutlier(t *testing.T) {
 
 func TestLODADeterministic(t *testing.T) {
 	ds := clusterWithOutlier(t, 100, 10, 22)
-	a := NewLODA(5).Scores(ds.FullView())
-	b := NewLODA(5).Scores(ds.FullView())
+	a := mustScores(t, NewLODA(5), ds.FullView())
+	b := mustScores(t, NewLODA(5), ds.FullView())
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("same seed, different scores")
 		}
 	}
-	c := NewLODA(6).Scores(ds.FullView())
+	c := mustScores(t, NewLODA(6), ds.FullView())
 	same := true
 	for i := range a {
 		if a[i] != c[i] {
@@ -104,7 +104,7 @@ func TestLODADegenerateData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range NewLODA(1).Scores(ds.FullView()) {
+	for _, s := range mustScores(t, NewLODA(1), ds.FullView()) {
 		if math.IsNaN(s) || math.IsInf(s, 0) {
 			t.Fatalf("non-finite score %v", s)
 		}
@@ -134,7 +134,7 @@ func TestHistogramDensity(t *testing.T) {
 
 func TestKNNDistFindsOutlier(t *testing.T) {
 	ds := clusterWithOutlier(t, 200, 30, 41)
-	scores := NewKNNDist(10).Scores(ds.FullView())
+	scores := mustScores(t, NewKNNDist(10), ds.FullView())
 	if got := argMax(scores); got != ds.N()-1 {
 		t.Fatalf("kNN-dist top point = %d", got)
 	}
@@ -145,11 +145,11 @@ func TestKNNDistMissesLocalOutlier(t *testing.T) {
 	// paper): a point just outside a dense cluster scores BELOW the bulk
 	// of a sparse cluster — LOF catches it, kNN-dist does not.
 	ds, outlier := twoDensityClusters(t, 17)
-	knn := NewKNNDist(10).Scores(ds.FullView())
+	knn := mustScores(t, NewKNNDist(10), ds.FullView())
 	if argMax(knn) == outlier {
 		t.Skip("kNN-dist happened to catch the local outlier on this draw")
 	}
-	lof := NewLOF(15).Scores(ds.FullView())
+	lof := mustScores(t, NewLOF(15), ds.FullView())
 	if argMax(lof) != outlier {
 		t.Fatalf("LOF should catch the local outlier")
 	}
@@ -164,7 +164,7 @@ func TestKNNDistDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := d.Scores(ds.FullView()); len(got) != 1 || got[0] != 0 {
+	if got := mustScores(t, d, ds.FullView()); len(got) != 1 || got[0] != 0 {
 		t.Errorf("single point scores = %v", got)
 	}
 }

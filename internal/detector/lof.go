@@ -1,6 +1,8 @@
 package detector
 
 import (
+	"context"
+
 	"anex/internal/dataset"
 	"anex/internal/neighbors"
 )
@@ -36,10 +38,12 @@ func (l *LOF) k() int {
 // Scores computes the LOF score of every point in the view. With n points
 // the complexity is O(n²) for the neighbourhood computation (O(n log n)
 // expected with the KD-tree on low-dimensional views) plus O(n·k) for the
-// density aggregation.
-func (l *LOF) Scores(v *dataset.View) []float64 {
+// density aggregation. K values ≥ n are clamped to n−1 (every other point
+// is a neighbour), so degenerate parameterisations degrade instead of
+// indexing out of bounds.
+func (l *LOF) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 	if err := checkView("LOF", v); err != nil {
-		panic(err) // contract violation, not a data error
+		return nil, err
 	}
 	n := v.N()
 	k := l.k()
@@ -48,10 +52,13 @@ func (l *LOF) Scores(v *dataset.View) []float64 {
 	}
 	if k < 1 {
 		// A single point has no neighbours; call it a perfect inlier.
-		return []float64{1}
+		return []float64{1}, nil
 	}
 	ix := neighbors.NewIndex(v.Points())
-	nnIdx, nnDist := neighbors.AllKNNParallel(ix, k, l.Workers)
+	nnIdx, nnDist, err := neighbors.AllKNNParallel(ctx, ix, k, l.Workers)
+	if err != nil {
+		return nil, err
+	}
 
 	// k-distance of each point = distance to its k-th nearest neighbour.
 	kdist := make([]float64, n)
@@ -90,7 +97,7 @@ func (l *LOF) Scores(v *dataset.View) []float64 {
 		}
 		scores[i] = sum / (float64(len(nnIdx[i])) * lrd[i])
 	}
-	return scores
+	return scores, nil
 }
 
 // maxDensity caps the local reachability density of duplicated points.

@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"context"
 	"sync/atomic"
 	"time"
 
@@ -30,12 +31,13 @@ func NewTimed(d core.Detector) *Timed { return &Timed{inner: d} }
 func (t *Timed) Name() string { return t.inner.Name() }
 
 // Scores delegates to the wrapped detector, accumulating elapsed time.
-func (t *Timed) Scores(v *dataset.View) []float64 {
+// Failed calls (including cancellations) still count their elapsed time.
+func (t *Timed) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 	start := time.Now()
-	s := t.inner.Scores(v)
+	s, err := t.inner.Scores(ctx, v)
 	t.nanos.Add(int64(time.Since(start)))
 	t.calls.Add(1)
-	return s
+	return s, err
 }
 
 // Elapsed returns the total time spent in Scores since construction.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"anex/internal/detector"
@@ -22,7 +23,7 @@ import (
 // Each row reports MAP and runtime for the two arms at the same
 // explanation dimensionality, so both the effectiveness and cost sides of
 // the choice are visible.
-func (s *Session) Ablations() *Table {
+func (s *Session) Ablations(ctx context.Context) *Table {
 	td := s.ablationDataset()
 	ds, gt := td.Dataset, td.GroundTruth
 	opts := s.Cfg.options()
@@ -56,7 +57,7 @@ func (s *Session) Ablations() *Table {
 		if raw {
 			arm = "raw"
 		}
-		addPoint("beam scoring (variable-dim)", arm, 3, pipeline.RunPointExplanation(ds, gt, pp, 3))
+		addPoint("beam scoring (variable-dim)", arm, 3, pipeline.RunPointExplanation(ctx, ds, gt, pp, 3))
 	}
 
 	// 2. Beam_FX vs variable-dimensionality Beam at the same target.
@@ -68,7 +69,7 @@ func (s *Session) Ablations() *Table {
 		if variable {
 			arm = "variable (Beam)"
 		}
-		addPoint("beam output dim", arm, 3, pipeline.RunPointExplanation(ds, gt, pp, 3))
+		addPoint("beam output dim", arm, 3, pipeline.RunPointExplanation(ctx, ds, gt, pp, 3))
 	}
 
 	// 3. Welch vs KS contrast in HiCS (the paper's footnote-2 choice):
@@ -81,7 +82,7 @@ func (s *Session) Ablations() *Table {
 		if ks {
 			arm = "ks"
 		}
-		addPoint("hics contrast", arm, 3, pipeline.RunSummarization(ds, gt, sp, 3))
+		addPoint("hics contrast", arm, 3, pipeline.RunSummarization(ctx, ds, gt, sp, 3))
 	}
 
 	// 4. HiCS output ranking: max vs mean standardised score over the
@@ -105,7 +106,7 @@ func (s *Session) Ablations() *Table {
 		if byMean {
 			arm = "mean"
 		}
-		addPoint("hics output ranking", arm, lastDim, pipeline.RunSummarization(ds, gt, sp, lastDim))
+		addPoint("hics output ranking", arm, lastDim, pipeline.RunSummarization(ctx, ds, gt, sp, lastDim))
 	}
 
 	// 5. iForest repetition averaging feeding Beam, at 2d where iForest
@@ -117,7 +118,7 @@ func (s *Session) Ablations() *Table {
 		}
 		d := pipeline.NamedDetector{Name: "iForest", Detector: detector.NewCached(iforest)}
 		pp := pipeline.PointPipelines(d, s.Cfg.Seed, opts)[0]
-		addPoint("iforest averaging", fmt.Sprintf("reps=%d", reps), 2, pipeline.RunPointExplanation(ds, gt, pp, 2))
+		addPoint("iforest averaging", fmt.Sprintf("reps=%d", reps), 2, pipeline.RunPointExplanation(ctx, ds, gt, pp, 2))
 	}
 
 	t.Notes = append(t.Notes, "arms share the dataset, ground truth, seed and remaining hyper-parameters")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -13,7 +14,7 @@ import (
 // — which depend on the exact datasets — each claim checks a SHAPE the
 // paper reports: who wins, what degrades with what, by roughly what factor.
 // The resulting table is the self-check backing EXPERIMENTS.md.
-func (s *Session) Conformance() *Table {
+func (s *Session) Conformance(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "Conformance",
 		Title:  "Qualitative claims of the paper checked against this run",
@@ -23,8 +24,8 @@ func (s *Session) Conformance() *Table {
 		t.Notes = append(t.Notes, "conformance needs both dataset families; relax the dataset filter")
 		return t
 	}
-	pointIdx := indexResults(s.PointResults())
-	summaryIdx := indexResults(s.SummaryResults())
+	pointIdx := indexResults(s.PointResults(ctx))
+	summaryIdx := indexResults(s.SummaryResults(ctx))
 
 	add := func(claim, source string, pass bool, evidence string) {
 		verdict := "PASS"
@@ -153,7 +154,7 @@ func (s *Session) Conformance() *Table {
 	// dimensionality while Beam's grows with it (more stages, more
 	// subspaces per stage).
 	{
-		timingPoint, _ := s.TimingResults()
+		timingPoint, _ := s.TimingResults(ctx)
 		tIdx := indexResults(timingPoint)
 		dims := synth.ExplanationDims(s.Cfg.Scale, true)
 		loDim, hiDim := dims[0], dims[len(dims)-1]

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func tinySession(t *testing.T) *Session {
 		}
 		tb.Synthetic = append(tb.Synthetic, td)
 	}
-	rw, err := synth.BuildRealWorld(
+	rw, err := synth.BuildRealWorld(context.Background(),
 		synth.FullSpaceConfig{Name: "tiny-real", N: 100, D: 7, NumOutliers: 8, Seed: 3},
 		[]int{2, 3}, detector.NewLOF(detector.DefaultLOFK))
 	if err != nil {
@@ -77,7 +78,7 @@ func TestFigure9And10EndToEnd(t *testing.T) {
 		t.Skip("runs full pipelines")
 	}
 	s := tinySession(t)
-	fig9 := s.Figure9()
+	fig9 := s.Figure9(context.Background())
 	// 3 datasets × 2 explainers × 3 detectors.
 	if len(fig9.Rows) != 18 {
 		t.Fatalf("figure 9 rows = %d", len(fig9.Rows))
@@ -97,7 +98,7 @@ func TestFigure9And10EndToEnd(t *testing.T) {
 		t.Fatal("Beam+LOF row missing")
 	}
 
-	fig10 := s.Figure10()
+	fig10 := s.Figure10(context.Background())
 	if len(fig10.Rows) != 18 {
 		t.Fatalf("figure 10 rows = %d", len(fig10.Rows))
 	}
@@ -121,7 +122,7 @@ func TestFigure11AndTable2EndToEnd(t *testing.T) {
 		t.Skip("runs full pipelines")
 	}
 	s := tinySession(t)
-	fig11 := s.Figure11()
+	fig11 := s.Figure11(context.Background())
 	if len(fig11.Rows) == 0 {
 		t.Fatal("figure 11 empty")
 	}
@@ -136,7 +137,7 @@ func TestFigure11AndTable2EndToEnd(t *testing.T) {
 			}
 		}
 	}
-	tbl2 := s.Table2()
+	tbl2 := s.Table2(context.Background())
 	if len(tbl2.Rows) == 0 {
 		t.Fatal("table 2 empty")
 	}
@@ -237,7 +238,7 @@ func TestNewSessionSmallScale(t *testing.T) {
 		t.Skip("generates the full small-scale testbed")
 	}
 	var progress bytes.Buffer
-	s, err := NewSession(Config{Scale: synth.ScaleSmall, Seed: 1, Progress: &progress})
+	s, err := NewSession(context.Background(), Config{Scale: synth.ScaleSmall, Seed: 1, Progress: &progress})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestAblationsTable(t *testing.T) {
 		t.Skip("runs ablation pipelines")
 	}
 	s := tinySession(t)
-	tbl := s.Ablations()
+	tbl := s.Ablations(context.Background())
 	// 5 choices × 2 arms.
 	if len(tbl.Rows) != 10 {
 		t.Fatalf("%d ablation rows, want 10", len(tbl.Rows))
@@ -312,7 +313,7 @@ func TestConformanceTableStructure(t *testing.T) {
 		t.Skip("runs full pipelines")
 	}
 	s := tinySession(t)
-	tbl := s.Conformance()
+	tbl := s.Conformance(context.Background())
 	if len(tbl.Rows) != 8 {
 		t.Fatalf("%d conformance rows, want 8", len(tbl.Rows))
 	}
@@ -355,7 +356,7 @@ func TestDetectorFilter(t *testing.T) {
 	}
 	s := tinySession(t)
 	s.Cfg.DetectorFilter = []string{"LOF"}
-	results := s.PointResults()
+	results := s.PointResults(context.Background())
 	if len(results) == 0 {
 		t.Fatal("no results")
 	}
@@ -377,7 +378,7 @@ func TestMeanRecallMetricRendering(t *testing.T) {
 	s := tinySession(t)
 	s.Cfg.UseMeanRecall = true
 	s.Cfg.DetectorFilter = []string{"LOF"}
-	tbl := s.Figure9()
+	tbl := s.Figure9(context.Background())
 	if !strings.Contains(tbl.Header[3], "recall") {
 		t.Errorf("header %v lacks recall columns", tbl.Header)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -79,25 +80,25 @@ func (s *Session) mapTable(id, title string, results []pipeline.Result, explaine
 
 // Figure9 reproduces the paper's Figure 9: MAP of Beam and RefOut with each
 // detector across all datasets and explanation dimensionalities.
-func (s *Session) Figure9() *Table {
+func (s *Session) Figure9(ctx context.Context) *Table {
 	return s.mapTable("Figure 9",
 		"MAP of Beam and RefOut per detector and explanation dimensionality",
-		s.PointResults(), []string{"Beam_FX", "RefOut"})
+		s.PointResults(ctx), []string{"Beam_FX", "RefOut"})
 }
 
 // Figure10 reproduces the paper's Figure 10: MAP of HiCS and LookOut with
 // each detector across all datasets and explanation dimensionalities.
-func (s *Session) Figure10() *Table {
+func (s *Session) Figure10(ctx context.Context) *Table {
 	return s.mapTable("Figure 10",
 		"MAP of HiCS and LookOut per detector and explanation dimensionality",
-		s.SummaryResults(), []string{"LookOut", "HiCS_FX"})
+		s.SummaryResults(ctx), []string{"LookOut", "HiCS_FX"})
 }
 
 // Figure11 reproduces the paper's Figure 11: wall-clock runtime of every
 // detection+explanation pipeline on the timing datasets (synthetic family
 // up to ~39d and the Electricity-like dataset).
-func (s *Session) Figure11() *Table {
-	point, summary := s.TimingResults()
+func (s *Session) Figure11(ctx context.Context) *Table {
+	point, summary := s.TimingResults(ctx)
 	results := append(append([]pipeline.Result{}, point...), summary...)
 	idx := indexResults(results)
 	allDims := synth.ExplanationDims(s.Cfg.Scale, true)

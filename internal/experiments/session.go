@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -29,9 +31,11 @@ type Config struct {
 	// datasets (useful for running single paper-scale datasets).
 	DatasetFilter []string
 	// Journal, when set, persists each completed pipeline cell and lets
-	// interrupted runs resume without recomputation. A journal is only
-	// valid for one (scale, seed) configuration.
-	Journal *Journal
+	// interrupted runs resume without recomputation. Cells that failed
+	// with a context error (cancellation, deadline) are not recorded, so
+	// a resumed run recomputes exactly the unfinished work. A journal is
+	// only valid for one (scale, seed) configuration.
+	Journal *pipeline.Journal
 	// DetectorFilter, when non-empty, restricts the pipelines to the
 	// named detectors ("LOF", "FastABOD", "iForest") — useful for
 	// paper-scale probes where the slow detectors are prohibitive.
@@ -60,21 +64,29 @@ func (c *Config) wantDetector(name string) bool {
 }
 
 // runCell returns the journalled result for the cell, or computes it with
-// compute and records it.
+// compute and records it. Cells whose computation was cancelled or timed
+// out are not journalled: they carry no reusable work and a resumed run
+// must recompute them.
 func (c *Config) runCell(kind string, key resultKey, compute func() pipeline.Result) pipeline.Result {
 	if c.Journal != nil {
-		if res, ok := c.Journal.Get(kind, key); ok {
+		if res, ok := c.Journal.Lookup(kind, key.dataset, key.detector, key.explainer, key.dim); ok {
 			c.logf("%s %-18s %dd %-9s %-8s (journalled)", kind, key.dataset, key.dim, key.detector, key.explainer)
 			return res
 		}
 	}
 	res := compute()
-	if c.Journal != nil {
-		if err := c.Journal.Put(kind, res); err != nil {
+	if c.Journal != nil && !isContextErr(res.Err) {
+		if err := c.Journal.Record(kind, res); err != nil {
 			c.logf("journal write failed: %v", err)
 		}
 	}
 	return res
+}
+
+// isContextErr reports whether err is (or wraps) a context cancellation or
+// deadline expiry.
+func isContextErr(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 func (c *Config) wantDataset(name string) bool {
@@ -165,8 +177,10 @@ type Session struct {
 }
 
 // NewSession generates the testbed for the configuration. Real-world-like
-// ground truth is derived with LOF, as in the paper.
-func NewSession(cfg Config) (*Session, error) {
+// ground truth is derived with LOF, as in the paper. Cancelling ctx aborts
+// testbed generation (the ground-truth derivation runs full detector
+// sweeps) with ctx's error.
+func NewSession(ctx context.Context, cfg Config) (*Session, error) {
 	tb := &Testbed{}
 	for _, c := range synth.SyntheticConfigs(cfg.Scale, cfg.Seed) {
 		if !cfg.wantDataset(c.Name) {
@@ -185,7 +199,7 @@ func NewSession(cfg Config) (*Session, error) {
 			continue
 		}
 		cfg.logf("generating %s (%d×%d) and deriving ground truth over dims %v", c.Name, c.N, c.D, gtDims)
-		td, err := synth.BuildRealWorld(c, gtDims, detector.NewLOF(detector.DefaultLOFK))
+		td, err := synth.BuildRealWorld(ctx, c, gtDims, detector.NewLOF(detector.DefaultLOFK))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %w", err)
 		}
@@ -204,8 +218,10 @@ func (s *Session) explanationDims(synthetic bool) []int {
 
 // PointResults runs (or returns cached) Figure 9 pipeline executions: both
 // point explainers × three detectors × all datasets × all dims, with score
-// caching across explainers and points.
-func (s *Session) PointResults() []pipeline.Result {
+// caching across explainers and points. Cancelling ctx aborts the remaining
+// cells; finished cells (and journalled ones) keep their results, and
+// aborted cells carry ctx's error.
+func (s *Session) PointResults(ctx context.Context) []pipeline.Result {
 	if s.pointResults != nil {
 		return s.pointResults
 	}
@@ -224,7 +240,7 @@ func (s *Session) PointResults() []pipeline.Result {
 					}
 					td, pp, dim := td, pp, dim
 					res := s.Cfg.runCell("point", resultKey{td.Dataset.Name(), d.Name, pp.Explainer.Name(), dim}, func() pipeline.Result {
-						res := pipeline.RunPointExplanation(td.Dataset, td.GroundTruth, pp, dim)
+						res := pipeline.RunPointExplanation(ctx, td.Dataset, td.GroundTruth, pp, dim)
 						s.Cfg.logf("fig9 %-18s %dd %-9s %-8s MAP=%.3f (%s)",
 							res.Dataset, dim, res.Detector, res.Explainer, res.MAP, res.Duration.Round(1e6))
 						return res
@@ -238,7 +254,8 @@ func (s *Session) PointResults() []pipeline.Result {
 }
 
 // SummaryResults runs (or returns cached) Figure 10 pipeline executions.
-func (s *Session) SummaryResults() []pipeline.Result {
+// Cancellation semantics match PointResults.
+func (s *Session) SummaryResults(ctx context.Context) []pipeline.Result {
 	if s.summaryResults != nil {
 		return s.summaryResults
 	}
@@ -257,7 +274,7 @@ func (s *Session) SummaryResults() []pipeline.Result {
 					}
 					td, sp, dim := td, sp, dim
 					res := s.Cfg.runCell("summary", resultKey{td.Dataset.Name(), d.Name, sp.Summarizer.Name(), dim}, func() pipeline.Result {
-						res := pipeline.RunSummarization(td.Dataset, td.GroundTruth, sp, dim)
+						res := pipeline.RunSummarization(ctx, td.Dataset, td.GroundTruth, sp, dim)
 						s.Cfg.logf("fig10 %-18s %dd %-9s %-8s MAP=%.3f (%s)",
 							res.Dataset, dim, res.Detector, res.Explainer, res.MAP, res.Duration.Round(1e6))
 						return res
@@ -327,8 +344,9 @@ func (s *Session) timingDatasets() []synth.TestbedDataset {
 }
 
 // TimingResults runs (or returns cached) the Figure 11 runtime experiment:
-// uncached detectors, bounded point count, same pipelines.
-func (s *Session) TimingResults() (point, summary []pipeline.Result) {
+// uncached detectors, bounded point count, same pipelines. Cancellation
+// semantics match PointResults.
+func (s *Session) TimingResults(ctx context.Context) (point, summary []pipeline.Result) {
 	if s.timingPoint != nil || s.timingSummary != nil {
 		return s.timingPoint, s.timingSummary
 	}
@@ -348,7 +366,7 @@ func (s *Session) TimingResults() (point, summary []pipeline.Result) {
 					}
 					td, pp, dim, gt := td, pp, dim, gt
 					res := s.Cfg.runCell("timing-point", resultKey{td.Dataset.Name(), d.Name, pp.Explainer.Name(), dim}, func() pipeline.Result {
-						res := pipeline.RunPointExplanation(td.Dataset, gt, pp, dim)
+						res := pipeline.RunPointExplanation(ctx, td.Dataset, gt, pp, dim)
 						s.Cfg.logf("fig11 %-18s %dd %-9s %-8s %s (score %s | search %s)",
 							res.Dataset, dim, res.Detector, res.Explainer, res.Duration.Round(1e6),
 							res.ScoringTime.Round(1e6), res.SearchTime.Round(1e6))
@@ -363,7 +381,7 @@ func (s *Session) TimingResults() (point, summary []pipeline.Result) {
 					}
 					td, sp, dim, gt := td, sp, dim, gt
 					res := s.Cfg.runCell("timing-summary", resultKey{td.Dataset.Name(), d.Name, sp.Summarizer.Name(), dim}, func() pipeline.Result {
-						res := pipeline.RunSummarization(td.Dataset, gt, sp, dim)
+						res := pipeline.RunSummarization(ctx, td.Dataset, gt, sp, dim)
 						s.Cfg.logf("fig11 %-18s %dd %-9s %-8s %s (score %s | search %s)",
 							res.Dataset, dim, res.Detector, res.Explainer, res.Duration.Round(1e6),
 							res.ScoringTime.Round(1e6), res.SearchTime.Round(1e6))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -17,10 +18,10 @@ import (
 // pipelines are ordered by MAP (rounded, descending) and then runtime
 // (ascending), matching the paper's pareto selection. No pipeline is
 // reported when every candidate has zero MAP.
-func (s *Session) Table2() *Table {
-	pointIdx := indexResults(s.PointResults())
-	summaryIdx := indexResults(s.SummaryResults())
-	timingPoint, timingSummary := s.TimingResults()
+func (s *Session) Table2(ctx context.Context) *Table {
+	pointIdx := indexResults(s.PointResults(ctx))
+	summaryIdx := indexResults(s.SummaryResults(ctx))
+	timingPoint, timingSummary := s.TimingResults(ctx)
 	timeIdx := indexResults(append(append([]pipeline.Result{}, timingPoint...), timingSummary...))
 
 	// Columns: one per dataset used as a ratio representative — the

@@ -1,6 +1,7 @@
 package explain
 
 import (
+	"context"
 	"fmt"
 
 	"anex/internal/core"
@@ -74,8 +75,9 @@ func (b *Beam) score() ScoreFunc {
 }
 
 // ExplainPoint searches subspaces up to targetDim that explain the
-// outlyingness of point p, best first.
-func (b *Beam) ExplainPoint(ds *dataset.Dataset, p, targetDim int) ([]core.ScoredSubspace, error) {
+// outlyingness of point p, best first. The search observes ctx between
+// candidate subspaces, so cancellation aborts with ctx's error.
+func (b *Beam) ExplainPoint(ctx context.Context, ds *dataset.Dataset, p, targetDim int) ([]core.ScoredSubspace, error) {
 	if err := core.ValidateExplainArgs(ds, p, targetDim); err != nil {
 		return nil, fmt.Errorf("beam: %w", err)
 	}
@@ -93,7 +95,11 @@ func (b *Beam) ExplainPoint(ds *dataset.Dataset, p, targetDim int) ([]core.Score
 	enum := subspace.NewEnumerator(ds.D(), 2)
 	for s := enum.Next(); s != nil; s = enum.Next() {
 		sub := s.Clone()
-		stage = append(stage, core.ScoredSubspace{Subspace: sub, Score: score(b.Detector, ds, sub, p)})
+		sc, err := score(ctx, b.Detector, ds, sub, p)
+		if err != nil {
+			return nil, err
+		}
+		stage = append(stage, core.ScoredSubspace{Subspace: sub, Score: sc})
 	}
 	core.SortByScore(stage)
 	stage = core.TopK(stage, w)
@@ -114,7 +120,11 @@ func (b *Beam) ExplainPoint(ds *dataset.Dataset, p, targetDim int) ([]core.Score
 					continue
 				}
 				seen[key] = true
-				next = append(next, core.ScoredSubspace{Subspace: cand, Score: score(b.Detector, ds, cand, p)})
+				sc, err := score(ctx, b.Detector, ds, cand, p)
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, core.ScoredSubspace{Subspace: cand, Score: sc})
 			}
 		}
 		core.SortByScore(next)

@@ -1,6 +1,7 @@
 package explain
 
 import (
+	"context"
 	"testing"
 
 	"anex/internal/core"
@@ -21,11 +22,11 @@ type scriptedDetector struct {
 
 func (s *scriptedDetector) Name() string { return "scripted" }
 
-func (s *scriptedDetector) Scores(v *dataset.View) []float64 {
+func (s *scriptedDetector) Scores(_ context.Context, v *dataset.View) ([]float64, error) {
 	s.calls = append(s.calls, v.Subspace().Key())
 	scores := make([]float64, v.N())
 	scores[s.target] = s.script[v.Subspace().Key()]
-	return scores
+	return scores, nil
 }
 
 // unitDataset returns a featureless-content dataset of n points × d
@@ -50,7 +51,7 @@ func TestBeamStageOneIsExhaustive(t *testing.T) {
 	ds := unitDataset(t, 10, 5)
 	det := &scriptedDetector{target: 3, script: map[string]float64{}}
 	beam := &Beam{Detector: det, Width: 4, TopK: 4, FixedDim: true}
-	if _, err := beam.ExplainPoint(ds, 3, 2); err != nil {
+	if _, err := beam.ExplainPoint(context.Background(), ds, 3, 2); err != nil {
 		t.Fatal(err)
 	}
 	// All C(5,2) = 10 pairs must have been scored.
@@ -76,7 +77,7 @@ func TestBeamFollowsScriptedPath(t *testing.T) {
 		"0,1,3": 6,
 	}}
 	beam := &Beam{Detector: det, Width: 2, TopK: 5, FixedDim: true}
-	got, err := beam.ExplainPoint(ds, 0, 3)
+	got, err := beam.ExplainPoint(context.Background(), ds, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestBeamWidthPrunesSearch(t *testing.T) {
 	run := func(width int) string {
 		det := &scriptedDetector{target: 0, script: script}
 		beam := &Beam{Detector: det, Width: width, TopK: 1, FixedDim: true}
-		got, err := beam.ExplainPoint(ds, 0, 3)
+		got, err := beam.ExplainPoint(context.Background(), ds, 0, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func TestBeamGlobalListKeepsEarlierStages(t *testing.T) {
 	// The 2d winner scores far above every 3d candidate.
 	det := &scriptedDetector{target: 0, script: map[string]float64{"0,2": 100}}
 	beam := &Beam{Detector: det, Width: 3, TopK: 3, FixedDim: false}
-	got, err := beam.ExplainPoint(ds, 0, 3)
+	got, err := beam.ExplainPoint(context.Background(), ds, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestBeamGlobalListKeepsEarlierStages(t *testing.T) {
 	// Beam_FX with the same script must NOT return the 2d winner.
 	detFX := &scriptedDetector{target: 0, script: map[string]float64{"0,2": 100}}
 	beamFX := &Beam{Detector: detFX, Width: 3, TopK: 3, FixedDim: true}
-	gotFX, err := beamFX.ExplainPoint(ds, 0, 3)
+	gotFX, err := beamFX.ExplainPoint(context.Background(), ds, 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestBeamDoesNotRescoreDuplicateCandidates(t *testing.T) {
 	ds := unitDataset(t, 8, 4)
 	det := &scriptedDetector{target: 0, script: map[string]float64{}}
 	beam := &Beam{Detector: det, Width: 10, TopK: 10, FixedDim: true}
-	if _, err := beam.ExplainPoint(ds, 0, 3); err != nil {
+	if _, err := beam.ExplainPoint(context.Background(), ds, 0, 3); err != nil {
 		t.Fatal(err)
 	}
 	seen := map[string]int{}

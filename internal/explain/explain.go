@@ -6,6 +6,8 @@
 package explain
 
 import (
+	"context"
+
 	"anex/internal/core"
 	"anex/internal/dataset"
 	"anex/internal/stats"
@@ -20,19 +22,27 @@ import (
 // The standardisation removes the dimensionality bias of raw detector
 // scores so that subspaces of different dimensionality become comparable
 // (paper, Section 2.2).
-func pointZScore(det core.Detector, ds *dataset.Dataset, s subspace.Subspace, p int) float64 {
-	scores := det.Scores(ds.View(s))
-	return stats.ZScore(scores[p], scores)
+func pointZScore(ctx context.Context, det core.Detector, ds *dataset.Dataset, s subspace.Subspace, p int) (float64, error) {
+	scores, err := det.Scores(ctx, ds.View(s))
+	if err != nil {
+		return 0, err
+	}
+	return stats.ZScore(scores[p], scores), nil
 }
 
 // pointRawScore returns the unstandardised detector score of p in s. It
 // exists to support the raw-vs-Z-score ablation benchmark.
-func pointRawScore(det core.Detector, ds *dataset.Dataset, s subspace.Subspace, p int) float64 {
-	return det.Scores(ds.View(s))[p]
+func pointRawScore(ctx context.Context, det core.Detector, ds *dataset.Dataset, s subspace.Subspace, p int) (float64, error) {
+	scores, err := det.Scores(ctx, ds.View(s))
+	if err != nil {
+		return 0, err
+	}
+	return scores[p], nil
 }
 
 // ScoreFunc computes the quality of subspace s as an explanation of point p.
-type ScoreFunc func(det core.Detector, ds *dataset.Dataset, s subspace.Subspace, p int) float64
+// A non-nil error (typically ctx's) aborts the enclosing search.
+type ScoreFunc func(ctx context.Context, det core.Detector, ds *dataset.Dataset, s subspace.Subspace, p int) (float64, error)
 
 // ZScored is the paper's standardised scoring (the default).
 func ZScored() ScoreFunc { return pointZScore }

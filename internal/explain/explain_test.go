@@ -1,6 +1,7 @@
 package explain
 
 import (
+	"context"
 	"testing"
 
 	"anex/internal/core"
@@ -45,7 +46,7 @@ func TestBeamFindsPlanted2d(t *testing.T) {
 	ds, gt := testbed(t, 1)
 	p, want := pointWithDim(t, gt, 2)
 	beam := &Beam{Detector: detector.NewLOF(15), Width: 20, TopK: 10, FixedDim: true}
-	got, err := beam.ExplainPoint(ds, p, 2)
+	got, err := beam.ExplainPoint(context.Background(), ds, p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestBeamFindsPlanted3d(t *testing.T) {
 	ds, gt := testbed(t, 2)
 	p, want := pointWithDim(t, gt, 3)
 	beam := &Beam{Detector: detector.NewLOF(15), Width: 30, TopK: 10, FixedDim: true}
-	got, err := beam.ExplainPoint(ds, p, 3)
+	got, err := beam.ExplainPoint(context.Background(), ds, p, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestBeamFixedDimReturnsOnlyTargetDim(t *testing.T) {
 	ds, gt := testbed(t, 3)
 	p := gt.Outliers()[0]
 	beam := &Beam{Detector: detector.NewLOF(15), Width: 10, TopK: 50, FixedDim: true}
-	got, err := beam.ExplainPoint(ds, p, 3)
+	got, err := beam.ExplainPoint(context.Background(), ds, p, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestBeamVariableDimMixesDims(t *testing.T) {
 	ds, gt := testbed(t, 4)
 	p, want2 := pointWithDim(t, gt, 2)
 	beam := &Beam{Detector: detector.NewLOF(15), Width: 20, TopK: 20, FixedDim: false}
-	got, err := beam.ExplainPoint(ds, p, 3)
+	got, err := beam.ExplainPoint(context.Background(), ds, p, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestBeamResultsSortedAndScored(t *testing.T) {
 	ds, gt := testbed(t, 5)
 	p := gt.Outliers()[0]
 	beam := &Beam{Detector: detector.NewLOF(15), Width: 15, TopK: 15, FixedDim: true}
-	got, err := beam.ExplainPoint(ds, p, 2)
+	got, err := beam.ExplainPoint(context.Background(), ds, p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,20 +138,20 @@ func TestBeamResultsSortedAndScored(t *testing.T) {
 func TestBeamErrors(t *testing.T) {
 	ds, _ := testbed(t, 6)
 	beam := NewBeam(detector.NewLOF(15))
-	if _, err := beam.ExplainPoint(ds, -1, 2); err == nil {
+	if _, err := beam.ExplainPoint(context.Background(), ds, -1, 2); err == nil {
 		t.Error("negative point should fail")
 	}
-	if _, err := beam.ExplainPoint(ds, 0, 1); err == nil {
+	if _, err := beam.ExplainPoint(context.Background(), ds, 0, 1); err == nil {
 		t.Error("targetDim < 2 should fail")
 	}
-	if _, err := beam.ExplainPoint(ds, 0, 99); err == nil {
+	if _, err := beam.ExplainPoint(context.Background(), ds, 0, 99); err == nil {
 		t.Error("targetDim > D should fail")
 	}
-	if _, err := beam.ExplainPoint(nil, 0, 2); err == nil {
+	if _, err := beam.ExplainPoint(context.Background(), nil, 0, 2); err == nil {
 		t.Error("nil dataset should fail")
 	}
 	noDet := &Beam{}
-	if _, err := noDet.ExplainPoint(ds, 0, 2); err == nil {
+	if _, err := noDet.ExplainPoint(context.Background(), ds, 0, 2); err == nil {
 		t.Error("nil detector should fail")
 	}
 }
@@ -180,7 +181,7 @@ func TestRefOutFindsPlanted2d(t *testing.T) {
 		TopK:     10,
 		Seed:     42,
 	}
-	got, err := refout.ExplainPoint(ds, p, 2)
+	got, err := refout.ExplainPoint(context.Background(), ds, p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestRefOutReturnsRequestedDim(t *testing.T) {
 	ds, gt := testbed(t, 8)
 	p := gt.Outliers()[0]
 	refout := NewRefOut(detector.NewLOF(15), 1)
-	got, err := refout.ExplainPoint(ds, p, 3)
+	got, err := refout.ExplainPoint(context.Background(), ds, p, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,11 +215,11 @@ func TestRefOutReturnsRequestedDim(t *testing.T) {
 func TestRefOutDeterministicPerSeed(t *testing.T) {
 	ds, gt := testbed(t, 9)
 	p := gt.Outliers()[0]
-	a, err := NewRefOut(detector.NewLOF(15), 5).ExplainPoint(ds, p, 2)
+	a, err := NewRefOut(detector.NewLOF(15), 5).ExplainPoint(context.Background(), ds, p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewRefOut(detector.NewLOF(15), 5).ExplainPoint(ds, p, 2)
+	b, err := NewRefOut(detector.NewLOF(15), 5).ExplainPoint(context.Background(), ds, p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,16 +250,16 @@ func TestRefOutPoolDimFraction(t *testing.T) {
 func TestRefOutErrors(t *testing.T) {
 	ds, _ := testbed(t, 10)
 	refout := NewRefOut(detector.NewLOF(15), 1)
-	if _, err := refout.ExplainPoint(ds, 999, 2); err == nil {
+	if _, err := refout.ExplainPoint(context.Background(), ds, 999, 2); err == nil {
 		t.Error("out-of-range point should fail")
 	}
 	// Target dim above the pool projection dimensionality is impossible.
 	narrow := &RefOut{Detector: detector.NewLOF(15), PoolDimFraction: 0.3}
-	if _, err := narrow.ExplainPoint(ds, 0, 5); err == nil {
+	if _, err := narrow.ExplainPoint(context.Background(), ds, 0, 5); err == nil {
 		t.Error("targetDim > poolDim should fail")
 	}
 	noDet := &RefOut{}
-	if _, err := noDet.ExplainPoint(ds, 0, 2); err == nil {
+	if _, err := noDet.ExplainPoint(context.Background(), ds, 0, 2); err == nil {
 		t.Error("nil detector should fail")
 	}
 }
@@ -273,8 +274,14 @@ func TestZScoredVsRawScoring(t *testing.T) {
 	p, _ := pointWithDim(t, gt, 2)
 	s := subspace.New(0, 1)
 	det := detector.NewLOF(15)
-	z := ZScored()(det, ds, s, p)
-	r := Raw()(det, ds, s, p)
+	z, err := ZScored()(context.Background(), det, ds, s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Raw()(context.Background(), det, ds, s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if z == r {
 		t.Error("Z-scored and raw scores should generally differ")
 	}

@@ -1,6 +1,7 @@
 package explain
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -103,8 +104,10 @@ type poolEntry struct {
 }
 
 // ExplainPoint searches subspaces of exactly targetDim that explain the
-// outlyingness of point p, best (highest discrepancy) first.
-func (r *RefOut) ExplainPoint(ds *dataset.Dataset, p, targetDim int) ([]core.ScoredSubspace, error) {
+// outlyingness of point p, best (highest discrepancy) first. The pool
+// scoring observes ctx between projections, so cancellation aborts with
+// ctx's error.
+func (r *RefOut) ExplainPoint(ctx context.Context, ds *dataset.Dataset, p, targetDim int) ([]core.ScoredSubspace, error) {
 	if err := core.ValidateExplainArgs(ds, p, targetDim); err != nil {
 		return nil, fmt.Errorf("refout: %w", err)
 	}
@@ -131,7 +134,11 @@ func (r *RefOut) ExplainPoint(ds *dataset.Dataset, p, targetDim int) ([]core.Sco
 			continue // redraw duplicates while distinct projections remain
 		}
 		seen[key] = true
-		pool = append(pool, poolEntry{sub: s, score: score(r.Detector, ds, s, p)})
+		sc, err := score(ctx, r.Detector, ds, s, p)
+		if err != nil {
+			return nil, err
+		}
+		pool = append(pool, poolEntry{sub: s, score: sc})
 	}
 
 	// Stage 1: assess every single feature by partition discrepancy.

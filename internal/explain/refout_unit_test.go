@@ -1,6 +1,7 @@
 package explain
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -89,12 +90,12 @@ func TestRefOutPoolIsPerPointDeterministic(t *testing.T) {
 	ds := unitDataset(t, 20, 6)
 	det := &scriptedDetector{target: 0, script: map[string]float64{}}
 	r := &RefOut{Detector: det, PoolSize: 10, Width: 5, TopK: 5, Seed: 3}
-	if _, err := r.ExplainPoint(ds, 0, 2); err != nil {
+	if _, err := r.ExplainPoint(context.Background(), ds, 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	callsA := append([]string(nil), det.calls...)
 	det.calls = nil
-	if _, err := r.ExplainPoint(ds, 0, 2); err != nil {
+	if _, err := r.ExplainPoint(context.Background(), ds, 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	if len(callsA) != len(det.calls) {
@@ -108,7 +109,7 @@ func TestRefOutPoolIsPerPointDeterministic(t *testing.T) {
 	// A different point must draw a different pool.
 	det.calls = nil
 	det.target = 1
-	if _, err := r.ExplainPoint(ds, 1, 2); err != nil {
+	if _, err := r.ExplainPoint(context.Background(), ds, 1, 2); err != nil {
 		t.Fatal(err)
 	}
 	same := len(callsA) == len(det.calls)

@@ -6,6 +6,7 @@
 package neighbors
 
 import (
+	"context"
 	"fmt"
 
 	"anex/internal/parallel"
@@ -45,21 +46,24 @@ func NewIndex(points [][]float64) Index {
 // their distances. This is the access pattern of LOF and FastABOD, which
 // need the complete neighbourhood structure.
 func AllKNN(ix Index, k int) (idx [][]int, dist [][]float64) {
-	return AllKNNParallel(ix, k, 1)
+	idx, dist, _ = AllKNNParallel(context.Background(), ix, k, 1)
+	return idx, dist
 }
 
 // AllKNNParallel is AllKNN with the independent per-point queries
 // distributed over the given number of workers (≤ 1 → serial). Both index
 // implementations are read-only during queries, and every query writes only
-// its own slot, so results are identical at any worker count.
-func AllKNNParallel(ix Index, k, workers int) (idx [][]int, dist [][]float64) {
+// its own slot, so results are identical at any worker count. Cancellation
+// is observed between queries; on a non-nil error the returned slices are
+// partial and must be discarded.
+func AllKNNParallel(ctx context.Context, ix Index, k, workers int) (idx [][]int, dist [][]float64, err error) {
 	n := ix.Len()
 	idx = make([][]int, n)
 	dist = make([][]float64, n)
-	parallel.ForEach(workers, n, func(i int) {
+	err = parallel.ForEach(ctx, workers, n, func(i int) {
 		idx[i], dist[i] = ix.KNNOf(i, k)
 	})
-	return idx, dist
+	return idx, dist, err
 }
 
 // SquaredEuclidean returns the squared Euclidean distance between a and b,

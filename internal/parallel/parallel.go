@@ -8,13 +8,54 @@
 // ≤ 1 run inline (serial, the zero value's behaviour), larger values bound
 // the goroutine count. Resolve translates the user-facing CLI convention
 // (0 = all cores) into a concrete count at the boundary.
+//
+// The substrate is also the library's cancellation and fault-isolation
+// boundary. Every loop observes its context between work items: when the
+// context is cancelled, workers stop claiming new indices and the loop
+// returns the context's error, leaving the remaining slots untouched. A
+// panic inside a worker goroutine is captured — with the panicking
+// goroutine's stack — and re-raised as a *PanicError in the CALLING
+// goroutine after all workers have drained, so a deferred recover at the
+// call site (a pipeline cell, say) can contain it instead of the process
+// dying in an unrecoverable goroutine crash.
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered in a worker goroutine, carrying the
+// original panic value and the stack of the goroutine that panicked. ForEach
+// and ForEachShard re-raise it via panic in the calling goroutine; callers
+// that want to degrade rather than crash recover it and keep the stack for
+// diagnosis.
+type PanicError struct {
+	// Value is the value originally passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// AsPanicError wraps a recovered panic value into a *PanicError. Values
+// that already are one pass through unchanged (preserving the original
+// worker stack); anything else is paired with the given stack, or the
+// current goroutine's stack when nil.
+func AsPanicError(recovered any, stack []byte) *PanicError {
+	if pe, ok := recovered.(*PanicError); ok {
+		return pe
+	}
+	if stack == nil {
+		stack = debug.Stack()
+	}
+	return &PanicError{Value: recovered, Stack: stack}
+}
 
 // Resolve maps a user-facing worker knob to a concrete count: values ≤ 0
 // select GOMAXPROCS (use every core), anything positive is returned
@@ -40,41 +81,89 @@ func ShardCount(workers, n int) int {
 	return workers
 }
 
-// ForEach invokes fn(i) for every i in [0, n) exactly once. With workers
-// ≤ 1 the loop runs inline in index order; with more, indices are
-// distributed dynamically across min(workers, n) goroutines and ForEach
-// returns after all complete. fn must be safe for concurrent invocation on
-// distinct indices; writing only to slot i of pre-sized output slices keeps
-// results identical at any worker count.
-func ForEach(workers, n int, fn func(i int)) {
-	ForEachShard(workers, n, func(_, i int) { fn(i) })
+// ForEach invokes fn(i) for every i in [0, n) exactly once, observing ctx
+// between items. With workers ≤ 1 the loop runs inline in index order; with
+// more, indices are distributed dynamically across min(workers, n)
+// goroutines and ForEach returns after all complete. fn must be safe for
+// concurrent invocation on distinct indices; writing only to slot i of
+// pre-sized output slices keeps results identical at any worker count.
+//
+// When ctx is cancelled mid-loop the remaining indices are skipped and
+// ForEach returns ctx's error; the set of indices that did run is then
+// timing-dependent, so callers must treat their outputs as partial. A nil
+// return guarantees every index ran. A panic in fn is re-raised in the
+// calling goroutine as a *PanicError.
+func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	return ForEachShard(ctx, workers, n, func(_, i int) { fn(i) })
 }
 
 // ForEachShard is ForEach with a stable shard id (0 ≤ shard <
 // ShardCount(workers, n)) passed alongside each index, so callers can reuse
 // per-worker scratch buffers without synchronisation. Serial execution uses
 // shard 0 throughout.
-func ForEachShard(workers, n int, fn func(shard, i int)) {
+func ForEachShard(ctx context.Context, workers, n int, fn func(shard, i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
+	// ctx.Done() is nil for contexts that can never be cancelled
+	// (context.Background()), letting uncancellable loops skip the
+	// per-item check entirely.
+	done := ctx.Done()
 	w := ShardCount(workers, n)
 	if w == 1 {
+		// Serial panics are wrapped like worker panics, so callers recover
+		// one uniform *PanicError type at any worker count.
+		defer func() {
+			if r := recover(); r != nil {
+				panic(AsPanicError(r, debug.Stack()))
+			}
+		}()
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			fn(0, i)
 		}
-		return
+		return nil
 	}
 	// Dynamic (counter-based) distribution: uneven per-index costs — a hard
 	// grid cell next to a trivial one, say — balance automatically, and the
 	// atomic add is negligible against any fn worth parallelising.
 	var next atomic.Int64
+	var stopped atomic.Bool
+	var panicOnce sync.Once
+	var panicErr *PanicError
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for s := 0; s < w; s++ {
 		go func(shard int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// Capture the FIRST panic (with this goroutine's stack)
+					// and stop the other workers from claiming more items.
+					panicOnce.Do(func() {
+						panicErr = AsPanicError(r, debug.Stack())
+					})
+					stopped.Store(true)
+				}
+			}()
 			for {
+				if stopped.Load() {
+					return
+				}
+				if done != nil {
+					select {
+					case <-done:
+						stopped.Store(true)
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -84,6 +173,15 @@ func ForEachShard(workers, n int, fn func(shard, i int)) {
 		}(s)
 	}
 	wg.Wait()
+	if panicErr != nil {
+		// Re-raise in the caller's goroutine: an unrecovered panic in a
+		// worker would kill the whole process with no chance to contain it.
+		panic(panicErr)
+	}
+	if stopped.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Split divides a total worker budget between an outer loop of outerN

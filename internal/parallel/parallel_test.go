@@ -1,16 +1,22 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
 
 func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	ctx := context.Background()
 	for _, workers := range []int{0, 1, 2, 7, 64} {
 		n := 153
 		counts := make([]atomic.Int32, n)
-		ForEach(workers, n, func(i int) { counts[i].Add(1) })
+		if err := ForEach(ctx, workers, n, func(i int) { counts[i].Add(1) }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
 		for i := range counts {
 			if got := counts[i].Load(); got != 1 {
 				t.Errorf("workers=%d: index %d visited %d times", workers, i, got)
@@ -20,9 +26,10 @@ func TestForEachCoversEveryIndexOnce(t *testing.T) {
 }
 
 func TestForEachEmptyAndNegative(t *testing.T) {
+	ctx := context.Background()
 	called := false
-	ForEach(4, 0, func(int) { called = true })
-	ForEach(4, -3, func(int) { called = true })
+	ForEach(ctx, 4, 0, func(int) { called = true })
+	ForEach(ctx, 4, -3, func(int) { called = true })
 	if called {
 		t.Error("fn invoked for empty range")
 	}
@@ -30,7 +37,7 @@ func TestForEachEmptyAndNegative(t *testing.T) {
 
 func TestForEachSerialRunsInOrder(t *testing.T) {
 	var order []int
-	ForEach(1, 5, func(i int) { order = append(order, i) })
+	ForEach(context.Background(), 1, 5, func(i int) { order = append(order, i) })
 	for i, got := range order {
 		if got != i {
 			t.Fatalf("serial order %v", order)
@@ -38,11 +45,84 @@ func TestForEachSerialRunsInOrder(t *testing.T) {
 	}
 }
 
+func TestForEachCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		called := atomic.Int32{}
+		err := ForEach(ctx, workers, 100, func(int) { called.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if called.Load() != 0 {
+			t.Errorf("workers=%d: %d items ran under a dead context", workers, called.Load())
+		}
+	}
+}
+
+func TestForEachCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEach(ctx, 4, 10_000, func(i int) {
+		if ran.Add(1) == 50 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 10_000 {
+		t.Errorf("all %d items ran despite cancellation", got)
+	}
+}
+
+func TestForEachPanicPropagatesToCaller(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *PanicError", workers, r)
+				}
+				if pe.Value != "boom" {
+					t.Errorf("workers=%d: panic value %v", workers, pe.Value)
+				}
+				if !strings.Contains(string(pe.Stack), "parallel_test") {
+					t.Errorf("workers=%d: stack does not name the panicking site", workers)
+				}
+			}()
+			ForEach(context.Background(), workers, 100, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestAsPanicErrorPassesThrough(t *testing.T) {
+	orig := &PanicError{Value: "x", Stack: []byte("s")}
+	if got := AsPanicError(orig, []byte("other")); got != orig {
+		t.Error("existing *PanicError was re-wrapped")
+	}
+	wrapped := AsPanicError("v", []byte("st"))
+	if wrapped.Value != "v" || string(wrapped.Stack) != "st" {
+		t.Errorf("AsPanicError = %+v", wrapped)
+	}
+	if !strings.Contains(wrapped.Error(), "panic: v") {
+		t.Errorf("Error() = %q", wrapped.Error())
+	}
+}
+
 func TestForEachShardIDsWithinRange(t *testing.T) {
 	workers, n := 4, 100
 	maxShard := ShardCount(workers, n)
 	var bad atomic.Int32
-	ForEachShard(workers, n, func(shard, i int) {
+	ForEachShard(context.Background(), workers, n, func(shard, i int) {
 		if shard < 0 || shard >= maxShard {
 			bad.Add(1)
 		}
@@ -57,7 +137,9 @@ func TestForEachShardScratchIsolation(t *testing.T) {
 	// proving no two goroutines share a shard id concurrently.
 	workers, n := 8, 10_000
 	sums := make([]int64, ShardCount(workers, n))
-	ForEachShard(workers, n, func(shard, i int) { sums[shard] += int64(i) })
+	if err := ForEachShard(context.Background(), workers, n, func(shard, i int) { sums[shard] += int64(i) }); err != nil {
+		t.Fatal(err)
+	}
 	var total int64
 	for _, s := range sums {
 		total += s
@@ -92,12 +174,12 @@ func TestShardCount(t *testing.T) {
 
 func TestSplit(t *testing.T) {
 	cases := []struct{ budget, outerN, outer, inner int }{
-		{8, 12, 8, 1},  // more cells than budget: all budget outer, serial inner
-		{8, 2, 2, 4},   // few cells: leftover budget feeds the inner loops
-		{1, 5, 1, 1},   // serial budget stays serial at both levels
-		{6, 4, 4, 1},   // non-divisible budgets round down (product ≤ budget)
-		{0, 3, 1, 1},   // degenerate budget clamps to serial
-		{4, 0, 1, 4},   // no outer tasks: everything goes inner
+		{8, 12, 8, 1}, // more cells than budget: all budget outer, serial inner
+		{8, 2, 2, 4},  // few cells: leftover budget feeds the inner loops
+		{1, 5, 1, 1},  // serial budget stays serial at both levels
+		{6, 4, 4, 1},  // non-divisible budgets round down (product ≤ budget)
+		{0, 3, 1, 1},  // degenerate budget clamps to serial
+		{4, 0, 1, 4},  // no outer tasks: everything goes inner
 	}
 	for _, c := range cases {
 		outer, inner := Split(c.budget, c.outerN)
@@ -112,12 +194,13 @@ func TestSplit(t *testing.T) {
 }
 
 func BenchmarkForEachOverhead(b *testing.B) {
+	ctx := context.Background()
 	var sink atomic.Int64
 	for _, workers := range []int{1, 4} {
 		name := map[int]string{1: "serial", 4: "workers4"}[workers]
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ForEach(workers, 1024, func(j int) { sink.Add(int64(j)) })
+				ForEach(ctx, workers, 1024, func(j int) { sink.Add(int64(j)) })
 			}
 		})
 	}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -27,10 +28,13 @@ func BenchmarkRunGrid(b *testing.B) {
 	for _, w := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res := RunGrid(GridSpec{
+				res, err := RunGrid(context.Background(), GridSpec{
 					Dataset: ds, GroundTruth: gt, Dims: []int{2}, Seed: 1,
 					Options: opts, Cached: true, Workers: w,
 				})
+				if err != nil {
+					b.Fatal(err)
+				}
 				if len(res) == 0 {
 					b.Fatal("empty grid result")
 				}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -20,7 +21,7 @@ type failAtPoints struct {
 
 func (f failAtPoints) Name() string { return "fail-at" }
 
-func (f failAtPoints) ExplainPoint(ds *dataset.Dataset, p, targetDim int) ([]core.ScoredSubspace, error) {
+func (f failAtPoints) ExplainPoint(_ context.Context, ds *dataset.Dataset, p, targetDim int) ([]core.ScoredSubspace, error) {
 	if f.fail[p] {
 		return nil, fmt.Errorf("planted failure for point %d", p)
 	}
@@ -38,7 +39,7 @@ func TestRunPointExplanationErrorKeepsPartialResults(t *testing.T) {
 	}
 	victim := points[1]
 	pp := PointPipeline{Detector: "LOF", Explainer: failAtPoints{fail: map[int]bool{victim: true}}}
-	res := RunPointExplanation(ds, gt, pp, 2)
+	res := RunPointExplanation(context.Background(), ds, gt, pp, 2)
 	if res.Err == nil || !strings.Contains(res.Err.Error(), fmt.Sprintf("point %d", victim)) {
 		t.Fatalf("expected error naming point %d, got %v", victim, res.Err)
 	}
@@ -64,7 +65,7 @@ func TestRunPointExplanationErrorIsFirstByIndex(t *testing.T) {
 	fail := map[int]bool{points[2]: true, points[len(points)-1]: true}
 	for _, workers := range []int{1, 8} {
 		pp := PointPipeline{Detector: "LOF", Explainer: failAtPoints{fail: fail}, Workers: workers}
-		res := RunPointExplanation(ds, gt, pp, 2)
+		res := RunPointExplanation(context.Background(), ds, gt, pp, 2)
 		if res.Err == nil || !strings.Contains(res.Err.Error(), fmt.Sprintf("point %d", points[2])) {
 			t.Errorf("workers=%d: want first failing point %d, got %v", workers, points[2], res.Err)
 		}
@@ -79,7 +80,7 @@ func TestRunPointExplanationAllFailKeepsZeroMetrics(t *testing.T) {
 	for _, p := range gt.PointsExplainedAt(2) {
 		fail[p] = true
 	}
-	res := RunPointExplanation(ds, gt, PointPipeline{Detector: "LOF", Explainer: failAtPoints{fail: fail}}, 2)
+	res := RunPointExplanation(context.Background(), ds, gt, PointPipeline{Detector: "LOF", Explainer: failAtPoints{fail: fail}}, 2)
 	if res.Err == nil || len(res.PerPoint) != 0 || res.MAP != 0 || res.MeanRecall != 0 {
 		t.Errorf("all-fail run: %+v", res)
 	}
@@ -93,12 +94,12 @@ func TestRunPointExplanationAllFailKeepsZeroMetrics(t *testing.T) {
 // collect loop.
 func TestRunGridEmpty(t *testing.T) {
 	ds, gt := testbed(t, 10)
-	if res := RunGrid(GridSpec{Dataset: ds, GroundTruth: gt, Dims: nil, Seed: 1}); res != nil {
-		t.Errorf("empty Dims: got %d results, want nil", len(res))
+	if res, err := RunGrid(context.Background(), GridSpec{Dataset: ds, GroundTruth: gt, Dims: nil, Seed: 1}); res != nil || err != nil {
+		t.Errorf("empty Dims: got %d results (err %v), want nil", len(res), err)
 	}
-	if res := RunGrid(GridSpec{Dataset: ds, GroundTruth: gt, Dims: []int{2}, Seed: 1,
-		Detectors: []NamedDetector{}}); res != nil {
-		t.Errorf("empty detector set: got %d results, want nil", len(res))
+	if res, err := RunGrid(context.Background(), GridSpec{Dataset: ds, GroundTruth: gt, Dims: []int{2}, Seed: 1,
+		Detectors: []NamedDetector{}}); res != nil || err != nil {
+		t.Errorf("empty detector set: got %d results (err %v), want nil", len(res), err)
 	}
 }
 
@@ -110,10 +111,14 @@ func TestRunGridDeterminismAcrossWorkerCounts(t *testing.T) {
 	ds, gt := testbed(t, 11)
 	opts := Options{BeamWidth: 8, RefOutPoolSize: 20, RefOutWidth: 8, LookOutBudget: 8, HiCSCutoff: 20, HiCSIterations: 15, TopK: 8}
 	run := func(workers int) []Result {
-		return RunGrid(GridSpec{
+		res, err := RunGrid(context.Background(), GridSpec{
 			Dataset: ds, GroundTruth: gt, Dims: []int{2}, Seed: 1,
 			Options: opts, Cached: true, Workers: workers,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
 	seq := run(1)
 	par := run(8)
@@ -147,7 +152,7 @@ func TestRunPointExplanationPhaseTimings(t *testing.T) {
 	ds, gt := testbed(t, 12)
 	d := NamedDetector{Name: "LOF", Detector: detector.NewLOF(15)}
 	pp := PointPipelines(d, 1, Options{BeamWidth: 10, TopK: 10})[0] // Beam_FX, serial
-	res := RunPointExplanation(ds, gt, pp, 2)
+	res := RunPointExplanation(context.Background(), ds, gt, pp, 2)
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -165,7 +170,7 @@ func TestRunPointExplanationPhaseTimings(t *testing.T) {
 	}
 	// A pipeline without a Timer reports no split but still runs.
 	bare := PointPipeline{Detector: "LOF", Explainer: explain.NewBeamFX(detector.NewLOF(15))}
-	res2 := RunPointExplanation(ds, gt, bare, 2)
+	res2 := RunPointExplanation(context.Background(), ds, gt, bare, 2)
 	if res2.Err != nil {
 		t.Fatal(res2.Err)
 	}
@@ -179,7 +184,7 @@ func TestRunSummarizationPhaseTimings(t *testing.T) {
 	ds, gt := testbed(t, 13)
 	d := NamedDetector{Name: "LOF", Detector: detector.NewCached(detector.NewLOF(15))}
 	sp := SummaryPipelines(d, 1, Options{LookOutBudget: 10, TopK: 10, Workers: 4})[0] // LookOut
-	res := RunSummarization(ds, gt, sp, 2)
+	res := RunSummarization(context.Background(), ds, gt, sp, 2)
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -202,8 +207,8 @@ func TestRunSummarizationWorkerInvariance(t *testing.T) {
 		sp.Workers = workers
 		return sp
 	}
-	seq := RunSummarization(ds, gt, build(1), 2)
-	par := RunSummarization(ds, gt, build(8), 2)
+	seq := RunSummarization(context.Background(), ds, gt, build(1), 2)
+	par := RunSummarization(context.Background(), ds, gt, build(8), 2)
 	if seq.Err != nil || par.Err != nil {
 		t.Fatal(seq.Err, par.Err)
 	}

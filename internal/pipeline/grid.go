@@ -1,9 +1,11 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"runtime"
-	"sort"
 	"sync"
+	"time"
 
 	"anex/internal/dataset"
 	"anex/internal/parallel"
@@ -30,6 +32,16 @@ type GridSpec struct {
 	// The Cached flag is not applied to overridden detectors — wrap them
 	// with detector.NewCached as needed.
 	Detectors []NamedDetector
+	// PointPipelines and SummaryPipelines, when either is non-nil,
+	// replace the factory-built pipelines entirely: the grid runs exactly
+	// the given pipelines per dimension, and Detectors/Options-driven
+	// pipeline construction is skipped. This is the hook for running
+	// custom or instrumented pipelines (e.g. fault-injection tests)
+	// through the grid's isolation, timeout, and journaling machinery.
+	// A pipeline's explicit Workers value is respected; zero picks up the
+	// grid's automatic inner split.
+	PointPipelines   []PointPipeline
+	SummaryPipelines []SummaryPipeline
 	// Workers is the grid's total worker budget; zero means GOMAXPROCS.
 	// The budget is split between concurrent cells and each cell's inner
 	// per-point loops (see parallel.Split): with more cells than budget
@@ -38,27 +50,47 @@ type GridSpec struct {
 	// work is independent and indexed, so results are identical at any
 	// worker count. An explicit Options.Workers overrides the inner share.
 	Workers int
+	// CellTimeout, when positive, bounds each cell's wall-clock runtime
+	// with its own deadline: a cell exceeding it is abandoned with
+	// context.DeadlineExceeded as its Result.Err while every other cell
+	// runs to completion.
+	CellTimeout time.Duration
+	// Journal, when set, checkpoints the grid: each completed cell is
+	// appended to the journal as it finishes, and cells already recorded
+	// (from this run or a previous one with the same spec) are skipped and
+	// returned from the journal instead of recomputed. Cells that failed
+	// with a context error — cancellation or cell timeout — are not
+	// recorded, so a resumed run recomputes exactly the unfinished work.
+	// The journal must come from OpenJournal and is not closed by RunGrid.
+	Journal *Journal
+}
+
+// gridKind namespaces RunGrid's cells in a journal.
+const gridKind = "grid"
+
+// gridCell is one schedulable unit of the grid.
+type gridCell struct {
+	order     int
+	detector  string
+	explainer string
+	dim       int
+	run       func(ctx context.Context) Result
 }
 
 // RunGrid executes the grid and returns all cell results, deterministically
 // ordered by (dimension, detector, explainer). An empty grid — no Dims or
 // no detectors/pipelines — returns nil without spinning up workers.
-func RunGrid(spec GridSpec) []Result {
-	// One set of detector instances per grid: with caching on, every
-	// cell sharing a detector also shares its score memo.
-	dets := spec.Detectors
-	if dets == nil {
-		dets = NewDetectors(spec.Seed, spec.Cached)
-	}
-	numCells := 0
-	for range spec.Dims {
-		for _, d := range dets {
-			numCells += len(PointPipelines(d, spec.Seed, spec.Options)) +
-				len(SummaryPipelines(d, spec.Seed, spec.Options))
-		}
-	}
+//
+// Fault tolerance: each cell runs in isolation — a panicking or timed-out
+// cell records its failure in its own Result.Err and every other cell is
+// unaffected. Cancelling ctx stops the grid between cells; cells already
+// finished keep their results and cells never started (or aborted midway)
+// carry ctx's error. The returned error reports journal I/O failures only —
+// computation failures live in the per-cell Err fields.
+func RunGrid(ctx context.Context, spec GridSpec) ([]Result, error) {
+	numCells := countCells(spec)
 	if numCells == 0 {
-		return nil
+		return nil, nil
 	}
 
 	budget := spec.Workers
@@ -69,66 +101,199 @@ func RunGrid(spec GridSpec) []Result {
 	if spec.Options.Workers > 0 {
 		inner = spec.Options.Workers // explicit inner knob wins
 	}
+	cells := buildCells(spec, inner)
 
-	type cell struct {
-		order int
-		run   func() Result
+	results := make([]Result, len(cells))
+	ran := make([]bool, len(cells))
+
+	// Serve journaled cells without scheduling them.
+	var pending []gridCell
+	for _, c := range cells {
+		if spec.Journal != nil {
+			if res, ok := spec.Journal.Lookup(gridKind, spec.Dataset.Name(), c.detector, c.explainer, c.dim); ok {
+				results[c.order] = res
+				ran[c.order] = true
+				continue
+			}
+		}
+		pending = append(pending, c)
 	}
-	var cells []cell
-	order := 0
-	for _, dim := range spec.Dims {
-		dim := dim
-		for _, d := range dets {
-			for _, pp := range PointPipelines(d, spec.Seed, spec.Options) {
-				pp := pp
-				pp.Workers = inner
-				cells = append(cells, cell{order: order, run: func() Result {
-					return RunPointExplanation(spec.Dataset, spec.GroundTruth, pp, dim)
-				}})
-				order++
+
+	var (
+		journalMu  sync.Mutex
+		journalErr error
+	)
+	recordJournal := func(res Result) {
+		if spec.Journal == nil || isContextErr(res.Err) {
+			return
+		}
+		if err := spec.Journal.Record(gridKind, res); err != nil {
+			journalMu.Lock()
+			if journalErr == nil {
+				journalErr = err
 			}
-			for _, sp := range SummaryPipelines(d, spec.Seed, spec.Options) {
-				sp := sp
-				sp.Workers = inner
-				cells = append(cells, cell{order: order, run: func() Result {
-					return RunSummarization(spec.Dataset, spec.GroundTruth, sp, dim)
-				}})
-				order++
-			}
+			journalMu.Unlock()
 		}
 	}
 
-	type indexed struct {
-		order  int
-		result Result
+	runCell := func(c gridCell) Result {
+		cellCtx := ctx
+		cancel := context.CancelFunc(func() {})
+		if spec.CellTimeout > 0 {
+			cellCtx, cancel = context.WithTimeout(ctx, spec.CellTimeout)
+		}
+		res := c.run(cellCtx)
+		cancel()
+		// A cell abandoned because the whole GRID was cancelled should
+		// carry the parent's error, not its private deadline's.
+		if isContextErr(res.Err) {
+			if perr := ctx.Err(); perr != nil {
+				res.Err = perr
+			}
+		}
+		recordJournal(res)
+		return res
 	}
-	jobs := make(chan cell)
-	out := make(chan indexed, len(cells))
+
+	done := ctx.Done()
+	jobs := make(chan gridCell)
 	var wg sync.WaitGroup
+	var resMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for c := range jobs {
-				out <- indexed{order: c.order, result: c.run()}
+				var res Result
+				cancelled := false
+				if done != nil {
+					select {
+					case <-done:
+						cancelled = true
+					default:
+					}
+				}
+				if cancelled {
+					res = Result{
+						Dataset:   spec.Dataset.Name(),
+						Detector:  c.detector,
+						Explainer: c.explainer,
+						TargetDim: c.dim,
+						Err:       ctx.Err(),
+					}
+				} else {
+					res = runCell(c)
+				}
+				resMu.Lock()
+				results[c.order] = res
+				ran[c.order] = true
+				resMu.Unlock()
 			}
 		}()
 	}
-	for _, c := range cells {
+	for _, c := range pending {
 		jobs <- c
 	}
 	close(jobs)
 	wg.Wait()
-	close(out)
 
-	collected := make([]indexed, 0, len(cells))
-	for r := range out {
-		collected = append(collected, r)
+	// Defensive: every cell must carry a result (journaled, computed, or
+	// cancellation-stamped above); a gap would mean a scheduling bug.
+	for i := range results {
+		if !ran[i] {
+			c := cells[i]
+			results[i] = Result{
+				Dataset:   spec.Dataset.Name(),
+				Detector:  c.detector,
+				Explainer: c.explainer,
+				TargetDim: c.dim,
+				Err:       errors.New("grid: cell was never scheduled"),
+			}
+		}
 	}
-	sort.Slice(collected, func(a, b int) bool { return collected[a].order < collected[b].order })
-	results := make([]Result, len(collected))
-	for i, r := range collected {
-		results[i] = r.result
+	return results, journalErr
+}
+
+// countCells returns the number of cells the spec expands to, without
+// building any closures.
+func countCells(spec GridSpec) int {
+	if spec.PointPipelines != nil || spec.SummaryPipelines != nil {
+		return len(spec.Dims) * (len(spec.PointPipelines) + len(spec.SummaryPipelines))
 	}
-	return results
+	dets := spec.Detectors
+	if dets == nil {
+		dets = NewDetectors(spec.Seed, spec.Cached)
+	}
+	n := 0
+	for range spec.Dims {
+		for _, d := range dets {
+			n += len(PointPipelines(d, spec.Seed, spec.Options)) +
+				len(SummaryPipelines(d, spec.Seed, spec.Options))
+		}
+	}
+	return n
+}
+
+// buildCells expands the spec into its deterministic cell list, ordered by
+// (dimension, detector, explainer) and with the inner worker budget applied
+// (explicitly-set Workers on override pipelines win).
+func buildCells(spec GridSpec, inner int) []gridCell {
+	var cells []gridCell
+	order := 0
+	add := func(det, expl string, dim int, run func(ctx context.Context) Result) {
+		cells = append(cells, gridCell{order: order, detector: det, explainer: expl, dim: dim, run: run})
+		order++
+	}
+	addPoint := func(pp PointPipeline, dim int) {
+		if pp.Workers <= 0 {
+			pp.Workers = inner
+		}
+		add(pp.Detector, pp.Explainer.Name(), dim, func(ctx context.Context) Result {
+			return RunPointExplanation(ctx, spec.Dataset, spec.GroundTruth, pp, dim)
+		})
+	}
+	addSummary := func(sp SummaryPipeline, dim int) {
+		if sp.Workers <= 0 {
+			sp.Workers = inner
+		}
+		add(sp.Detector, sp.Summarizer.Name(), dim, func(ctx context.Context) Result {
+			return RunSummarization(ctx, spec.Dataset, spec.GroundTruth, sp, dim)
+		})
+	}
+	if spec.PointPipelines != nil || spec.SummaryPipelines != nil {
+		for _, dim := range spec.Dims {
+			for _, pp := range spec.PointPipelines {
+				addPoint(pp, dim)
+			}
+			for _, sp := range spec.SummaryPipelines {
+				addSummary(sp, dim)
+			}
+		}
+		return cells
+	}
+	// One set of detector instances per grid: with caching on, every
+	// cell sharing a detector also shares its score memo.
+	dets := spec.Detectors
+	if dets == nil {
+		dets = NewDetectors(spec.Seed, spec.Cached)
+	}
+	for _, dim := range spec.Dims {
+		for _, d := range dets {
+			for _, pp := range PointPipelines(d, spec.Seed, spec.Options) {
+				pp.Workers = inner
+				addPoint(pp, dim)
+			}
+			for _, sp := range SummaryPipelines(d, spec.Seed, spec.Options) {
+				sp.Workers = inner
+				addSummary(sp, dim)
+			}
+		}
+	}
+	return cells
+}
+
+// isContextErr reports whether err is (or wraps) a context cancellation or
+// deadline expiry.
+func isContextErr(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }

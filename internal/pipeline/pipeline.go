@@ -3,10 +3,19 @@
 // run against a dataset with ground truth, and its effectiveness (MAP, Mean
 // Recall) and efficiency (wall-clock runtime) are recorded per explanation
 // dimensionality.
+//
+// Executions are fault-isolated: a panic anywhere inside one pipeline run —
+// the explainer, the detector, or a parallel worker — is recovered and
+// converted into that run's Result.Err (stack attached) instead of crashing
+// the process, and a cancelled or deadline-exceeded context aborts the run
+// with the context's error while keeping the per-point evaluations that did
+// complete.
 package pipeline
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"time"
 
@@ -53,9 +62,12 @@ type Result struct {
 	// reported rather than discarded; MAP/MeanRecall then aggregate that
 	// partial set.
 	PerPoint []metrics.PointResult
-	// Err records a pipeline that could not run to completion (e.g.
-	// LookOut candidate explosion): the first failing point's error in
-	// index order, deterministically at any worker count.
+	// Err records a pipeline that could not run to completion. Context
+	// cancellation and deadline expiry surface as the context's error;
+	// a panic anywhere inside the run surfaces as a *parallel.PanicError
+	// (stack attached); algorithmic failures (e.g. LookOut candidate
+	// explosion) surface as the first failing point's error in index
+	// order, deterministically at any worker count.
 	Err error
 }
 
@@ -96,17 +108,34 @@ type SummaryPipeline struct {
 	Ranker core.Detector
 }
 
+// recoverIntoErr converts a panic unwinding through a pipeline run into the
+// run's Result.Err, capturing the stack unless the panic already carries one
+// (parallel workers re-panic a *parallel.PanicError in the calling
+// goroutine precisely so this recovery can contain it).
+func recoverIntoErr(res *Result) {
+	if r := recover(); r != nil {
+		pe := parallel.AsPanicError(r, debug.Stack())
+		res.Err = fmt.Errorf("pipeline %s/%s/%s dim %d: %w",
+			res.Dataset, res.Detector, res.Explainer, res.TargetDim, pe)
+	}
+}
+
 // RunPointExplanation evaluates the explainer on every outlier that the
 // ground truth explains at targetDim: the explainer is invoked per point
 // (the paper's protocol — point explainers search per point) and its ranked
 // list is scored against REL_p with AveP and Recall.
-func RunPointExplanation(ds *dataset.Dataset, gt *dataset.GroundTruth, pp PointPipeline, targetDim int) Result {
-	res := Result{
+//
+// The run is fault-isolated: panics become res.Err with the panic site's
+// stack, and a cancelled ctx aborts between points with ctx's error while
+// the evaluations of already-explained points are kept in PerPoint.
+func RunPointExplanation(ctx context.Context, ds *dataset.Dataset, gt *dataset.GroundTruth, pp PointPipeline, targetDim int) (res Result) {
+	res = Result{
 		Dataset:   ds.Name(),
 		Detector:  pp.Detector,
 		Explainer: pp.Explainer.Name(),
 		TargetDim: targetDim,
 	}
+	defer recoverIntoErr(&res)
 	points := gt.PointsExplainedAt(targetDim)
 	res.PointsEvaluated = len(points)
 	if len(points) == 0 {
@@ -119,8 +148,10 @@ func RunPointExplanation(ds *dataset.Dataset, gt *dataset.GroundTruth, pp PointP
 	start := time.Now()
 	lists := make([][]core.ScoredSubspace, len(points))
 	errs := make([]error, len(points))
-	parallel.ForEach(pp.Workers, len(points), func(i int) {
-		lists[i], errs[i] = pp.Explainer.ExplainPoint(ds, points[i], targetDim)
+	completed := make([]bool, len(points))
+	ctxErr := parallel.ForEach(ctx, pp.Workers, len(points), func(i int) {
+		lists[i], errs[i] = pp.Explainer.ExplainPoint(ctx, ds, points[i], targetDim)
+		completed[i] = true
 	})
 	res.Duration = time.Since(start)
 	if pp.Timer != nil {
@@ -129,15 +160,19 @@ func RunPointExplanation(ds *dataset.Dataset, gt *dataset.GroundTruth, pp PointP
 			res.SearchTime = 0
 		}
 	}
-	for i, err := range errs {
-		if err != nil {
-			res.Err = fmt.Errorf("explain point %d: %w", points[i], err)
-			break
+	if ctxErr != nil {
+		res.Err = ctxErr
+	} else {
+		for i, err := range errs {
+			if err != nil {
+				res.Err = fmt.Errorf("explain point %d: %w", points[i], err)
+				break
+			}
 		}
 	}
 	evalStart := time.Now()
 	for i, p := range points {
-		if errs[i] != nil {
+		if !completed[i] || errs[i] != nil {
 			continue // keep the points that did complete
 		}
 		rel := gt.RelevantAt(p, targetDim)
@@ -153,13 +188,18 @@ func RunPointExplanation(ds *dataset.Dataset, gt *dataset.GroundTruth, pp PointP
 // once (the paper's protocol — summaries are computed for the full point
 // set) and scores the single returned list against each point's REL_p,
 // restricted to points explained at targetDim.
-func RunSummarization(ds *dataset.Dataset, gt *dataset.GroundTruth, sp SummaryPipeline, targetDim int) Result {
-	res := Result{
+//
+// Like RunPointExplanation, the run is fault-isolated: panics become
+// res.Err, and ctx cancellation aborts the summary search or the per-point
+// re-ranking with ctx's error.
+func RunSummarization(ctx context.Context, ds *dataset.Dataset, gt *dataset.GroundTruth, sp SummaryPipeline, targetDim int) (res Result) {
+	res = Result{
 		Dataset:   ds.Name(),
 		Detector:  sp.Detector,
 		Explainer: sp.Summarizer.Name(),
 		TargetDim: targetDim,
 	}
+	defer recoverIntoErr(&res)
 	points := gt.PointsExplainedAt(targetDim)
 	res.PointsEvaluated = len(points)
 	if len(points) == 0 {
@@ -170,7 +210,7 @@ func RunSummarization(ds *dataset.Dataset, gt *dataset.GroundTruth, sp SummaryPi
 		scoringBefore = sp.Timer.Elapsed()
 	}
 	start := time.Now()
-	list, err := sp.Summarizer.Summarize(ds, gt.Outliers(), targetDim)
+	list, err := sp.Summarizer.Summarize(ctx, ds, gt.Outliers(), targetDim)
 	res.Duration = time.Since(start)
 	if sp.Timer != nil {
 		res.ScoringTime = sp.Timer.Elapsed() - scoringBefore
@@ -192,9 +232,28 @@ func RunSummarization(ds *dataset.Dataset, gt *dataset.GroundTruth, sp SummaryPi
 	var zPerSubspace [][]float64
 	if sp.Ranker != nil {
 		zPerSubspace = make([][]float64, len(shared))
-		parallel.ForEach(sp.Workers, len(shared), func(i int) {
-			zPerSubspace[i] = stats.ZScores(sp.Ranker.Scores(ds.View(shared[i])))
+		rankErrs := make([]error, len(shared))
+		ctxErr := parallel.ForEach(ctx, sp.Workers, len(shared), func(i int) {
+			scores, rerr := sp.Ranker.Scores(ctx, ds.View(shared[i]))
+			if rerr != nil {
+				rankErrs[i] = rerr
+				return
+			}
+			zPerSubspace[i] = stats.ZScores(scores)
 		})
+		if ctxErr == nil {
+			for _, rerr := range rankErrs {
+				if rerr != nil {
+					ctxErr = fmt.Errorf("rank summary: %w", rerr)
+					break
+				}
+			}
+		}
+		if ctxErr != nil {
+			res.Err = ctxErr
+			res.EvalTime = time.Since(evalStart)
+			return res
+		}
 	}
 	for _, p := range points {
 		rel := gt.RelevantAt(p, targetDim)

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestRunPointExplanationBeamLOF(t *testing.T) {
 		Detector:  "LOF",
 		Explainer: &explain.Beam{Detector: detector.NewLOF(15), Width: 15, TopK: 10, FixedDim: true},
 	}
-	res := RunPointExplanation(ds, gt, pp, 2)
+	res := RunPointExplanation(context.Background(), ds, gt, pp, 2)
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -62,7 +63,7 @@ func TestRunPointExplanationBeamLOF(t *testing.T) {
 func TestRunPointExplanationNoPointsAtDim(t *testing.T) {
 	ds, gt := testbed(t, 2)
 	pp := PointPipeline{Detector: "LOF", Explainer: explain.NewBeamFX(detector.NewLOF(15))}
-	res := RunPointExplanation(ds, gt, pp, 5) // nothing explained at 5d
+	res := RunPointExplanation(context.Background(), ds, gt, pp, 5) // nothing explained at 5d
 	if res.PointsEvaluated != 0 || res.MAP != 0 || res.Err != nil {
 		t.Errorf("expected empty result, got %+v", res)
 	}
@@ -71,7 +72,7 @@ func TestRunPointExplanationNoPointsAtDim(t *testing.T) {
 type failingExplainer struct{}
 
 func (failingExplainer) Name() string { return "failing" }
-func (failingExplainer) ExplainPoint(*dataset.Dataset, int, int) ([]core.ScoredSubspace, error) {
+func (failingExplainer) ExplainPoint(context.Context, *dataset.Dataset, int, int) ([]core.ScoredSubspace, error) {
 	return nil, errStub
 }
 
@@ -80,7 +81,7 @@ var errStub = errors.New("stub failure")
 func TestRunPointExplanationPropagatesError(t *testing.T) {
 	ds, gt := testbed(t, 3)
 	pp := PointPipeline{Detector: "LOF", Explainer: failingExplainer{}}
-	res := RunPointExplanation(ds, gt, pp, 2)
+	res := RunPointExplanation(context.Background(), ds, gt, pp, 2)
 	if res.Err == nil || !errors.Is(res.Err, errStub) {
 		t.Errorf("expected stub error, got %v", res.Err)
 	}
@@ -95,7 +96,7 @@ func TestRunSummarizationLookOutLOF(t *testing.T) {
 		Detector:   "LOF",
 		Summarizer: &summarize.LookOut{Detector: detector.NewLOF(15), Budget: 10},
 	}
-	res := RunSummarization(ds, gt, sp, 2)
+	res := RunSummarization(context.Background(), ds, gt, sp, 2)
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -115,7 +116,7 @@ func TestRunSummarizationHiCS(t *testing.T) {
 			Detector: detector.NewLOF(15), MCIterations: 40, Seed: 1, FixedDim: true, TopK: 10,
 		},
 	}
-	res := RunSummarization(ds, gt, sp, 2)
+	res := RunSummarization(context.Background(), ds, gt, sp, 2)
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -197,13 +198,13 @@ func TestRunSummarizationPersonalizedRanking(t *testing.T) {
 		t.Fatal(err)
 	}
 	lof := detector.NewCached(detector.NewLOF(15))
-	gt, err := synth.DeriveTopSubspaceGroundTruth(ds, outliers, []int{2}, lof)
+	gt, err := synth.DeriveTopSubspaceGroundTruth(context.Background(), ds, outliers, []int{2}, lof)
 	if err != nil {
 		t.Fatal(err)
 	}
 	lo := &summarize.LookOut{Detector: lof, Budget: 28} // all C(8,2) candidates
-	plain := RunSummarization(ds, gt, SummaryPipeline{Detector: "LOF", Summarizer: lo}, 2)
-	ranked := RunSummarization(ds, gt, SummaryPipeline{Detector: "LOF", Summarizer: lo, Ranker: lof}, 2)
+	plain := RunSummarization(context.Background(), ds, gt, SummaryPipeline{Detector: "LOF", Summarizer: lo}, 2)
+	ranked := RunSummarization(context.Background(), ds, gt, SummaryPipeline{Detector: "LOF", Summarizer: lo, Ranker: lof}, 2)
 	if plain.Err != nil || ranked.Err != nil {
 		t.Fatal(plain.Err, ranked.Err)
 	}
@@ -223,7 +224,7 @@ func TestRunSummarizationPersonalizedRanking(t *testing.T) {
 
 func TestRunGridCoversAllCells(t *testing.T) {
 	ds, gt := testbed(t, 30)
-	results := RunGrid(GridSpec{
+	results, gerr := RunGrid(context.Background(), GridSpec{
 		Dataset:     ds,
 		GroundTruth: gt,
 		Dims:        []int{2},
@@ -231,6 +232,9 @@ func TestRunGridCoversAllCells(t *testing.T) {
 		Options:     Options{BeamWidth: 10, RefOutPoolSize: 30, RefOutWidth: 10, LookOutBudget: 10, HiCSCutoff: 30, HiCSIterations: 20, TopK: 10},
 		Cached:      true,
 	})
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
 	// 3 detectors × 4 algorithms × 1 dim = 12 cells, Figure 7's grid.
 	if len(results) != 12 {
 		t.Fatalf("%d results, want 12", len(results))
@@ -254,10 +258,14 @@ func TestRunGridWorkerCountInvariance(t *testing.T) {
 		{Name: "iForest", Detector: detector.NewCached(&detector.IsolationForest{Trees: 20, Subsample: 64, Repetitions: 1, Seed: 1})},
 	}
 	run := func(workers int) []Result {
-		return RunGrid(GridSpec{
+		res, err := RunGrid(context.Background(), GridSpec{
 			Dataset: ds, GroundTruth: gt, Dims: []int{2}, Seed: 1,
 			Options: opts, Detectors: dets, Workers: workers,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
 	}
 	seq := run(1)
 	par := run(4)

@@ -8,6 +8,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -126,7 +127,9 @@ func (m *Monitor) Seen() int { return m.total }
 
 // Push consumes one point and returns any alerts raised by the evaluation
 // it may trigger. The point is copied; the caller may reuse the slice.
-func (m *Monitor) Push(point []float64) ([]Alert, error) {
+// Cancelling ctx aborts a triggered evaluation with ctx's error; the pushed
+// point is retained either way.
+func (m *Monitor) Push(ctx context.Context, point []float64) ([]Alert, error) {
 	cp := make([]float64, len(point))
 	copy(cp, point)
 	if len(m.window) < m.cfg.WindowSize {
@@ -146,26 +149,29 @@ func (m *Monitor) Push(point []float64) ([]Alert, error) {
 		return nil, nil
 	}
 	m.sinceEval = 0
-	return m.evaluate()
+	return m.evaluate(ctx)
 }
 
 // Flush forces an evaluation of the current window if it holds at least 8
 // points, regardless of stride position.
-func (m *Monitor) Flush() ([]Alert, error) {
+func (m *Monitor) Flush(ctx context.Context) ([]Alert, error) {
 	if len(m.window) < 8 {
 		return nil, nil
 	}
 	m.sinceEval = 0
-	return m.evaluate()
+	return m.evaluate(ctx)
 }
 
-func (m *Monitor) evaluate() ([]Alert, error) {
+func (m *Monitor) evaluate(ctx context.Context) ([]Alert, error) {
 	m.evals++
 	ds, err := dataset.FromRows(fmt.Sprintf("window-%d", m.evals), m.window, m.featureNames())
 	if err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
-	scores := m.cfg.Detector.Scores(ds.FullView())
+	scores, err := m.cfg.Detector.Scores(ctx, ds.FullView())
+	if err != nil {
+		return nil, fmt.Errorf("stream: score window %d: %w", m.evals, err)
+	}
 	z := stats.ZScores(scores)
 	candidates := make([]int, 0, 4)
 	for i, zi := range z {
@@ -187,7 +193,7 @@ func (m *Monitor) evaluate() ([]Alert, error) {
 			ZScore:   z[i],
 		}
 		if m.cfg.Explainer != nil {
-			expl, err := m.cfg.Explainer.ExplainPoint(ds, i, m.targetDim)
+			expl, err := m.cfg.Explainer.ExplainPoint(ctx, ds, i, m.targetDim)
 			if err != nil {
 				return alerts, fmt.Errorf("stream: explain sequence %d: %w", m.seq[i], err)
 			}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestMonitorFlagsAndExplainsInjectedAnomaly(t *testing.T) {
 		} else {
 			p = inlier(rng)
 		}
-		got, err := m.Push(p)
+		got, err := m.Push(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func TestMonitorQuietOnCleanStream(t *testing.T) {
 	m := newTestMonitor(t)
 	var alerts []Alert
 	for i := 0; i < 400; i++ {
-		got, err := m.Push(inlier(rng))
+		got, err := m.Push(context.Background(), inlier(rng))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +126,7 @@ func TestMonitorNoEvaluationBeforeWindowFills(t *testing.T) {
 	m := newTestMonitor(t)
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 119; i++ {
-		alerts, err := m.Push(inlier(rng))
+		alerts, err := m.Push(context.Background(), inlier(rng))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,21 +148,21 @@ func TestMonitorFlush(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	// Too few points: Flush is a no-op.
 	for i := 0; i < 4; i++ {
-		if _, err := m.Push(inlier(rng)); err != nil {
+		if _, err := m.Push(context.Background(), inlier(rng)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if alerts, err := m.Flush(); err != nil || alerts != nil {
+	if alerts, err := m.Flush(context.Background()); err != nil || alerts != nil {
 		t.Fatalf("early flush: %v, %v", alerts, err)
 	}
 	// Partial window above the minimum evaluates.
 	for i := 0; i < 20; i++ {
-		if _, err := m.Push(inlier(rng)); err != nil {
+		if _, err := m.Push(context.Background(), inlier(rng)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	before := m.Evaluations()
-	if _, err := m.Flush(); err != nil {
+	if _, err := m.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if m.Evaluations() != before+1 {
@@ -215,7 +216,7 @@ func TestMonitorWithLODAOnline(t *testing.T) {
 			// A gross anomaly LODA must catch (outside all marginals).
 			p = []float64{3, -3, 0.5, 0.5}
 		}
-		got, err := m.Push(p)
+		got, err := m.Push(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,7 +249,7 @@ func TestMonitorMaxFlagsPerWindow(t *testing.T) {
 	}
 	perWindow := map[int]int{}
 	for i := 0; i < 400; i++ {
-		alerts, err := m.Push(inlier(rng))
+		alerts, err := m.Push(context.Background(), inlier(rng))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package summarize
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -58,8 +59,9 @@ func (g *GroupSummarizer) maxCandidates() int64 {
 }
 
 // GroupOutliers partitions the points into explained groups, ordered by
-// descending group size and then score.
-func (g *GroupSummarizer) GroupOutliers(ds *dataset.Dataset, points []int, targetDim int) ([]Group, error) {
+// descending group size and then score. The candidate enumeration observes
+// ctx between subspaces, so cancellation aborts with ctx's error.
+func (g *GroupSummarizer) GroupOutliers(ctx context.Context, ds *dataset.Dataset, points []int, targetDim int) ([]Group, error) {
 	if err := core.ValidateSummarizeArgs(ds, points, targetDim); err != nil {
 		return nil, fmt.Errorf("groups: %w", err)
 	}
@@ -77,7 +79,11 @@ func (g *GroupSummarizer) GroupOutliers(ds *dataset.Dataset, points []int, targe
 	enum := subspace.NewEnumerator(ds.D(), targetDim)
 	for s := enum.Next(); s != nil; s = enum.Next() {
 		sub := s.Clone()
-		all := stats.ZScores(g.Detector.Scores(ds.View(sub)))
+		raw, err := g.Detector.Scores(ctx, ds.View(sub))
+		if err != nil {
+			return nil, err
+		}
+		all := stats.ZScores(raw)
 		row := make([]float64, len(points))
 		for j, p := range points {
 			row[j] = all[p]
@@ -172,8 +178,8 @@ func (g *GroupSummarizer) GroupOutliers(ds *dataset.Dataset, points []int, targe
 // Summarize adapts the grouping to the core.Summarizer contract: it returns
 // each group's characterizing subspace, ordered as GroupOutliers orders the
 // groups, so GroupSummarizer can stand in wherever LookOut or HiCS do.
-func (g *GroupSummarizer) Summarize(ds *dataset.Dataset, points []int, targetDim int) ([]core.ScoredSubspace, error) {
-	groups, err := g.GroupOutliers(ds, points, targetDim)
+func (g *GroupSummarizer) Summarize(ctx context.Context, ds *dataset.Dataset, points []int, targetDim int) ([]core.ScoredSubspace, error) {
+	groups, err := g.GroupOutliers(ctx, ds, points, targetDim)
 	if err != nil {
 		return nil, err
 	}

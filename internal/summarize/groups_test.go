@@ -1,6 +1,7 @@
 package summarize
 
 import (
+	"context"
 	"testing"
 
 	"anex/internal/detector"
@@ -21,7 +22,7 @@ func TestGroupSummarizerRecoversPlantedGroups(t *testing.T) {
 	}
 	g := NewGroupSummarizer(detector.NewCached(detector.NewLOF(15)))
 	g.MinGroupSize = 2
-	groups, err := g.GroupOutliers(ds, gt.Outliers(), 2)
+	groups, err := g.GroupOutliers(context.Background(), ds, gt.Outliers(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestGroupSummarizerMinGroupSizeMerging(t *testing.T) {
 	}
 	g := NewGroupSummarizer(detector.NewCached(detector.NewLOF(15)))
 	g.MinGroupSize = 3
-	groups, err := g.GroupOutliers(ds, gt.Outliers(), 2)
+	groups, err := g.GroupOutliers(context.Background(), ds, gt.Outliers(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestGroupSummarizerMinGroupSizeMerging(t *testing.T) {
 func TestGroupSummarizerAsSummarizer(t *testing.T) {
 	ds, gt := testbed(t, 20)
 	g := NewGroupSummarizer(detector.NewCached(detector.NewLOF(15)))
-	list, err := g.Summarize(ds, gt.Outliers(), 2)
+	list, err := g.Summarize(context.Background(), ds, gt.Outliers(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,15 +132,15 @@ func TestGroupSummarizerAsSummarizer(t *testing.T) {
 func TestGroupSummarizerErrors(t *testing.T) {
 	ds, gt := testbed(t, 21)
 	g := &GroupSummarizer{}
-	if _, err := g.GroupOutliers(ds, gt.Outliers(), 2); err == nil {
+	if _, err := g.GroupOutliers(context.Background(), ds, gt.Outliers(), 2); err == nil {
 		t.Error("nil detector should fail")
 	}
 	g = NewGroupSummarizer(detector.NewLOF(15))
-	if _, err := g.GroupOutliers(ds, nil, 2); err == nil {
+	if _, err := g.GroupOutliers(context.Background(), ds, nil, 2); err == nil {
 		t.Error("no points should fail")
 	}
 	g.MaxCandidates = 3
-	if _, err := g.GroupOutliers(ds, gt.Outliers(), 2); err == nil {
+	if _, err := g.GroupOutliers(context.Background(), ds, gt.Outliers(), 2); err == nil {
 		t.Error("candidate explosion should fail")
 	}
 }

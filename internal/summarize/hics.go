@@ -1,6 +1,7 @@
 package summarize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -104,8 +105,9 @@ func (h *HiCS) topK() int {
 }
 
 // Summarize searches high-contrast subspaces up to targetDim and returns
-// them ranked for the given points of interest by the detector.
-func (h *HiCS) Summarize(ds *dataset.Dataset, points []int, targetDim int) ([]core.ScoredSubspace, error) {
+// them ranked for the given points of interest by the detector. Both the
+// contrast search and the ranking observe ctx between subspaces.
+func (h *HiCS) Summarize(ctx context.Context, ds *dataset.Dataset, points []int, targetDim int) ([]core.ScoredSubspace, error) {
 	if err := core.ValidateSummarizeArgs(ds, points, targetDim); err != nil {
 		return nil, fmt.Errorf("hics: %w", err)
 	}
@@ -115,24 +117,40 @@ func (h *HiCS) Summarize(ds *dataset.Dataset, points []int, targetDim int) ([]co
 	if targetDim < 2 {
 		return nil, fmt.Errorf("hics: target dimensionality must be ≥ 2, got %d", targetDim)
 	}
-	candidates := h.SearchContrastSubspaces(ds, targetDim)
-	ranked := h.rank(ds, points, candidates)
+	candidates, err := h.SearchContrastSubspaces(ctx, ds, targetDim)
+	if err != nil {
+		return nil, err
+	}
+	ranked, err := h.rank(ctx, ds, points, candidates)
+	if err != nil {
+		return nil, err
+	}
 	return core.TopK(ranked, h.topK()), nil
 }
 
 // SearchContrastSubspaces runs the detector-independent part of HiCS: the
 // stage-wise search for high-contrast subspaces up to maxDim. Results carry
 // the contrast as score, best first. Exposed separately so the contrast
-// search can be benchmarked and reused without a detector.
-func (h *HiCS) SearchContrastSubspaces(ds *dataset.Dataset, maxDim int) []core.ScoredSubspace {
+// search can be benchmarked and reused without a detector. The search
+// observes ctx between contrast computations, so cancellation aborts with
+// ctx's error.
+func (h *HiCS) SearchContrastSubspaces(ctx context.Context, ds *dataset.Dataset, maxDim int) ([]core.ScoredSubspace, error) {
 	rng := rand.New(rand.NewSource(h.Seed))
 	est := newContrastEstimator(ds, h.alpha(), h.mcIterations(), h.Test, rng)
 	cutoff := h.cutoff()
+	done := ctx.Done()
 
 	// Stage 1: all 2d subspaces, exhaustively.
 	var stage []core.ScoredSubspace
 	enum := subspace.NewEnumerator(ds.D(), 2)
 	for s := enum.Next(); s != nil; s = enum.Next() {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		sub := s.Clone()
 		stage = append(stage, core.ScoredSubspace{Subspace: sub, Score: est.contrast(sub)})
 	}
@@ -157,6 +175,13 @@ func (h *HiCS) SearchContrastSubspaces(ds *dataset.Dataset, maxDim int) []core.S
 					continue
 				}
 				seen[key] = true
+				if done != nil {
+					select {
+					case <-done:
+						return nil, ctx.Err()
+					default:
+					}
+				}
 				next = append(next, core.ScoredSubspace{Subspace: cand, Score: est.contrast(cand)})
 			}
 		}
@@ -173,9 +198,9 @@ func (h *HiCS) SearchContrastSubspaces(ds *dataset.Dataset, maxDim int) []core.S
 	}
 
 	if h.FixedDim {
-		return stage
+		return stage, nil
 	}
-	return global
+	return global, nil
 }
 
 // pruneDominated removes subspaces dominated by a superset with higher
@@ -207,10 +232,13 @@ func pruneDominated(list []core.ScoredSubspace) []core.ScoredSubspace {
 // good summary member when it maximally exposes at least one of the points,
 // even if it explains only a few of them — exactly LookOut's coverage
 // objective. A mean would drown subspaces relevant to small outlier groups.
-func (h *HiCS) rank(ds *dataset.Dataset, points []int, candidates []core.ScoredSubspace) []core.ScoredSubspace {
+func (h *HiCS) rank(ctx context.Context, ds *dataset.Dataset, points []int, candidates []core.ScoredSubspace) ([]core.ScoredSubspace, error) {
 	out := make([]core.ScoredSubspace, 0, len(candidates))
 	for _, c := range candidates {
-		scores := h.Detector.Scores(ds.View(c.Subspace))
+		scores, err := h.Detector.Scores(ctx, ds.View(c.Subspace))
+		if err != nil {
+			return nil, err
+		}
 		z := stats.ZScores(scores)
 		var score float64
 		if h.RankByMean {
@@ -229,7 +257,7 @@ func (h *HiCS) rank(ds *dataset.Dataset, points []int, candidates []core.ScoredS
 		out = append(out, core.ScoredSubspace{Subspace: c.Subspace, Score: score})
 	}
 	core.SortByScore(out)
-	return out
+	return out, nil
 }
 
 var _ core.Summarizer = (*HiCS)(nil)

@@ -9,6 +9,7 @@ package summarize
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
@@ -57,8 +58,9 @@ func (l *LookOut) budget() int {
 
 // Summarize returns up to Budget subspaces of exactly targetDim in greedy
 // selection order; each score is the marginal gain the subspace contributed
-// when selected.
-func (l *LookOut) Summarize(ds *dataset.Dataset, points []int, targetDim int) ([]core.ScoredSubspace, error) {
+// when selected. The enumeration phase observes ctx between candidate
+// subspaces, so cancellation aborts with ctx's error.
+func (l *LookOut) Summarize(ctx context.Context, ds *dataset.Dataset, points []int, targetDim int) ([]core.ScoredSubspace, error) {
 	if err := core.ValidateSummarizeArgs(ds, points, targetDim); err != nil {
 		return nil, fmt.Errorf("lookout: %w", err)
 	}
@@ -79,7 +81,10 @@ func (l *LookOut) Summarize(ds *dataset.Dataset, points []int, targetDim int) ([
 	globalMin := math.Inf(1)
 	for s := enum.Next(); s != nil; s = enum.Next() {
 		sub := s.Clone()
-		all := l.Detector.Scores(ds.View(sub))
+		all, err := l.Detector.Scores(ctx, ds.View(sub))
+		if err != nil {
+			return nil, err
+		}
 		subs = append(subs, sub)
 		for _, p := range points {
 			v := all[p]

@@ -1,6 +1,7 @@
 package summarize
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -17,12 +18,12 @@ type tableDetector struct {
 
 func (d *tableDetector) Name() string { return "table" }
 
-func (d *tableDetector) Scores(v *dataset.View) []float64 {
+func (d *tableDetector) Scores(_ context.Context, v *dataset.View) ([]float64, error) {
 	out := make([]float64, v.N())
 	for p, s := range d.scores[v.Subspace().Key()] {
 		out[p] = s
 	}
-	return out
+	return out, nil
 }
 
 func unitDataset(t testing.TB, n, d int) *dataset.Dataset {
@@ -57,7 +58,10 @@ func naiveGreedy(det core.Detector, ds *dataset.Dataset, points []int, dim, budg
 		if err != nil {
 			panic(err)
 		}
-		all := det.Scores(ds.View(sub))
+		all, err := det.Scores(context.Background(), ds.View(sub))
+		if err != nil {
+			panic(err)
+		}
 		row := make([]float64, len(points))
 		for j, p := range points {
 			row[j] = all[p]
@@ -113,7 +117,7 @@ func TestLookOutCELFMatchesNaiveGreedy(t *testing.T) {
 		"3,4": {0: 1, 1: 1, 2: 1},
 	}}
 	lo := &LookOut{Detector: det, Budget: 4}
-	got, err := lo.Summarize(ds, points, 2)
+	got, err := lo.Summarize(context.Background(), ds, points, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +146,7 @@ func TestLookOutObjectiveIsMonotoneAndDiminishing(t *testing.T) {
 		"2,4": {1: 1, 2: 1, 3: 1},
 	}}
 	lo := &LookOut{Detector: det, Budget: 10}
-	got, err := lo.Summarize(ds, points, 2)
+	got, err := lo.Summarize(context.Background(), ds, points, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

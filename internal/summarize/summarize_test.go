@@ -1,6 +1,7 @@
 package summarize
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -31,7 +32,7 @@ func testbed(t *testing.T, seed int64) (*dataset.Dataset, *dataset.GroundTruth) 
 func TestLookOutFindsPlantedSubspaces(t *testing.T) {
 	ds, gt := testbed(t, 1)
 	lo := &LookOut{Detector: detector.NewLOF(15), Budget: 5}
-	got, err := lo.Summarize(ds, gt.Outliers(), 2)
+	got, err := lo.Summarize(context.Background(), ds, gt.Outliers(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestLookOutFindsPlantedSubspaces(t *testing.T) {
 func TestLookOutGreedyOrder(t *testing.T) {
 	ds, gt := testbed(t, 2)
 	lo := &LookOut{Detector: detector.NewLOF(15), Budget: 10}
-	got, err := lo.Summarize(ds, gt.Outliers(), 2)
+	got, err := lo.Summarize(context.Background(), ds, gt.Outliers(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestLookOutGreedyIsOptimalOnFirstPick(t *testing.T) {
 	det := detector.NewLOF(15)
 	points := gt.Outliers()
 	lo := &LookOut{Detector: det, Budget: 1}
-	got, err := lo.Summarize(ds, points, 2)
+	got, err := lo.Summarize(context.Background(), ds, points, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,10 @@ func TestLookOutGreedyIsOptimalOnFirstPick(t *testing.T) {
 	var bestSub subspace.Subspace
 	enum := subspace.NewEnumerator(ds.D(), 2)
 	for s := enum.Next(); s != nil; s = enum.Next() {
-		scores := det.Scores(ds.View(s))
+		scores, err := det.Scores(context.Background(), ds.View(s))
+		if err != nil {
+			t.Fatal(err)
+		}
 		var sum float64
 		for _, p := range points {
 			sum += scores[p]
@@ -112,7 +116,7 @@ func TestLookOutWithNegativeScores(t *testing.T) {
 	// greedy selection well-defined.
 	ds, gt := testbed(t, 4)
 	lo := &LookOut{Detector: detector.NewFastABOD(10), Budget: 3}
-	got, err := lo.Summarize(ds, gt.Outliers(), 2)
+	got, err := lo.Summarize(context.Background(), ds, gt.Outliers(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,17 +133,17 @@ func TestLookOutWithNegativeScores(t *testing.T) {
 func TestLookOutErrors(t *testing.T) {
 	ds, gt := testbed(t, 5)
 	lo := NewLookOut(detector.NewLOF(15))
-	if _, err := lo.Summarize(ds, nil, 2); err == nil {
+	if _, err := lo.Summarize(context.Background(), ds, nil, 2); err == nil {
 		t.Error("no points should fail")
 	}
-	if _, err := lo.Summarize(ds, []int{-1}, 2); err == nil {
+	if _, err := lo.Summarize(context.Background(), ds, []int{-1}, 2); err == nil {
 		t.Error("bad point should fail")
 	}
-	if _, err := lo.Summarize(ds, gt.Outliers(), 99); err == nil {
+	if _, err := lo.Summarize(context.Background(), ds, gt.Outliers(), 99); err == nil {
 		t.Error("bad dim should fail")
 	}
 	noDet := &LookOut{}
-	if _, err := noDet.Summarize(ds, gt.Outliers(), 2); err == nil {
+	if _, err := noDet.Summarize(context.Background(), ds, gt.Outliers(), 2); err == nil {
 		t.Error("nil detector should fail")
 	}
 }
@@ -147,7 +151,7 @@ func TestLookOutErrors(t *testing.T) {
 func TestLookOutBudgetClamp(t *testing.T) {
 	ds, gt := testbed(t, 6)
 	lo := &LookOut{Detector: detector.NewLOF(15), Budget: 10_000}
-	got, err := lo.Summarize(ds, gt.Outliers(), 2)
+	got, err := lo.Summarize(context.Background(), ds, gt.Outliers(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +164,10 @@ func TestLookOutBudgetClamp(t *testing.T) {
 func TestHiCSContrastRanksPlantedPairsFirst(t *testing.T) {
 	ds, gt := testbed(t, 7)
 	h := &HiCS{Detector: detector.NewLOF(15), MCIterations: 60, Seed: 3, FixedDim: true}
-	found := h.SearchContrastSubspaces(ds, 2)
+	found, err := h.SearchContrastSubspaces(context.Background(), ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(found) == 0 {
 		t.Fatal("no subspaces found")
 	}
@@ -179,7 +186,7 @@ func TestHiCSContrastRanksPlantedPairsFirst(t *testing.T) {
 func TestHiCSSummarizeFindsPlanted(t *testing.T) {
 	ds, gt := testbed(t, 8)
 	h := &HiCS{Detector: detector.NewLOF(15), MCIterations: 60, Seed: 5, FixedDim: true, TopK: 10}
-	got, err := h.Summarize(ds, gt.Outliers(), 2)
+	got, err := h.Summarize(context.Background(), ds, gt.Outliers(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +208,7 @@ func TestHiCSFixedDimOutput(t *testing.T) {
 	ds, gt := testbed(t, 9)
 	h := NewHiCSFX(detector.NewLOF(15), 1)
 	h.MCIterations = 30
-	got, err := h.Summarize(ds, gt.Outliers(), 3)
+	got, err := h.Summarize(context.Background(), ds, gt.Outliers(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +223,10 @@ func TestHiCSVariableDimKeepsBestAcrossStages(t *testing.T) {
 	ds, _ := testbed(t, 10)
 	h := NewHiCS(detector.NewLOF(15), 2)
 	h.MCIterations = 30
-	found := h.SearchContrastSubspaces(ds, 3)
+	found, err := h.SearchContrastSubspaces(context.Background(), ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dims := map[int]bool{}
 	for _, s := range found {
 		dims[s.Subspace.Dim()] = true
@@ -230,7 +240,7 @@ func TestHiCSDeterminism(t *testing.T) {
 	ds, gt := testbed(t, 11)
 	run := func() []core.ScoredSubspace {
 		h := &HiCS{Detector: detector.NewLOF(15), MCIterations: 20, Seed: 7, FixedDim: true}
-		got, err := h.Summarize(ds, gt.Outliers(), 2)
+		got, err := h.Summarize(context.Background(), ds, gt.Outliers(), 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,7 +260,10 @@ func TestHiCSDeterminism(t *testing.T) {
 func TestHiCSKSContrast(t *testing.T) {
 	ds, gt := testbed(t, 12)
 	h := &HiCS{Detector: detector.NewLOF(15), MCIterations: 60, Seed: 3, FixedDim: true, Test: KSTest}
-	found := h.SearchContrastSubspaces(ds, 2)
+	found, err := h.SearchContrastSubspaces(context.Background(), ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	topKeys := map[string]bool{}
 	for _, s := range found[:min(4, len(found))] {
 		topKeys[s.Subspace.Key()] = true
@@ -269,11 +282,11 @@ func TestHiCSKSContrast(t *testing.T) {
 func TestHiCSErrors(t *testing.T) {
 	ds, gt := testbed(t, 13)
 	h := NewHiCS(detector.NewLOF(15), 1)
-	if _, err := h.Summarize(ds, gt.Outliers(), 1); err == nil {
+	if _, err := h.Summarize(context.Background(), ds, gt.Outliers(), 1); err == nil {
 		t.Error("dim < 2 should fail")
 	}
 	noDet := &HiCS{}
-	if _, err := noDet.Summarize(ds, gt.Outliers(), 2); err == nil {
+	if _, err := noDet.Summarize(context.Background(), ds, gt.Outliers(), 2); err == nil {
 		t.Error("nil detector should fail")
 	}
 }
@@ -365,7 +378,7 @@ func TestPropertySummariesHaveNoDuplicates(t *testing.T) {
 		NewGroupSummarizer(det),
 	}
 	for _, s := range summarizers {
-		list, err := s.Summarize(ds, gt.Outliers(), 2)
+		list, err := s.Summarize(context.Background(), ds, gt.Outliers(), 2)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}

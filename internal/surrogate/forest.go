@@ -1,6 +1,7 @@
 package surrogate
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -157,11 +158,14 @@ func (f *Forest) R2(ds *dataset.Dataset, target []float64) float64 {
 // fit the surrogate on those scores, and return it together with its
 // fidelity. Explanations of individual points then cost O(depth) via
 // Signature instead of a fresh subspace search.
-func ExplainDetector(ds *dataset.Dataset, det core.Detector, opts ForestOptions) (*Forest, float64, error) {
+func ExplainDetector(ctx context.Context, ds *dataset.Dataset, det core.Detector, opts ForestOptions) (*Forest, float64, error) {
 	if det == nil {
 		return nil, 0, fmt.Errorf("surrogate: nil detector")
 	}
-	scores := det.Scores(ds.FullView())
+	scores, err := det.Scores(ctx, ds.FullView())
+	if err != nil {
+		return nil, 0, fmt.Errorf("surrogate: score %q: %w", ds.Name(), err)
+	}
 	forest, err := FitForest(ds, scores, opts)
 	if err != nil {
 		return nil, 0, err

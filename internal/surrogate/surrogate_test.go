@@ -1,6 +1,7 @@
 package surrogate
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -125,7 +126,7 @@ func TestTreeErrors(t *testing.T) {
 	if _, err := FitForest(ds, target[:10], ForestOptions{}); err == nil {
 		t.Error("forest length mismatch should fail")
 	}
-	if _, _, err := ExplainDetector(ds, nil, ForestOptions{}); err == nil {
+	if _, _, err := ExplainDetector(context.Background(), ds, nil, ForestOptions{}); err == nil {
 		t.Error("nil detector should fail")
 	}
 }
@@ -187,7 +188,7 @@ func TestPredictiveExplanationOnPlantedOutliers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	forest, r2, err := ExplainDetector(ds, detector.NewLOF(15), ForestOptions{
+	forest, r2, err := ExplainDetector(context.Background(), ds, detector.NewLOF(15), ForestOptions{
 		Trees: 20, Seed: 1, Tree: TreeOptions{MaxDepth: 5},
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 
 	"anex/internal/core"
@@ -135,12 +136,13 @@ func BuildSynthetic(c SubspaceConfig) (TestbedDataset, error) {
 
 // BuildRealWorld generates one real-world-like testbed entry, deriving its
 // ground truth with the given detector over the given dimensionalities.
-func BuildRealWorld(c FullSpaceConfig, dims []int, det core.Detector) (TestbedDataset, error) {
+// Cancelling ctx aborts the derivation sweep with ctx's error.
+func BuildRealWorld(ctx context.Context, c FullSpaceConfig, dims []int, det core.Detector) (TestbedDataset, error) {
 	ds, outliers, err := GenerateFullSpaceOutliers(c)
 	if err != nil {
 		return TestbedDataset{}, err
 	}
-	gt, err := DeriveTopSubspaceGroundTruth(ds, outliers, dims, det)
+	gt, err := DeriveTopSubspaceGroundTruth(ctx, ds, outliers, dims, det)
 	if err != nil {
 		return TestbedDataset{}, err
 	}

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 
 	"anex/internal/core"
@@ -22,8 +23,8 @@ import (
 //
 // The search is exhaustive — C(D, k) detector runs per dimensionality — so
 // callers should bound D and dims appropriately (the paper uses 2–4d over
-// 23–31 features).
-func DeriveTopSubspaceGroundTruth(ds *dataset.Dataset, outliers []int, dims []int, det core.Detector) (*dataset.GroundTruth, error) {
+// 23–31 features). Cancelling ctx aborts the sweep with ctx's error.
+func DeriveTopSubspaceGroundTruth(ctx context.Context, ds *dataset.Dataset, outliers []int, dims []int, det core.Detector) (*dataset.GroundTruth, error) {
 	if len(outliers) == 0 {
 		return nil, fmt.Errorf("ground truth %q: no outliers", ds.Name())
 	}
@@ -39,7 +40,10 @@ func DeriveTopSubspaceGroundTruth(ds *dataset.Dataset, outliers []int, dims []in
 		bestSub := make(map[int]subspace.Subspace, len(outliers))
 		enum := subspace.NewEnumerator(ds.D(), dim)
 		for s := enum.Next(); s != nil; s = enum.Next() {
-			scores := det.Scores(ds.View(s))
+			scores, err := det.Scores(ctx, ds.View(s))
+			if err != nil {
+				return nil, fmt.Errorf("ground truth %q: %w", ds.Name(), err)
+			}
 			z := stats.ZScores(scores)
 			for _, p := range outliers {
 				if cur, ok := best[p]; !ok || z[p] > cur {
@@ -61,7 +65,7 @@ func DeriveTopSubspaceGroundTruth(ds *dataset.Dataset, outliers []int, dims []in
 // associates the subspace with its top-k highest-scoring points. The result
 // matches the planted contamination when the detector separates the planted
 // outliers (the paper verifies this holds for LOF).
-func AssignOutliersByScore(ds *dataset.Dataset, planted []subspace.Subspace, topK int, det core.Detector) (*dataset.GroundTruth, error) {
+func AssignOutliersByScore(ctx context.Context, ds *dataset.Dataset, planted []subspace.Subspace, topK int, det core.Detector) (*dataset.GroundTruth, error) {
 	if det == nil {
 		return nil, fmt.Errorf("ground truth %q: nil detector", ds.Name())
 	}
@@ -73,7 +77,10 @@ func AssignOutliersByScore(ds *dataset.Dataset, planted []subspace.Subspace, top
 		if err := s.Validate(ds.D()); err != nil {
 			return nil, fmt.Errorf("ground truth %q: %w", ds.Name(), err)
 		}
-		scores := det.Scores(ds.View(s))
+		scores, err := det.Scores(ctx, ds.View(s))
+		if err != nil {
+			return nil, fmt.Errorf("ground truth %q: %w", ds.Name(), err)
+		}
 		top := topIndices(scores, topK)
 		for _, p := range top {
 			relevant[p] = append(relevant[p], s)

@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -153,7 +154,10 @@ func TestPlantedOutliersDetectableByLOF(t *testing.T) {
 	}
 	lof := detector.NewLOF(15)
 	for _, sub := range gt.AllSubspaces() {
-		scores := lof.Scores(ds.View(sub))
+		scores, serr := lof.Scores(context.Background(), ds.View(sub))
+		if serr != nil {
+			t.Fatal(serr)
+		}
 		// Points deviating in this subspace.
 		var deviating []int
 		for _, p := range gt.Outliers() {
@@ -298,7 +302,10 @@ func TestGenerateFullSpaceOutliers(t *testing.T) {
 	}
 	// The planted outliers must dominate the full-space LOF ranking —
 	// they are full-space density outliers by construction.
-	scores := detector.NewLOF(15).Scores(ds.FullView())
+	scores, serr := detector.NewLOF(15).Scores(context.Background(), ds.FullView())
+	if serr != nil {
+		t.Fatal(serr)
+	}
 	top := topIndices(scores, len(outliers))
 	topSet := make(map[int]bool)
 	for _, p := range top {
@@ -321,7 +328,7 @@ func TestDeriveTopSubspaceGroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gt, err := DeriveTopSubspaceGroundTruth(ds, outliers, []int{2, 3}, detector.NewLOF(15))
+	gt, err := DeriveTopSubspaceGroundTruth(context.Background(), ds, outliers, []int{2, 3}, detector.NewLOF(15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,13 +361,13 @@ func TestDeriveGroundTruthErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := DeriveTopSubspaceGroundTruth(ds, nil, []int{2}, detector.NewLOF(5)); err == nil {
+	if _, err := DeriveTopSubspaceGroundTruth(context.Background(), ds, nil, []int{2}, detector.NewLOF(5)); err == nil {
 		t.Error("no outliers should fail")
 	}
-	if _, err := DeriveTopSubspaceGroundTruth(ds, outliers, []int{9}, detector.NewLOF(5)); err == nil {
+	if _, err := DeriveTopSubspaceGroundTruth(context.Background(), ds, outliers, []int{9}, detector.NewLOF(5)); err == nil {
 		t.Error("out-of-range dim should fail")
 	}
-	if _, err := DeriveTopSubspaceGroundTruth(ds, outliers, []int{2}, nil); err == nil {
+	if _, err := DeriveTopSubspaceGroundTruth(context.Background(), ds, outliers, []int{2}, nil); err == nil {
 		t.Error("nil detector should fail")
 	}
 }
@@ -371,7 +378,7 @@ func TestAssignOutliersByScore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	derived, err := AssignOutliersByScore(ds, gt.AllSubspaces(), c.OutliersPerSubspace, detector.NewLOF(15))
+	derived, err := AssignOutliersByScore(context.Background(), ds, gt.AllSubspaces(), c.OutliersPerSubspace, detector.NewLOF(15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -469,7 +476,7 @@ func TestBuildHelpers(t *testing.T) {
 	if !td.Synthetic || td.Dataset == nil || td.GroundTruth == nil {
 		t.Error("BuildSynthetic incomplete")
 	}
-	rw, err := BuildRealWorld(FullSpaceConfig{Name: "r", N: 80, D: 5, NumOutliers: 8, Seed: 3}, []int{2}, detector.NewLOF(10))
+	rw, err := BuildRealWorld(context.Background(), FullSpaceConfig{Name: "r", N: 80, D: 5, NumOutliers: 8, Seed: 3}, []int{2}, detector.NewLOF(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,14 +511,14 @@ func TestAssignOutliersByScoreErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := AssignOutliersByScore(ds, gt.AllSubspaces(), 5, nil); err == nil {
+	if _, err := AssignOutliersByScore(context.Background(), ds, gt.AllSubspaces(), 5, nil); err == nil {
 		t.Error("nil detector should fail")
 	}
-	if _, err := AssignOutliersByScore(ds, gt.AllSubspaces(), 0, detector.NewLOF(5)); err == nil {
+	if _, err := AssignOutliersByScore(context.Background(), ds, gt.AllSubspaces(), 0, detector.NewLOF(5)); err == nil {
 		t.Error("topK 0 should fail")
 	}
 	bad := []subspace.Subspace{subspace.New(99)}
-	if _, err := AssignOutliersByScore(ds, bad, 5, detector.NewLOF(5)); err == nil {
+	if _, err := AssignOutliersByScore(context.Background(), ds, bad, 5, detector.NewLOF(5)); err == nil {
 		t.Error("out-of-range subspace should fail")
 	}
 }
@@ -520,10 +527,10 @@ func TestBuildHelperErrors(t *testing.T) {
 	if _, err := BuildSynthetic(SubspaceConfig{Name: "bad"}); err == nil {
 		t.Error("invalid synthetic config should fail")
 	}
-	if _, err := BuildRealWorld(FullSpaceConfig{Name: "bad"}, []int{2}, detector.NewLOF(5)); err == nil {
+	if _, err := BuildRealWorld(context.Background(), FullSpaceConfig{Name: "bad"}, []int{2}, detector.NewLOF(5)); err == nil {
 		t.Error("invalid real config should fail")
 	}
-	if _, err := BuildRealWorld(FullSpaceConfig{Name: "r", N: 60, D: 4, NumOutliers: 6, Seed: 1}, []int{9}, detector.NewLOF(5)); err == nil {
+	if _, err := BuildRealWorld(context.Background(), FullSpaceConfig{Name: "r", N: 60, D: 4, NumOutliers: 6, Seed: 1}, []int{9}, detector.NewLOF(5)); err == nil {
 		t.Error("bad GT dims should fail")
 	}
 }

@@ -10,3 +10,8 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Short fuzz smoke on the CSV parser: the only loader of external bytes.
+# 10 seconds is enough to shake out parser regressions without slowing the
+# gate; a reproducing input would land in internal/dataset/testdata/fuzz.
+go test ./internal/dataset -run FuzzReadCSV -fuzz=FuzzReadCSV -fuzztime=10s
