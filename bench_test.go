@@ -45,6 +45,7 @@ func benchDataset(b *testing.B, n, d int) (*anex.Dataset, *anex.GroundTruth) {
 // score a single subspace LOF needed 0.05, iForest 0.2 and Fast ABOD 2
 // seconds approximately" — a 1000-point 3d view per detector.
 func BenchmarkDetectorPerSubspace(b *testing.B) {
+	b.ReportAllocs()
 	ds, _ := benchDataset(b, 1000, 10)
 	view := ds.View(anex.NewSubspace(2, 3, 4))
 	dets := []anex.Detector{
@@ -54,6 +55,7 @@ func BenchmarkDetectorPerSubspace(b *testing.B) {
 	}
 	for _, det := range dets {
 		b.Run(det.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				det.Scores(bctx, view)
 			}
@@ -64,6 +66,7 @@ func BenchmarkDetectorPerSubspace(b *testing.B) {
 // BenchmarkTable1 regenerates the dataset-characteristics table from a
 // freshly generated miniature testbed.
 func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		td, err := synth.BuildSynthetic(synth.SubspaceConfig{
 			Name: "t1", TotalDims: 10, SubspaceDims: []int{2, 3},
@@ -84,6 +87,7 @@ func BenchmarkTable1(b *testing.B) {
 
 // BenchmarkFigure8 regenerates the relevant-subspace-dimensionality figure.
 func BenchmarkFigure8(b *testing.B) {
+	b.ReportAllocs()
 	td, err := synth.BuildSynthetic(synth.SubspaceConfig{
 		Name: "f8", TotalDims: 12, SubspaceDims: []int{2, 3, 4},
 		N: 300, OutliersPerSubspace: 5, Seed: 1,
@@ -124,6 +128,7 @@ func figure9Cell(b *testing.B, mk func(det anex.Detector) anex.PointExplainer, d
 // BenchmarkFigure9 regenerates Figure 9 cells: both point explainers with
 // each detector on a planted-subspace dataset.
 func BenchmarkFigure9(b *testing.B) {
+	b.ReportAllocs()
 	beam := func(det anex.Detector) anex.PointExplainer {
 		e := anex.NewBeamFX(det)
 		e.Width = 30
@@ -139,6 +144,7 @@ func BenchmarkFigure9(b *testing.B) {
 	}
 	b.Run("Beam/LOF", func(b *testing.B) { figure9Cell(b, beam, anex.NewLOF(15)) })
 	b.Run("Beam/iForest", func(b *testing.B) {
+		b.ReportAllocs()
 		figure9Cell(b, beam, &anex.IsolationForest{Trees: 50, Subsample: 128, Repetitions: 3})
 	})
 	b.Run("RefOut/LOF", func(b *testing.B) { figure9Cell(b, refout, anex.NewLOF(15)) })
@@ -165,6 +171,7 @@ func figure10Cell(b *testing.B, mk func(det anex.Detector) anex.Summarizer, det 
 // BenchmarkFigure10 regenerates Figure 10 cells: both summarizers with LOF
 // and FastABOD.
 func BenchmarkFigure10(b *testing.B) {
+	b.ReportAllocs()
 	lookout := func(det anex.Detector) anex.Summarizer {
 		s := anex.NewLookOut(det)
 		s.Budget = 30
@@ -187,6 +194,7 @@ func BenchmarkFigure10(b *testing.B) {
 // — the quantity Figure 11 plots — on a fixed dataset with uncached
 // detectors, explaining a bounded set of points.
 func BenchmarkFigure11(b *testing.B) {
+	b.ReportAllocs()
 	ds, gt := benchDataset(b, 300, 10)
 	points := gt.Outliers()
 	if len(points) > 3 {
@@ -199,6 +207,7 @@ func BenchmarkFigure11(b *testing.B) {
 	small := anex.NewGroundTruth(sub)
 
 	b.Run("Beam/LOF", func(b *testing.B) {
+		b.ReportAllocs()
 		e := anex.NewBeamFX(anex.NewLOF(15))
 		e.Width = 30
 		for i := 0; i < b.N; i++ {
@@ -208,6 +217,7 @@ func BenchmarkFigure11(b *testing.B) {
 		}
 	})
 	b.Run("RefOut/LOF", func(b *testing.B) {
+		b.ReportAllocs()
 		e := anex.NewRefOut(anex.NewLOF(15), 1)
 		e.PoolSize = 60
 		for i := 0; i < b.N; i++ {
@@ -217,6 +227,7 @@ func BenchmarkFigure11(b *testing.B) {
 		}
 	})
 	b.Run("LookOut/LOF", func(b *testing.B) {
+		b.ReportAllocs()
 		s := anex.NewLookOut(anex.NewLOF(15))
 		s.Budget = 30
 		for i := 0; i < b.N; i++ {
@@ -226,6 +237,7 @@ func BenchmarkFigure11(b *testing.B) {
 		}
 	})
 	b.Run("HiCS/LOF", func(b *testing.B) {
+		b.ReportAllocs()
 		s := anex.NewHiCSFX(anex.NewLOF(15), 1)
 		s.MCIterations = 40
 		for i := 0; i < b.N; i++ {
@@ -239,6 +251,7 @@ func BenchmarkFigure11(b *testing.B) {
 // BenchmarkTable2 measures the trade-off aggregation over precomputed
 // pipeline results (the pipelines themselves are benched above).
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	td, err := synth.BuildSynthetic(synth.SubspaceConfig{
 		Name: "t2", TotalDims: 8, SubspaceDims: []int{2}, N: 200,
 		OutliersPerSubspace: 4, Seed: 1,
@@ -276,6 +289,7 @@ func BenchmarkTable2(b *testing.B) {
 // paper's Z-score standardisation against raw detector scores. The MAP
 // metric is the point: raw scores carry dimensionality bias.
 func BenchmarkAblationRawVsZScore(b *testing.B) {
+	b.ReportAllocs()
 	ds, gt := benchDataset(b, 300, 10)
 	run := func(b *testing.B, score explain.ScoreFunc) {
 		det := anex.CachedDetector(anex.NewLOF(15))
@@ -298,6 +312,7 @@ func BenchmarkAblationRawVsZScore(b *testing.B) {
 // BenchmarkKNNBruteVsKDTree quantifies the KD-tree-vs-brute-force crossover
 // on the low-dimensional views explainers query.
 func BenchmarkKNNBruteVsKDTree(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	for _, dim := range []int{2, 4, 8, 16} {
 		points := make([][]float64, 1000)
@@ -309,12 +324,14 @@ func BenchmarkKNNBruteVsKDTree(b *testing.B) {
 			points[i] = p
 		}
 		b.Run("brute/"+itoa(dim)+"d", func(b *testing.B) {
+			b.ReportAllocs()
 			ix := neighbors.NewBruteForce(points)
 			for i := 0; i < b.N; i++ {
 				neighbors.AllKNN(ix, 15)
 			}
 		})
 		b.Run("kdtree/"+itoa(dim)+"d", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tree := neighbors.NewKDTree(points)
 				neighbors.AllKNN(tree, 15)
@@ -326,6 +343,7 @@ func BenchmarkKNNBruteVsKDTree(b *testing.B) {
 // BenchmarkAblationHiCSTest compares the Welch and Kolmogorov–Smirnov
 // contrast tests inside HiCS.
 func BenchmarkAblationHiCSTest(b *testing.B) {
+	b.ReportAllocs()
 	ds, gt := benchDataset(b, 400, 10)
 	run := func(b *testing.B, test summarize.ContrastTest) {
 		det := anex.CachedDetector(anex.NewLOF(15))
@@ -351,15 +369,18 @@ func BenchmarkAblationHiCSTest(b *testing.B) {
 // BenchmarkAblationIForestAveraging measures the cost of the paper's
 // 10-repetition iForest averaging against a single forest.
 func BenchmarkAblationIForestAveraging(b *testing.B) {
+	b.ReportAllocs()
 	ds, _ := benchDataset(b, 500, 10)
 	view := ds.View(anex.NewSubspace(0, 1, 2))
 	b.Run("reps=1", func(b *testing.B) {
+		b.ReportAllocs()
 		f := &anex.IsolationForest{Trees: 100, Subsample: 256, Repetitions: 1, Seed: 1}
 		for i := 0; i < b.N; i++ {
 			f.Scores(bctx, view)
 		}
 	})
 	b.Run("reps=10", func(b *testing.B) {
+		b.ReportAllocs()
 		f := &anex.IsolationForest{Trees: 100, Subsample: 256, Repetitions: 10, Seed: 1}
 		for i := 0; i < b.N; i++ {
 			f.Scores(bctx, view)
@@ -371,10 +392,12 @@ func BenchmarkAblationIForestAveraging(b *testing.B) {
 // n ≈ 1000, HiCS's Monte-Carlo statistical test costs more per subspace
 // than LOF's distance computation.
 func BenchmarkContrastVsLOF(b *testing.B) {
+	b.ReportAllocs()
 	ds, _ := benchDataset(b, 1000, 10)
 	// Same unit of work for both: assess every 2d subspace of the dataset
 	// once — HiCS by Monte-Carlo contrast, LOF by outlyingness scoring.
 	b.Run("hics-contrast", func(b *testing.B) {
+		b.ReportAllocs()
 		h := &summarize.HiCS{Detector: anex.NewLOF(15), MCIterations: 100, Seed: 1, FixedDim: true}
 		for i := 0; i < b.N; i++ {
 			if _, err := h.SearchContrastSubspaces(bctx, ds, 2); err != nil {
@@ -383,6 +406,7 @@ func BenchmarkContrastVsLOF(b *testing.B) {
 		}
 	})
 	b.Run("lof-score", func(b *testing.B) {
+		b.ReportAllocs()
 		lof := anex.NewLOF(15)
 		want := subspace.Count(ds.D(), 2)
 		for i := 0; i < b.N; i++ {
@@ -417,10 +441,12 @@ func itoa(v int) string {
 // explanation (surrogate signature) with one descriptive explanation (Beam
 // subspace search) — the trade-off the paper's conclusions propose.
 func BenchmarkSurrogateVsBeamPerPoint(b *testing.B) {
+	b.ReportAllocs()
 	ds, gt := benchDataset(b, 300, 10)
 	p := gt.Outliers()[0]
 	row := make([]float64, ds.D())
 	b.Run("surrogate-signature", func(b *testing.B) {
+		b.ReportAllocs()
 		forest, _, err := anex.ExplainDetectorWithSurrogate(bctx, ds, anex.NewLOF(15), anex.SurrogateForestOptions{
 			Trees: 20, Seed: 1, Tree: anex.SurrogateTreeOptions{MaxDepth: 5},
 		})
@@ -433,6 +459,7 @@ func BenchmarkSurrogateVsBeamPerPoint(b *testing.B) {
 		}
 	})
 	b.Run("beam-search", func(b *testing.B) {
+		b.ReportAllocs()
 		beam := anex.NewBeamFX(anex.NewLOF(15))
 		beam.Width = 30
 		for i := 0; i < b.N; i++ {
@@ -442,6 +469,7 @@ func BenchmarkSurrogateVsBeamPerPoint(b *testing.B) {
 		}
 	})
 	b.Run("surrogate-fit", func(b *testing.B) {
+		b.ReportAllocs()
 		scores, err := anex.NewLOF(15).Scores(bctx, ds.FullView())
 		if err != nil {
 			b.Fatal(err)

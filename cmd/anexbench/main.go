@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	anexbench [-scale small|paper] [-seed N] [-exp all|table1|figure8|figure9|figure10|figure11|table2|ablation|conformance] [-csv dir] [-quiet] [-workers N]
+//	anexbench [-scale small|paper] [-seed N] [-exp all|table1|figure8|figure9|figure10|figure11|table2|ablation|conformance] [-csv dir] [-quiet] [-workers N] [-cache-mb 256]
 //
 // At the default small scale the full run finishes in minutes on a laptop;
 // paper scale matches the dataset shapes of the paper's Table 1 and can
@@ -44,13 +44,14 @@ func main() {
 		detectors = flag.String("detectors", "", "comma-separated detector names to restrict pipelines to (LOF, FastABOD, iForest)")
 		metric    = flag.String("metric", "map", "effectiveness metric for figures 9/10: map or recall")
 		workers   = flag.Int("workers", 0, "inner-loop workers per pipeline cell (0 = GOMAXPROCS); results are identical at any count")
+		cacheMB   = flag.Int("cache-mb", 0, "byte budget (MiB) of each detector's shared score memo; LRU-evicts past it (0 = default 256)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := run(ctx, *scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric, *workers)
+	err := run(ctx, *scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric, *workers, *cacheMB)
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "anexbench: interrupted")
 		if *journal != "" {
@@ -64,7 +65,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdPath, journalPath, detectors, metric string, workers int) error {
+func run(ctx context.Context, scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdPath, journalPath, detectors, metric string, workers, cacheMB int) error {
 	scale, err := synth.ParseScale(scaleFlag)
 	if err != nil {
 		return err
@@ -109,6 +110,7 @@ func run(ctx context.Context, scaleFlag string, seed int64, exp, csvDir string, 
 		DetectorFilter: detFilter,
 		UseMeanRecall:  metric == "recall",
 		Workers:        workers,
+		CacheBytes:     int64(cacheMB) << 20,
 	})
 	if err != nil {
 		return err

@@ -12,7 +12,8 @@
 // Usage:
 //
 //	anexeval -data d.csv -gt d.groundtruth.json [-dims 2,3] [-seed N]
-//	         [-workers N] [-topk 30] [-journal run.journal] [-cell-timeout 5m]
+//	         [-workers N] [-topk 30] [-cache-mb 256] [-journal run.journal]
+//	         [-cell-timeout 5m]
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed for stochastic algorithms")
 		workers     = flag.Int("workers", 0, "parallel pipeline workers (0 = GOMAXPROCS)")
 		topK        = flag.Int("topk", 0, "result-list bound per explainer (0 = paper default 100)")
+		cacheMB     = flag.Int("cache-mb", 0, "byte budget (MiB) of each detector's shared score memo; LRU-evicts past it (0 = default 256)")
 		journalPath = flag.String("journal", "", "checkpoint completed cells to this file and resume from it")
 		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline (0 = none); timed-out cells report an error, the rest of the grid completes")
 	)
@@ -46,7 +48,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := run(ctx, *dataPath, *gtPath, *dims, *seed, *workers, *topK, *journalPath, *cellTimeout)
+	err := run(ctx, *dataPath, *gtPath, *dims, *seed, *workers, *topK, *cacheMB, *journalPath, *cellTimeout)
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "anexeval: interrupted")
 		os.Exit(130)
@@ -57,7 +59,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, dataPath, gtPath, dimsArg string, seed int64, workers, topK int, journalPath string, cellTimeout time.Duration) error {
+func run(ctx context.Context, dataPath, gtPath, dimsArg string, seed int64, workers, topK, cacheMB int, journalPath string, cellTimeout time.Duration) error {
 	if dataPath == "" || gtPath == "" {
 		return fmt.Errorf("both -data and -gt are required")
 	}
@@ -107,7 +109,7 @@ func run(ctx context.Context, dataPath, gtPath, dimsArg string, seed int64, work
 		GroundTruth: gt,
 		Dims:        dims,
 		Seed:        seed,
-		Options:     anex.PipelineOptions{TopK: topK},
+		Options:     anex.PipelineOptions{TopK: topK, CacheBytes: int64(cacheMB) << 20},
 		Cached:      true,
 		Workers:     workers,
 		Journal:     journal,

@@ -6,6 +6,8 @@ package dataset
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"anex/internal/subspace"
 )
@@ -18,6 +20,7 @@ type Dataset struct {
 	features []string    // feature names, len d
 	cols     [][]float64 // cols[f][i] = value of feature f at point i
 	n        int
+	gathers  atomic.Int64 // view materialisations performed (see Gathers)
 }
 
 // New builds a dataset from column-major data. The columns are not copied;
@@ -102,14 +105,56 @@ func (ds *Dataset) Row(i int, dst []float64) []float64 {
 	return dst[:len(ds.cols)]
 }
 
-// View materialises the projection of the dataset onto the given subspace as
-// row-major points, the layout detectors consume. Views are cheap relative
-// to detector work (O(n·k) gather) but see Pool for reuse across calls.
+// View returns a LAZY projection of the dataset onto the given subspace.
+// Construction is O(k): it clones the subspace and defers the O(n·k)
+// row-major gather until Points or Point is first touched. This is what
+// makes the cache-first scoring path allocation-free — a memoised detector
+// can answer from the view's key (dataset name + subspace) without the
+// projection ever being materialised. Views are safe for concurrent use;
+// the first accessor performs the gather exactly once.
 func (ds *Dataset) View(s subspace.Subspace) *View {
-	k := len(s)
+	return &View{sub: s.Clone(), dataset: ds}
+}
+
+// FullView returns the view over all features.
+func (ds *Dataset) FullView() *View {
+	return ds.View(subspace.Full(ds.D()))
+}
+
+// Gathers returns the number of view materialisations performed against
+// this dataset since construction — the observability hook that lets tests
+// assert the cache-hit path triggers zero O(n·k) projection work.
+func (ds *Dataset) Gathers() int64 { return ds.gathers.Load() }
+
+// View is the projection of a dataset onto one subspace. The row-major
+// point data is materialised lazily: the subspace identity (Subspace, Dim,
+// N) is available immediately and for free, while the first call to Points
+// or Point performs the one-time O(n·k) gather.
+type View struct {
+	sub     subspace.Subspace
+	dataset *Dataset
+
+	once sync.Once
+	rows [][]float64
+}
+
+// Subspace returns the subspace this view projects onto.
+func (v *View) Subspace() subspace.Subspace { return v.sub }
+
+// N returns the number of points in the view.
+func (v *View) N() int { return v.dataset.n }
+
+// Dim returns the dimensionality of the view.
+func (v *View) Dim() int { return len(v.sub) }
+
+// materialise performs the deferred row gather. Rows share one flat backing
+// array, so the whole view costs two allocations regardless of n.
+func (v *View) materialise() {
+	ds := v.dataset
+	k := len(v.sub)
 	flat := make([]float64, ds.n*k)
 	rows := make([][]float64, ds.n)
-	for j, f := range s {
+	for j, f := range v.sub {
 		col := ds.cols[f]
 		for i := 0; i < ds.n; i++ {
 			flat[i*k+j] = col[i]
@@ -118,36 +163,24 @@ func (ds *Dataset) View(s subspace.Subspace) *View {
 	for i := range rows {
 		rows[i] = flat[i*k : (i+1)*k : (i+1)*k]
 	}
-	return &View{sub: s.Clone(), rows: rows, dataset: ds}
+	v.rows = rows
+	ds.gathers.Add(1)
 }
 
-// FullView returns the view over all features.
-func (ds *Dataset) FullView() *View {
-	return ds.View(subspace.Full(ds.D()))
+// Point returns the projected coordinates of point i, materialising the
+// view on first access. The returned slice is shared with the view and must
+// not be mutated.
+func (v *View) Point(i int) []float64 {
+	v.once.Do(v.materialise)
+	return v.rows[i]
 }
 
-// View is the row-major projection of a dataset onto one subspace.
-type View struct {
-	sub     subspace.Subspace
-	rows    [][]float64
-	dataset *Dataset
+// Points returns all projected points, materialising the view on first
+// access. Shared storage; do not mutate.
+func (v *View) Points() [][]float64 {
+	v.once.Do(v.materialise)
+	return v.rows
 }
-
-// Subspace returns the subspace this view projects onto.
-func (v *View) Subspace() subspace.Subspace { return v.sub }
-
-// N returns the number of points in the view.
-func (v *View) N() int { return len(v.rows) }
-
-// Dim returns the dimensionality of the view.
-func (v *View) Dim() int { return len(v.sub) }
-
-// Point returns the projected coordinates of point i. The returned slice is
-// shared with the view and must not be mutated.
-func (v *View) Point(i int) []float64 { return v.rows[i] }
-
-// Points returns all projected points. Shared storage; do not mutate.
-func (v *View) Points() [][]float64 { return v.rows }
 
 // Dataset returns the dataset this view was projected from.
 func (v *View) Dataset() *Dataset { return v.dataset }

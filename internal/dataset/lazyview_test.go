@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"sync"
+	"testing"
+
+	"anex/internal/subspace"
+)
+
+// TestViewLazyMaterialisation asserts the lazy-view contract: constructing
+// a view and reading its identity (Subspace, N, Dim) performs no gather;
+// the first Points/Point access performs exactly one.
+func TestViewLazyMaterialisation(t *testing.T) {
+	ds := mustNew(t, "lazy", [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	v := ds.View(subspace.New(0, 2))
+	if g := ds.Gathers(); g != 0 {
+		t.Fatalf("View construction gathered %d times, want 0", g)
+	}
+	if v.N() != 3 || v.Dim() != 2 || v.Subspace().Key() != "0,2" {
+		t.Fatalf("view identity wrong: n=%d dim=%d key=%q", v.N(), v.Dim(), v.Subspace().Key())
+	}
+	if g := ds.Gathers(); g != 0 {
+		t.Fatalf("identity accessors gathered %d times, want 0", g)
+	}
+
+	got := v.Point(1)
+	if g := ds.Gathers(); g != 1 {
+		t.Fatalf("first Point access gathered %d times, want 1", g)
+	}
+	if got[0] != 2 || got[1] != 8 {
+		t.Fatalf("Point(1) = %v, want [2 8]", got)
+	}
+	// Repeat access on the same view — and Points — must reuse the gather.
+	_ = v.Point(0)
+	rows := v.Points()
+	if g := ds.Gathers(); g != 1 {
+		t.Fatalf("repeat accesses gathered %d times total, want 1", g)
+	}
+	if len(rows) != 3 || rows[2][0] != 3 || rows[2][1] != 9 {
+		t.Fatalf("Points() = %v", rows)
+	}
+
+	// A second view over the same subspace is an independent gather.
+	_ = ds.View(subspace.New(0, 2)).Points()
+	if g := ds.Gathers(); g != 2 {
+		t.Fatalf("second view gathered %d times total, want 2", g)
+	}
+}
+
+// TestViewConcurrentMaterialise races many goroutines into a fresh view's
+// first access: the gather must run exactly once and every reader must see
+// the same fully-built rows (validated under the -race gate of check.sh).
+func TestViewConcurrentMaterialise(t *testing.T) {
+	cols := make([][]float64, 4)
+	for f := range cols {
+		cols[f] = make([]float64, 100)
+		for i := range cols[f] {
+			cols[f][i] = float64(f*1000 + i)
+		}
+	}
+	ds := mustNew(t, "lazy-conc", cols)
+	v := ds.View(subspace.New(1, 3))
+
+	const readers = 16
+	var wg sync.WaitGroup
+	errs := make([]string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p := v.Point(i)
+				if p[0] != float64(1000+i) || p[1] != float64(3000+i) {
+					errs[r] = "bad projection"
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, e := range errs {
+		if e != "" {
+			t.Fatalf("reader %d: %s", r, e)
+		}
+	}
+	if g := ds.Gathers(); g != 1 {
+		t.Fatalf("concurrent first access gathered %d times, want 1", g)
+	}
+}

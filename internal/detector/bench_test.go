@@ -30,32 +30,38 @@ func benchView(b *testing.B, n, d int) *dataset.View {
 // The paper's §4.3 per-subspace detector costs, at its sample size
 // (n ≈ 1000, low-dimensional subspace views).
 func BenchmarkDetectors1000x3(b *testing.B) {
+	b.ReportAllocs()
 	view := benchView(b, 1000, 3)
 	b.Run("LOF", func(b *testing.B) {
+		b.ReportAllocs()
 		det := NewLOF(15)
 		for i := 0; i < b.N; i++ {
 			det.Scores(ctx, view)
 		}
 	})
 	b.Run("FastABOD", func(b *testing.B) {
+		b.ReportAllocs()
 		det := NewFastABOD(10)
 		for i := 0; i < b.N; i++ {
 			det.Scores(ctx, view)
 		}
 	})
 	b.Run("iForest-1rep", func(b *testing.B) {
+		b.ReportAllocs()
 		det := &IsolationForest{Trees: 100, Subsample: 256, Repetitions: 1, Seed: 1}
 		for i := 0; i < b.N; i++ {
 			det.Scores(ctx, view)
 		}
 	})
 	b.Run("LODA", func(b *testing.B) {
+		b.ReportAllocs()
 		det := NewLODA(1)
 		for i := 0; i < b.N; i++ {
 			det.Scores(ctx, view)
 		}
 	})
 	b.Run("kNN-dist", func(b *testing.B) {
+		b.ReportAllocs()
 		det := NewKNNDist(10)
 		for i := 0; i < b.N; i++ {
 			det.Scores(ctx, view)
@@ -64,9 +70,11 @@ func BenchmarkDetectors1000x3(b *testing.B) {
 }
 
 func BenchmarkLOFByDimensionality(b *testing.B) {
+	b.ReportAllocs()
 	for _, d := range []int{2, 5, 20} {
 		view := benchView(b, 1000, d)
 		b.Run(string(rune('0'+d/10))+string(rune('0'+d%10))+"d", func(b *testing.B) {
+			b.ReportAllocs()
 			det := NewLOF(15)
 			for i := 0; i < b.N; i++ {
 				det.Scores(ctx, view)
@@ -76,6 +84,7 @@ func BenchmarkLOFByDimensionality(b *testing.B) {
 }
 
 func BenchmarkCachedDetectorHit(b *testing.B) {
+	b.ReportAllocs()
 	view := benchView(b, 500, 3)
 	c := NewCached(NewLOF(15))
 	c.Scores(ctx, view) // warm

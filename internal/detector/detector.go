@@ -11,6 +11,7 @@
 package detector
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -20,6 +21,18 @@ import (
 	"anex/internal/dataset"
 )
 
+// DefaultCacheBytes is the generous default byte budget of a Cached
+// detector's score memo: large enough that the paper's testbeds never
+// evict, small enough that a stage-1 Beam sweep over a 100d dataset
+// (C(100,2) = 4950 score vectors) cannot grow without bound when datasets
+// get big.
+const DefaultCacheBytes = 256 << 20 // 256 MiB
+
+// cacheEntryOverhead approximates the fixed per-entry cost charged against
+// the byte budget on top of the score payload: the map cell, the LRU list
+// element, and the slice header.
+const cacheEntryOverhead = 96
+
 // Cached wraps a detector with a subspace-keyed memo. Pipelines score the
 // same subspaces repeatedly — e.g. Beam and LookOut both score every 2d
 // subspace of a dataset — so the cache collapses that duplicated work. It is
@@ -27,6 +40,13 @@ import (
 // deduplicated singleflight-style: one caller computes while the others
 // wait for its result, so a subspace is never scored twice no matter how
 // many pipeline workers race on it.
+//
+// The memo is bounded by a byte budget (DefaultCacheBytes unless overridden
+// via NewCachedBudget): entries are charged for their score payload plus a
+// small fixed overhead, and inserting past the budget evicts
+// least-recently-used entries until the cache fits again. An evicted key
+// that is requested later is simply recomputed — again singleflight-style,
+// so concurrent refetches still score exactly once.
 //
 // Fault containment: a leader whose inner computation panics releases its
 // waiters with an ERROR describing the crash (never a cascading re-panic in
@@ -36,13 +56,28 @@ import (
 // does not poison waiters either: waiters whose contexts are still live
 // simply retry, electing a new leader.
 type Cached struct {
-	inner core.Detector
+	inner    core.Detector
+	maxBytes int64
 
-	mu       sync.Mutex
-	memo     map[string][]float64
-	inflight map[string]*inflightCall
-	hits     int
-	calls    int
+	mu        sync.Mutex
+	entries   map[string]*list.Element // of *cacheEntry
+	lru       list.List                // front = most recently used
+	bytes     int64
+	inflight  map[string]*inflightCall
+	hits      int
+	calls     int
+	evictions int
+}
+
+// cacheEntry is one memoised score vector, resident in the LRU list.
+type cacheEntry struct {
+	key    string
+	scores []float64
+}
+
+// entryBytes is the budget charge of one memo entry.
+func entryBytes(key string, scores []float64) int64 {
+	return int64(len(scores))*8 + int64(len(key)) + cacheEntryOverhead
 }
 
 // inflightCall is one in-progress inner computation that concurrent callers
@@ -55,10 +90,24 @@ type inflightCall struct {
 
 // NewCached wraps d with a score memo keyed by (dataset name, subspace);
 // datasets scored through one cache must therefore carry distinct names.
+// The memo holds at most DefaultCacheBytes of scores; use NewCachedBudget
+// to tune the bound.
 func NewCached(d core.Detector) *Cached {
+	return NewCachedBudget(d, DefaultCacheBytes)
+}
+
+// NewCachedBudget is NewCached with an explicit byte budget for the score
+// memo; maxBytes ≤ 0 selects DefaultCacheBytes. A budget smaller than a
+// single score vector still works — every insert immediately evicts, so the
+// cache degrades to pure singleflight deduplication.
+func NewCachedBudget(d core.Detector, maxBytes int64) *Cached {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
 	return &Cached{
 		inner:    d,
-		memo:     make(map[string][]float64),
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
 		inflight: make(map[string]*inflightCall),
 	}
 }
@@ -80,8 +129,10 @@ func (c *Cached) Scores(ctx context.Context, v *dataset.View) ([]float64, error)
 	c.mu.Unlock()
 	for {
 		c.mu.Lock()
-		if s, ok := c.memo[key]; ok {
+		if el, ok := c.entries[key]; ok {
 			c.hits++
+			c.lru.MoveToFront(el)
+			s := el.Value.(*cacheEntry).scores
 			c.mu.Unlock()
 			return s, nil
 		}
@@ -131,7 +182,7 @@ func (c *Cached) lead(ctx context.Context, v *dataset.View, key string, call *in
 		}
 		c.mu.Lock()
 		if call.err == nil {
-			c.memo[key] = call.scores
+			c.insert(key, call.scores)
 		}
 		delete(c.inflight, key)
 		c.mu.Unlock()
@@ -140,6 +191,30 @@ func (c *Cached) lead(ctx context.Context, v *dataset.View, key string, call *in
 	call.scores, call.err = c.inner.Scores(ctx, v)
 	completed = true
 	return call.scores, call.err
+}
+
+// insert publishes a freshly computed score vector into the LRU memo and
+// evicts from the cold end until the byte budget holds again. Called with
+// c.mu held. If the new entry alone exceeds the budget it is evicted
+// immediately — the budget is a hard bound, and the caller still returns
+// the scores it holds in hand.
+func (c *Cached) insert(key string, scores []float64) {
+	if el, ok := c.entries[key]; ok {
+		// A racing Reset dropped the inflight map while this leader ran and
+		// another leader already republished: keep the resident entry.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.bytes += entryBytes(key, scores)
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, scores: scores})
+	for c.bytes > c.maxBytes && c.lru.Len() > 0 {
+		cold := c.lru.Back()
+		e := cold.Value.(*cacheEntry)
+		c.lru.Remove(cold)
+		delete(c.entries, e.key)
+		c.bytes -= entryBytes(e.key, e.scores)
+		c.evictions++
+	}
 }
 
 // Stats returns cache calls and hits since construction. A call that waited
@@ -151,13 +226,45 @@ func (c *Cached) Stats() (calls, hits int) {
 	return c.calls, c.hits
 }
 
+// CacheStats is a point-in-time snapshot of a Cached detector's memo.
+type CacheStats struct {
+	// Calls and Hits mirror Stats.
+	Calls, Hits int
+	// Evictions counts entries dropped to honour the byte budget.
+	Evictions int
+	// Entries is the number of resident score vectors.
+	Entries int
+	// ResidentBytes is the budget charge of the resident entries; it never
+	// exceeds MaxBytes.
+	ResidentBytes int64
+	// MaxBytes is the configured budget.
+	MaxBytes int64
+}
+
+// CacheStats returns the full cache counters, including the eviction count
+// and resident byte footprint of the LRU memo.
+func (c *Cached) CacheStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Calls:         c.calls,
+		Hits:          c.hits,
+		Evictions:     c.evictions,
+		Entries:       c.lru.Len(),
+		ResidentBytes: c.bytes,
+		MaxBytes:      c.maxBytes,
+	}
+}
+
 // Reset drops all memoised scores. Computations in flight at reset time
 // complete and publish into the fresh memo.
 func (c *Cached) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.memo = make(map[string][]float64)
-	c.calls, c.hits = 0, 0
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.bytes = 0
+	c.calls, c.hits, c.evictions = 0, 0, 0
 }
 
 var _ core.Detector = (*Cached)(nil)

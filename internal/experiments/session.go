@@ -44,11 +44,14 @@ type Config struct {
 	// metric instead of MAP (both are computed either way).
 	UseMeanRecall bool
 	// Workers bounds each pipeline cell's inner loops (per explained
-	// point, per ranked summary subspace); zero means GOMAXPROCS. Cells
-	// themselves run serially so the journal stays append-ordered; the
-	// parallelism lives inside each cell, where results are identical at
-	// any worker count.
+	// point, per ranked summary subspace, per stage-scored candidate);
+	// zero means GOMAXPROCS. Cells themselves run serially so the journal
+	// stays append-ordered; the parallelism lives inside each cell, where
+	// results are identical at any worker count.
 	Workers int
+	// CacheBytes is the byte budget of each cached detector's score memo
+	// (see detector.NewCachedBudget); zero selects the generous default.
+	CacheBytes int64
 }
 
 func (c *Config) wantDetector(name string) bool {
@@ -114,7 +117,8 @@ func (c *Config) logf(format string, args ...any) {
 func (c *Config) options() pipeline.Options {
 	workers := parallel.Resolve(c.Workers)
 	if c.Scale == synth.ScalePaper {
-		return pipeline.Options{Workers: workers} // paper defaults throughout
+		// Paper defaults throughout.
+		return pipeline.Options{Workers: workers, CacheBytes: c.CacheBytes}
 	}
 	return pipeline.Options{
 		BeamWidth:      30,
@@ -125,6 +129,7 @@ func (c *Config) options() pipeline.Options {
 		HiCSIterations: 40,
 		TopK:           30,
 		Workers:        workers,
+		CacheBytes:     c.CacheBytes,
 	}
 }
 
@@ -145,7 +150,7 @@ func (c *Config) detectors(cached bool) []pipeline.NamedDetector {
 	}
 	if cached {
 		for i := range dets {
-			dets[i].Detector = detector.NewCached(dets[i].Detector)
+			dets[i].Detector = detector.NewCachedBudget(dets[i].Detector, c.CacheBytes)
 		}
 	}
 	return dets

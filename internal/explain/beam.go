@@ -6,6 +6,7 @@ import (
 
 	"anex/internal/core"
 	"anex/internal/dataset"
+	"anex/internal/parallel"
 	"anex/internal/subspace"
 )
 
@@ -38,6 +39,11 @@ type Beam struct {
 	// Score overrides the subspace scoring function; nil means the
 	// paper's Z-score standardisation.
 	Score ScoreFunc
+	// Workers bounds the goroutines scoring each stage's candidate
+	// subspaces; values ≤ 1 (including the zero value) keep stage scoring
+	// serial. Candidates are scored independently into indexed slots, so
+	// results are identical at any worker count.
+	Workers int
 }
 
 // NewBeam returns a Beam explainer with the paper's settings.
@@ -90,16 +96,17 @@ func (b *Beam) ExplainPoint(ctx context.Context, ds *dataset.Dataset, p, targetD
 	score := b.score()
 	w := b.width()
 
-	// Stage 1: score all 2d subspaces exhaustively.
-	var stage []core.ScoredSubspace
+	// Stage 1: score all 2d subspaces exhaustively. Candidate enumeration
+	// is cheap and stays serial (a deterministic list); the detector-bound
+	// scoring fans out over the stage worker budget.
+	var cands []subspace.Subspace
 	enum := subspace.NewEnumerator(ds.D(), 2)
 	for s := enum.Next(); s != nil; s = enum.Next() {
-		sub := s.Clone()
-		sc, err := score(ctx, b.Detector, ds, sub, p)
-		if err != nil {
-			return nil, err
-		}
-		stage = append(stage, core.ScoredSubspace{Subspace: sub, Score: sc})
+		cands = append(cands, s.Clone())
+	}
+	stage, err := b.scoreStage(ctx, ds, cands, p, score)
+	if err != nil {
+		return nil, err
 	}
 	core.SortByScore(stage)
 	stage = core.TopK(stage, w)
@@ -108,7 +115,7 @@ func (b *Beam) ExplainPoint(ctx context.Context, ds *dataset.Dataset, p, targetD
 	// Later stages: extend the stage list one feature at a time.
 	for dim := 3; dim <= targetDim; dim++ {
 		seen := make(map[string]bool)
-		var next []core.ScoredSubspace
+		cands = cands[:0]
 		for _, cur := range stage {
 			for f := 0; f < ds.D(); f++ {
 				if cur.Subspace.Contains(f) {
@@ -120,12 +127,12 @@ func (b *Beam) ExplainPoint(ctx context.Context, ds *dataset.Dataset, p, targetD
 					continue
 				}
 				seen[key] = true
-				sc, err := score(ctx, b.Detector, ds, cand, p)
-				if err != nil {
-					return nil, err
-				}
-				next = append(next, core.ScoredSubspace{Subspace: cand, Score: sc})
+				cands = append(cands, cand)
 			}
+		}
+		next, err := b.scoreStage(ctx, ds, cands, p, score)
+		if err != nil {
+			return nil, err
 		}
 		core.SortByScore(next)
 		stage = core.TopK(next, w)
@@ -138,6 +145,29 @@ func (b *Beam) ExplainPoint(ctx context.Context, ds *dataset.Dataset, p, targetD
 		return core.TopK(out, b.topK()), nil
 	}
 	return core.TopK(global, b.topK()), nil
+}
+
+// scoreStage scores every candidate subspace for point p, fanning out over
+// the explainer's worker budget. Each candidate writes only its own indexed
+// slot, so the returned list is identical at any worker count; on failure
+// the first error in candidate order is returned, deterministically.
+func (b *Beam) scoreStage(ctx context.Context, ds *dataset.Dataset, cands []subspace.Subspace, p int, score ScoreFunc) ([]core.ScoredSubspace, error) {
+	out := make([]core.ScoredSubspace, len(cands))
+	errs := make([]error, len(cands))
+	ctxErr := parallel.ForEach(ctx, b.Workers, len(cands), func(i int) {
+		sc, err := score(ctx, b.Detector, ds, cands[i], p)
+		out[i] = core.ScoredSubspace{Subspace: cands[i], Score: sc}
+		errs[i] = err
+	})
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // mergeGlobal merges the stage list into the global list, keeping the w

@@ -1,0 +1,117 @@
+package explain
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"anex/internal/core"
+	"anex/internal/detector"
+)
+
+// TestCacheHitZeroMaterialisation asserts the cache-first scoring contract:
+// once a subspace's scores are memoised, re-scoring a point in it performs
+// no view materialisation at all — the cached detector answers from the
+// view's key before any row gather happens.
+func TestCacheHitZeroMaterialisation(t *testing.T) {
+	ds, gt := testbed(t, 1)
+	p, sub := pointWithDim(t, gt, 2)
+	cached := detector.NewCached(detector.NewLOF(15))
+	ctx := context.Background()
+
+	warm, err := pointZScore(ctx, cached, ds, sub, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gathers := ds.Gathers()
+	if gathers == 0 {
+		t.Fatal("warm-up scored without ever materialising a view")
+	}
+
+	for i := 0; i < 3; i++ {
+		got, err := pointZScore(ctx, cached, ds, sub, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != warm {
+			t.Fatalf("cache-hit score %v differs from warm score %v", got, warm)
+		}
+	}
+	if g := ds.Gathers(); g != gathers {
+		t.Fatalf("cache hits materialised %d views (gathers %d → %d), want 0", g-gathers, gathers, g)
+	}
+}
+
+// sameExplanations compares two explanation lists for exact equality:
+// same length, same subspace keys in the same order, bitwise-equal scores.
+func sameExplanations(a, b []core.ScoredSubspace) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if ak, bk := a[i].Subspace.Key(), b[i].Subspace.Key(); ak != bk {
+			return fmt.Errorf("rank %d: subspace %s vs %s", i, ak, bk)
+		}
+		if math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return fmt.Errorf("rank %d (%s): score %x vs %x bits", i, a[i].Subspace.Key(),
+				math.Float64bits(a[i].Score), math.Float64bits(b[i].Score))
+		}
+	}
+	return nil
+}
+
+func workerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// TestBeamWorkerInvariance runs Beam's parallelised stage scoring at 1, 4
+// and NumCPU workers and requires bit-identical results: same subspaces,
+// same order, same score bits. Runs under check.sh's -race gate.
+func TestBeamWorkerInvariance(t *testing.T) {
+	ds, gt := testbed(t, 3)
+	p, _ := pointWithDim(t, gt, 3)
+	var baseline []core.ScoredSubspace
+	for _, w := range workerCounts() {
+		beam := &Beam{Detector: detector.NewLOF(15), Width: 15, TopK: 10, FixedDim: true, Workers: w}
+		got, err := beam.ExplainPoint(context.Background(), ds, p, 3)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if baseline == nil {
+			baseline = got
+			continue
+		}
+		if err := sameExplanations(baseline, got); err != nil {
+			t.Errorf("workers=%d differs from workers=1: %v", w, err)
+		}
+	}
+}
+
+// TestRefOutWorkerInvariance does the same for RefOut's parallel pool
+// scoring: the seeded pool draw is serial, so every worker count must see
+// the same pool and produce bit-identical explanations.
+func TestRefOutWorkerInvariance(t *testing.T) {
+	ds, gt := testbed(t, 4)
+	p, _ := pointWithDim(t, gt, 2)
+	var baseline []core.ScoredSubspace
+	for _, w := range workerCounts() {
+		refout := &RefOut{Detector: detector.NewLOF(15), PoolSize: 40, Width: 20, TopK: 10, Seed: 7, Workers: w}
+		got, err := refout.ExplainPoint(context.Background(), ds, p, 2)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if baseline == nil {
+			baseline = got
+			continue
+		}
+		if err := sameExplanations(baseline, got); err != nil {
+			t.Errorf("workers=%d differs from workers=1: %v", w, err)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"anex/internal/core"
 	"anex/internal/dataset"
+	"anex/internal/parallel"
 	"anex/internal/stats"
 	"anex/internal/subspace"
 )
@@ -45,6 +46,11 @@ type RefOut struct {
 	// Score overrides the pool scoring function; nil means the paper's
 	// Z-score standardisation.
 	Score ScoreFunc
+	// Workers bounds the goroutines scoring the projection pool; values
+	// ≤ 1 (including the zero value) keep pool scoring serial. The pool is
+	// drawn serially from the seeded rng before any scoring happens, so
+	// results are identical at any worker count.
+	Workers int
 }
 
 // NewRefOut returns a RefOut explainer with the paper's settings.
@@ -124,21 +130,38 @@ func (r *RefOut) ExplainPoint(ctx context.Context, ds *dataset.Dataset, p, targe
 	rng := rand.New(rand.NewSource(r.Seed + int64(p)*2654435761))
 	score := r.score()
 
-	// Build and score the random pool.
-	pool := make([]poolEntry, 0, r.poolSize())
+	// Draw the random pool serially — the projection sequence depends only
+	// on the rng and the duplicate filter, never on scores, so drawing
+	// first keeps the pool identical at any worker count.
+	subs := make([]subspace.Subspace, 0, r.poolSize())
 	seen := make(map[string]bool, r.poolSize())
-	for len(pool) < r.poolSize() {
+	for len(subs) < r.poolSize() {
 		s := subspace.Random(rng, d, poolDim)
 		key := s.Key()
 		if seen[key] && subspace.Count(d, poolDim) > int64(r.poolSize()) {
 			continue // redraw duplicates while distinct projections remain
 		}
 		seen[key] = true
-		sc, err := score(ctx, r.Detector, ds, s, p)
+		subs = append(subs, s)
+	}
+
+	// Score the pool in parallel over the worker budget: each projection
+	// writes only its own slot; failures surface as the first error in
+	// pool order, deterministically.
+	pool := make([]poolEntry, len(subs))
+	errs := make([]error, len(subs))
+	ctxErr := parallel.ForEach(ctx, r.Workers, len(subs), func(i int) {
+		sc, err := score(ctx, r.Detector, ds, subs[i], p)
+		pool[i] = poolEntry{sub: subs[i], score: sc}
+		errs[i] = err
+	})
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pool = append(pool, poolEntry{sub: s, score: sc})
 	}
 
 	// Stage 1: assess every single feature by partition discrepancy.

@@ -19,9 +19,11 @@ func benchPoints(n, d int) [][]float64 {
 }
 
 func BenchmarkKDTreeBuild(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{256, 1024} {
 		points := benchPoints(n, 3)
 		b.Run(itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				NewKDTree(points)
 			}
@@ -30,9 +32,11 @@ func BenchmarkKDTreeBuild(b *testing.B) {
 }
 
 func BenchmarkAllKNN(b *testing.B) {
+	b.ReportAllocs()
 	for _, d := range []int{2, 5, 20} {
 		points := benchPoints(1000, d)
 		b.Run("kdtree/"+itoa(d)+"d", func(b *testing.B) {
+			b.ReportAllocs()
 			if d > kdTreeMaxDim {
 				b.Skip("kd-tree not selected at this dimensionality")
 			}
@@ -41,6 +45,7 @@ func BenchmarkAllKNN(b *testing.B) {
 			}
 		})
 		b.Run("brute/"+itoa(d)+"d", func(b *testing.B) {
+			b.ReportAllocs()
 			ix := NewBruteForce(points)
 			for i := 0; i < b.N; i++ {
 				AllKNN(ix, 15)

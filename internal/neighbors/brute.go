@@ -1,12 +1,12 @@
 package neighbors
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // bruteForce is an exhaustive-scan index. It holds no state beyond the
-// points and scales as O(n) per query with a k-bounded max-heap.
+// points and scales as O(n) per query with a k-bounded max-heap. The scan
+// early-exits each candidate's distance accumulation against the current
+// prune radius once the heap is full, which prunes most of the inner-loop
+// work on high-dimensional views.
 type bruteForce struct {
 	points [][]float64
 }
@@ -19,20 +19,67 @@ func NewBruteForce(points [][]float64) Index {
 func (b bruteForce) Len() int { return len(b.points) }
 
 func (b bruteForce) KNNOf(i, k int) ([]int, []float64) {
+	var s Scratch
+	idx, dist := b.KNNInto(i, k, &s)
+	return append([]int(nil), idx...), append([]float64(nil), dist...)
+}
+
+// KNNInto is KNNOf answering into the caller's reusable scratch: the
+// returned slices are owned by s and valid until its next use, and a warm
+// scratch makes the whole query allocation-free.
+func (b bruteForce) KNNInto(i, k int, s *Scratch) ([]int, []float64) {
 	checkK(k)
 	q := b.points[i]
-	h := newBoundedHeap(k)
+	s.h.reset(k)
 	for j, p := range b.points {
 		if j == i {
 			continue
 		}
-		d2 := SquaredEuclidean(q, p)
-		h.push(j, d2)
+		// Once the heap is full, its max is the prune radius: a candidate
+		// whose partial sum already exceeds it cannot be kept (ties at the
+		// radius still complete, so index tie-breaking is unaffected).
+		d2, within := squaredEuclideanWithin(q, p, s.h.top())
+		if !within {
+			continue
+		}
+		s.h.push(j, d2)
 	}
-	idx, d2 := h.sorted()
-	dist := make([]float64, len(d2))
-	for m, v := range d2 {
-		dist[m] = math.Sqrt(v)
+	return s.drain()
+}
+
+// Scratch holds the reusable per-worker state of KNNInto queries: the
+// k-bounded heap and the result buffers. The zero value is ready to use;
+// one scratch must not be shared between concurrent queries.
+type Scratch struct {
+	h    boundedHeap
+	idx  []int
+	dist []float64
+}
+
+// NewScratch returns an empty query scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// drain empties the heap into the scratch's result buffers, ordered by
+// increasing (distance, index), converting squared distances to Euclidean.
+// Popping the lexicographic maximum into the back slot yields exactly the
+// ascending order the former sort.Slice produced — without its reflection
+// overhead or allocations.
+func (s *Scratch) drain() ([]int, []float64) {
+	n := s.h.len()
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+		s.dist = make([]float64, n)
+	}
+	idx, dist := s.idx[:n], s.dist[:n]
+	for m := n - 1; m >= 0; m-- {
+		idx[m] = s.h.idx[0]
+		dist[m] = math.Sqrt(s.h.dist[0])
+		last := s.h.len() - 1
+		s.h.idx[0], s.h.dist[0] = s.h.idx[last], s.h.dist[last]
+		s.h.idx, s.h.dist = s.h.idx[:last], s.h.dist[:last]
+		if last > 0 {
+			s.h.down(0)
+		}
 	}
 	return idx, dist
 }
@@ -49,6 +96,19 @@ type boundedHeap struct {
 	dist []float64
 }
 
+// reset prepares the heap for a query of size k, reusing the backing
+// arrays of previous queries when they are large enough.
+func (h *boundedHeap) reset(k int) {
+	h.k = k
+	if cap(h.idx) < k {
+		h.idx = make([]int, 0, k)
+		h.dist = make([]float64, 0, k)
+		return
+	}
+	h.idx = h.idx[:0]
+	h.dist = h.dist[:0]
+}
+
 // greater reports whether element a orders after element b.
 func (h *boundedHeap) greater(a, b int) bool {
 	if h.dist[a] != h.dist[b] {
@@ -57,14 +117,11 @@ func (h *boundedHeap) greater(a, b int) bool {
 	return h.idx[a] > h.idx[b]
 }
 
-func newBoundedHeap(k int) *boundedHeap {
-	return &boundedHeap{k: k, idx: make([]int, 0, k), dist: make([]float64, 0, k)}
-}
-
 func (h *boundedHeap) len() int { return len(h.idx) }
 
 // top returns the current maximum distance, or +Inf when not yet full —
-// which doubles as the prune radius for KD-tree search.
+// which doubles as the prune radius for KD-tree search and the brute-force
+// early-exit scan.
 func (h *boundedHeap) top() float64 {
 	if len(h.dist) < h.k {
 		return math.Inf(1)
@@ -118,28 +175,4 @@ func (h *boundedHeap) down(i int) {
 func (h *boundedHeap) swap(a, b int) {
 	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
 	h.dist[a], h.dist[b] = h.dist[b], h.dist[a]
-}
-
-// sorted drains the heap into slices ordered by increasing distance.
-// Ties are broken by point index for determinism.
-func (h *boundedHeap) sorted() ([]int, []float64) {
-	n := len(h.idx)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		da, db := h.dist[order[a]], h.dist[order[b]]
-		if da != db {
-			return da < db
-		}
-		return h.idx[order[a]] < h.idx[order[b]]
-	})
-	idx := make([]int, n)
-	dist := make([]float64, n)
-	for m, o := range order {
-		idx[m] = h.idx[o]
-		dist[m] = h.dist[o]
-	}
-	return idx, dist
 }

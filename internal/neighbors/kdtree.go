@@ -127,19 +127,22 @@ func (t *KDTree) Len() int { return len(t.points) }
 
 // KNNOf returns the k nearest neighbours of indexed point i, excluding i.
 func (t *KDTree) KNNOf(i, k int) ([]int, []float64) {
+	var s Scratch
+	idx, dist := t.KNNInto(i, k, &s)
+	return append([]int(nil), idx...), append([]float64(nil), dist...)
+}
+
+// KNNInto is KNNOf answering into the caller's reusable scratch: the
+// returned slices are owned by s and valid until its next use, and a warm
+// scratch makes the whole query allocation-free.
+func (t *KDTree) KNNInto(i, k int, s *Scratch) ([]int, []float64) {
 	checkK(k)
 	if len(t.points) == 0 {
 		return nil, nil
 	}
-	q := t.points[i]
-	h := newBoundedHeap(k)
-	t.search(0, q, i, h)
-	idx, d2 := h.sorted()
-	dist := make([]float64, len(d2))
-	for m, v := range d2 {
-		dist[m] = math.Sqrt(v)
-	}
-	return idx, dist
+	s.h.reset(k)
+	t.search(0, t.points[i], i, &s.h)
+	return s.drain()
 }
 
 // Query returns the k points nearest to an arbitrary query vector q
@@ -149,14 +152,11 @@ func (t *KDTree) Query(q []float64, k int) ([]int, []float64) {
 	if len(t.points) == 0 {
 		return nil, nil
 	}
-	h := newBoundedHeap(k)
-	t.search(0, q, -1, h)
-	idx, d2 := h.sorted()
-	dist := make([]float64, len(d2))
-	for m, v := range d2 {
-		dist[m] = math.Sqrt(v)
-	}
-	return idx, dist
+	var s Scratch
+	s.h.reset(k)
+	t.search(0, q, -1, &s.h)
+	idx, dist := s.drain()
+	return append([]int(nil), idx...), append([]float64(nil), dist...)
 }
 
 func (t *KDTree) search(nodeID int, q []float64, exclude int, h *boundedHeap) {
@@ -166,7 +166,11 @@ func (t *KDTree) search(nodeID int, q []float64, exclude int, h *boundedHeap) {
 			if p == exclude {
 				continue
 			}
-			h.push(p, SquaredEuclidean(q, t.points[p]))
+			// Same early-exit kernel as the brute-force scan: candidates
+			// beyond the prune radius never finish their accumulation.
+			if d2, within := squaredEuclideanWithin(q, t.points[p], h.top()); within {
+				h.push(p, d2)
+			}
 		}
 		return
 	}

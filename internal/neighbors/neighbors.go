@@ -23,6 +23,16 @@ type Index interface {
 	Len() int
 }
 
+// ScratchQuerier is the allocation-free query path implemented by both
+// built-in indexes: KNNInto answers like KNNOf but into the caller's
+// reusable Scratch, so a warm scratch makes repeated queries allocate
+// nothing. The returned slices are owned by the scratch and only valid
+// until its next use. AllKNNParallel detects this interface and keeps one
+// scratch per worker.
+type ScratchQuerier interface {
+	KNNInto(i, k int, s *Scratch) (idx []int, dist []float64)
+}
+
 // kdTreeMaxDim is the dimensionality above which brute force beats the
 // KD-tree: pruning degrades exponentially with dimension, and the paper's
 // full-space scoring of 20–100d datasets is exactly the regime where an
@@ -56,25 +66,102 @@ func AllKNN(ix Index, k int) (idx [][]int, dist [][]float64) {
 // its own slot, so results are identical at any worker count. Cancellation
 // is observed between queries; on a non-nil error the returned slices are
 // partial and must be discarded.
+//
+// The per-point result slices share two flat backing arrays (every query
+// returns exactly min(k, n−1) neighbours), and indexes implementing
+// ScratchQuerier answer through one reusable scratch per worker — so the
+// whole neighbourhood structure costs O(1) allocations instead of O(n).
 func AllKNNParallel(ctx context.Context, ix Index, k, workers int) (idx [][]int, dist [][]float64, err error) {
 	n := ix.Len()
 	idx = make([][]int, n)
 	dist = make([][]float64, n)
-	err = parallel.ForEach(ctx, workers, n, func(i int) {
-		idx[i], dist[i] = ix.KNNOf(i, k)
+	if n == 0 {
+		return idx, dist, nil
+	}
+	sq, ok := ix.(ScratchQuerier)
+	if !ok {
+		err = parallel.ForEach(ctx, workers, n, func(i int) {
+			idx[i], dist[i] = ix.KNNOf(i, k)
+		})
+		return idx, dist, err
+	}
+	m := k
+	if m > n-1 {
+		m = n - 1
+	}
+	flatIdx := make([]int, n*m)
+	flatDist := make([]float64, n*m)
+	scratch := make([]Scratch, parallel.ShardCount(workers, n))
+	err = parallel.ForEachShard(ctx, workers, n, func(shard, i int) {
+		qi, qd := sq.KNNInto(i, k, &scratch[shard])
+		lo := i * m
+		idx[i] = flatIdx[lo : lo+copy(flatIdx[lo:lo+m], qi) : lo+m]
+		dist[i] = flatDist[lo : lo+copy(flatDist[lo:lo+m], qd) : lo+m]
 	})
 	return idx, dist, err
 }
 
 // SquaredEuclidean returns the squared Euclidean distance between a and b,
-// which must have equal length.
+// which must have equal length. The accumulation is 4-way unrolled; the
+// tail runs element-wise.
 func SquaredEuclidean(a, b []float64) float64 {
+	b = b[:len(a)] // bounds-check elimination for the unrolled loads
 	var sum float64
-	for i, av := range a {
-		d := av - b[i]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		sum += d0*d0 + d1*d1 + d2*d2 + d3*d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
 		sum += d * d
 	}
 	return sum
+}
+
+// squaredEuclideanWithin accumulates SquaredEuclidean(a, b) but abandons
+// the scan once the partial sum strictly exceeds limit (a monotone bound),
+// reporting within=false. When within is true, the returned sum is
+// bit-identical to SquaredEuclidean's — the squares are grouped and added
+// in exactly the same order — so pruned and unpruned scans keep identical
+// neighbour sets.
+func squaredEuclideanWithin(a, b []float64, limit float64) (sum float64, within bool) {
+	b = b[:len(a)] // bounds-check elimination for the unrolled loads
+	i := 0
+	// Check the bound every 8 elements, not every 4: in high dimensions
+	// distances concentrate, so the partial sum crosses the radius late and
+	// a denser data-dependent branch costs more (mispredictions) than the
+	// accumulation it could skip.
+	for ; i+8 <= len(a); i += 8 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		sum += d0*d0 + d1*d1 + d2*d2 + d3*d3
+		d0 = a[i+4] - b[i+4]
+		d1 = a[i+5] - b[i+5]
+		d2 = a[i+6] - b[i+6]
+		d3 = a[i+7] - b[i+7]
+		sum += d0*d0 + d1*d1 + d2*d2 + d3*d3
+		if sum > limit {
+			return sum, false
+		}
+	}
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		sum += d0*d0 + d1*d1 + d2*d2 + d3*d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum, sum <= limit
 }
 
 func checkK(k int) {

@@ -13,6 +13,7 @@ import (
 // by cell index and every inner loop is index-deterministic); on a
 // multi-core machine workers=4 should be ≥2× faster than workers=1.
 func BenchmarkRunGrid(b *testing.B) {
+	b.ReportAllocs()
 	ds, gt, err := synth.GenerateSubspaceOutliers(synth.SubspaceConfig{
 		Name:                "grid-bench",
 		TotalDims:           8,
@@ -27,6 +28,7 @@ func BenchmarkRunGrid(b *testing.B) {
 	opts := Options{BeamWidth: 10, RefOutPoolSize: 30, RefOutWidth: 10, LookOutBudget: 10, HiCSCutoff: 30, HiCSIterations: 20, TopK: 10}
 	for _, w := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := RunGrid(context.Background(), GridSpec{
 					Dataset: ds, GroundTruth: gt, Dims: []int{2}, Seed: 1,

@@ -51,10 +51,15 @@ type Options struct {
 	BeamVariableDim bool // ablation: plain Beam instead of Beam_FX
 
 	// Workers bounds the goroutines of each pipeline's inner loops (per
-	// explained point, per ranked summary subspace); values ≤ 1 keep them
-	// serial. Inside RunGrid this acts as an explicit override of the
-	// automatic worker-budget split.
+	// explained point, per ranked summary subspace, and the explainers'
+	// per-stage candidate/pool scoring); values ≤ 1 keep them serial.
+	// Inside RunGrid this acts as an explicit override of the automatic
+	// worker-budget split.
 	Workers int
+
+	// CacheBytes is the byte budget of each cached detector's score memo
+	// (see detector.NewCachedBudget); zero selects the generous default.
+	CacheBytes int64
 }
 
 func (o Options) scoreFunc() explain.ScoreFunc {
@@ -78,6 +83,7 @@ func PointPipelines(d NamedDetector, seed int64, o Options) []PointPipeline {
 		TopK:     o.TopK,
 		FixedDim: !o.BeamVariableDim,
 		Score:    o.scoreFunc(),
+		Workers:  o.Workers,
 	}
 	refoutTimer := detector.NewTimed(d.Detector)
 	refout := &explain.RefOut{
@@ -88,6 +94,7 @@ func PointPipelines(d NamedDetector, seed int64, o Options) []PointPipeline {
 		TopK:            o.TopK,
 		Seed:            seed,
 		Score:           o.scoreFunc(),
+		Workers:         o.Workers,
 	}
 	return []PointPipeline{
 		{Detector: d.Name, Explainer: beam, Workers: o.Workers, Timer: beamTimer},

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"anex/internal/dataset"
+	"anex/internal/detector"
 	"anex/internal/parallel"
 )
 
@@ -272,18 +273,31 @@ func buildCells(spec GridSpec, inner int) []gridCell {
 		return cells
 	}
 	// One set of detector instances per grid: with caching on, every
-	// cell sharing a detector also shares its score memo.
+	// cell sharing a detector also shares its score memo (bounded by the
+	// Options.CacheBytes budget).
 	dets := spec.Detectors
 	if dets == nil {
-		dets = NewDetectors(spec.Seed, spec.Cached)
+		dets = NewDetectors(spec.Seed, false)
+		if spec.Cached {
+			for i := range dets {
+				dets[i].Detector = detector.NewCachedBudget(dets[i].Detector, spec.Options.CacheBytes)
+			}
+		}
+	}
+	// The inner budget reaches the explainers' stage-scoring loops through
+	// the factory, so an unset Options.Workers still parallelises candidate
+	// scoring with the grid's automatic split.
+	opts := spec.Options
+	if opts.Workers <= 0 {
+		opts.Workers = inner
 	}
 	for _, dim := range spec.Dims {
 		for _, d := range dets {
-			for _, pp := range PointPipelines(d, spec.Seed, spec.Options) {
+			for _, pp := range PointPipelines(d, spec.Seed, opts) {
 				pp.Workers = inner
 				addPoint(pp, dim)
 			}
-			for _, sp := range SummaryPipelines(d, spec.Seed, spec.Options) {
+			for _, sp := range SummaryPipelines(d, spec.Seed, opts) {
 				sp.Workers = inner
 				addSummary(sp, dim)
 			}

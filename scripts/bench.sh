@@ -1,0 +1,41 @@
+#!/bin/sh
+# Runs the key hot-path benchmarks with -benchmem and emits a
+# machine-readable JSON snapshot (ns/op, B/op, allocs/op per benchmark),
+# the perf trajectory artefact the PR acceptance criteria compare against.
+#
+# Usage: scripts/bench.sh [output.json]    (default BENCH_3.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_3.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# Key benchmarks, lowest layer first: kNN substrate, per-subspace detector
+# scoring + the cache-hit path, the parallel grid, and the Beam/LOF
+# pipeline cell (the paper's Figure 9 hot spot and the acceptance metric).
+go test -run '^$' -bench 'BenchmarkAllKNN' -benchmem -benchtime=20x ./internal/neighbors >>"$raw"
+go test -run '^$' -bench 'BenchmarkDetectors1000x3|BenchmarkCachedDetectorHit' -benchmem -benchtime=10x ./internal/detector >>"$raw"
+go test -run '^$' -bench 'BenchmarkRunGrid' -benchmem -benchtime=2x ./internal/pipeline >>"$raw"
+go test -run '^$' -bench 'BenchmarkFigure9/(Beam|RefOut)/LOF' -benchmem -benchtime=5x . >>"$raw"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns     = $(i-1)
+        if ($i == "B/op")      bytes  = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (count++) printf(",\n")
+    printf("  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bytes, allocs)
+}
+BEGIN { printf("{\n") }
+END   { printf("\n}\n") }
+' "$raw" >"$out"
+
+echo "wrote $out"

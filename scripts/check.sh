@@ -15,3 +15,8 @@ go test -race ./...
 # 10 seconds is enough to shake out parser regressions without slowing the
 # gate; a reproducing input would land in internal/dataset/testdata/fuzz.
 go test ./internal/dataset -run FuzzReadCSV -fuzz=FuzzReadCSV -fuzztime=10s
+
+# Benchmark smoke: one iteration of the grid benchmark proves the bench
+# harness still compiles and runs end to end (full numbers come from
+# scripts/bench.sh, which this deliberately does not replicate).
+go test -run '^$' -bench 'BenchmarkRunGrid/workers=4' -benchtime=1x ./internal/pipeline
