@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet bench
+.PHONY: check test build vet bench profile
 
 # Tier-1 gate: vet + build + race-detected tests (scripts/check.sh).
 check:
@@ -14,6 +14,14 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# CPU + heap profile of the Figure-9 hot path (the Beam/LOF acceptance
+# metric) at small scale. Inspect with `go tool pprof cpu.out` /
+# `go tool pprof -sample_index=alloc_space mem.out`.
+profile:
+	$(GO) build -o anexbench.profile.bin ./cmd/anexbench
+	./anexbench.profile.bin -scale small -exp figure9 -quiet -cpuprofile cpu.out -memprofile mem.out
+	rm -f anexbench.profile.bin
 
 # Worker-scaling benchmarks for the parallel inner loops.
 bench:

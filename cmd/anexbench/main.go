@@ -23,6 +23,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -45,13 +47,24 @@ func main() {
 		metric    = flag.String("metric", "map", "effectiveness metric for figures 9/10: map or recall")
 		workers   = flag.Int("workers", 0, "inner-loop workers per pipeline cell (0 = GOMAXPROCS); results are identical at any count")
 		cacheMB   = flag.Int("cache-mb", 0, "byte budget (MiB) of each detector's shared score memo; LRU-evicts past it (0 = default 256)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a post-GC heap profile to this file when the run ends")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := run(ctx, *scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric, *workers, *cacheMB)
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anexbench:", err)
+		os.Exit(1)
+	}
+
+	err = run(ctx, *scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric, *workers, *cacheMB)
+	// Profiles must be flushed on every exit path — os.Exit skips defers —
+	// and an interrupted run still yields a usable CPU profile.
+	stopProfiles()
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "anexbench: interrupted")
 		if *journal != "" {
@@ -63,6 +76,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "anexbench:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot, returning
+// a stop function that flushes whichever profiles were requested. Empty
+// paths disable the corresponding profile.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "anexbench: memprofile:", err)
+				return
+			}
+			// Collect garbage first so the snapshot shows live retention,
+			// not whatever the last scoring loop left unswept.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "anexbench: memprofile:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", memPath)
+		}
+	}, nil
 }
 
 func run(ctx context.Context, scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdPath, journalPath, detectors, metric string, workers, cacheMB int) error {

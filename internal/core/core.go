@@ -32,6 +32,17 @@ type Detector interface {
 	Scores(ctx context.Context, v *dataset.View) ([]float64, error)
 }
 
+// StatScorer is implemented by detectors (or wrappers) that can answer a
+// Scores call together with the population mean and variance of the
+// returned distribution. Memoising detectors implement it so that Z-score
+// standardisation — recomputed per (point, subspace) by the explainers —
+// costs O(1) on a cache hit instead of a fresh O(n) pass over the scores.
+// The moments must equal stats.PopulationMeanVariance(scores) bit for bit.
+type StatScorer interface {
+	// ScoresWithStats is Scores plus the population moments of its result.
+	ScoresWithStats(ctx context.Context, v *dataset.View) (scores []float64, mean, variance float64, err error)
+}
+
 // PointExplainer ranks the subspaces of the requested dimensionality that
 // best explain the outlyingness of a single point.
 type PointExplainer interface {

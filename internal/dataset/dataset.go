@@ -184,3 +184,29 @@ func (v *View) Points() [][]float64 {
 
 // Dataset returns the dataset this view was projected from.
 func (v *View) Dataset() *Dataset { return v.dataset }
+
+// The methods below give delta-distance scoring column-contiguous access to
+// the view without materialising rows (they satisfy neighbors.ColumnSource).
+// Because the dataset is column-major, a view column is the underlying
+// dataset column itself — zero-copy, zero-gather.
+
+// Column returns the j-th column of the view, i.e. the values of the view's
+// j-th subspace feature (ascending feature order) for all points. Shared
+// storage; do not mutate.
+func (v *View) Column(j int) []float64 { return v.dataset.cols[v.sub[j]] }
+
+// Feature returns the global feature index of view column j.
+func (v *View) Feature(j int) int { return v.sub[j] }
+
+// NumFeatures returns the full dimensionality of the underlying dataset.
+func (v *View) NumFeatures() int { return len(v.dataset.cols) }
+
+// SourceColumn returns full-space column f of the underlying dataset.
+// Shared storage; do not mutate.
+func (v *View) SourceColumn(f int) []float64 { return v.dataset.cols[f] }
+
+// SourceKey identifies the underlying dataset for cross-view caching.
+func (v *View) SourceKey() string { return v.dataset.name }
+
+// SubspaceKey returns the canonical key of the view's subspace.
+func (v *View) SubspaceKey() string { return v.sub.Key() }

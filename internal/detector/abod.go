@@ -28,11 +28,16 @@ type FastABOD struct {
 	// phases; values ≤ 1 (including the zero value) keep scoring serial.
 	// Results are identical at any worker count.
 	Workers int
+	// Neighbors, when non-nil, answers the kNN phase through the delta
+	// engine on views it accepts; results are bit-identical either way.
+	Neighbors *neighbors.DeltaEngine
 }
 
 // NewFastABOD returns a Fast ABOD detector with neighbourhood size k
-// (0 → default 10).
-func NewFastABOD(k int) *FastABOD { return &FastABOD{K: k} }
+// (0 → default 10) and delta-distance subspace scoring enabled.
+func NewFastABOD(k int) *FastABOD {
+	return &FastABOD{K: k, Neighbors: neighbors.NewDeltaEngine(0)}
+}
 
 func (a *FastABOD) Name() string { return "FastABOD" }
 
@@ -60,10 +65,17 @@ func (a *FastABOD) Scores(ctx context.Context, v *dataset.View) ([]float64, erro
 		// No angle pairs exist; everything is equally (non-)outlying.
 		return scores, nil
 	}
-	ix := neighbors.NewIndex(v.Points())
-	nnIdx, _, err := neighbors.AllKNNParallel(ctx, ix, k, a.Workers)
+	nnIdx, _, m, ok, err := a.Neighbors.AllKNN(ctx, v, k, a.Workers)
 	if err != nil {
 		return nil, err
+	}
+	if !ok {
+		ix := neighbors.NewIndex(v.Points())
+		idx2, dist2, err := neighbors.AllKNNParallel(ctx, ix, k, a.Workers)
+		if err != nil {
+			return nil, err
+		}
+		nnIdx, _, m = neighbors.FlattenKNN(idx2, dist2)
 	}
 
 	dim := v.Dim()
@@ -79,14 +91,14 @@ func (a *FastABOD) Scores(ctx context.Context, v *dataset.View) ([]float64, erro
 	err = parallel.ForEachShard(ctx, a.Workers, n, func(shard, i int) {
 		da, db := scratchA[shard], scratchB[shard]
 		p := v.Point(i)
-		nbrs := nnIdx[i]
+		nbrs := nnIdx[i*m : (i+1)*m]
 		// Welford accumulation of the weighted angle statistic
 		// f(x1,x2) = <x1−p, x2−p> / (|x1−p|² · |x2−p|²)
 		// over all neighbour pairs.
 		var mean, m2 float64
 		var count int
 		for s := 0; s < len(nbrs); s++ {
-			ps := v.Point(nbrs[s])
+			ps := v.Point(int(nbrs[s]))
 			var na float64
 			for d := 0; d < dim; d++ {
 				da[d] = ps[d] - p[d]
@@ -96,7 +108,7 @@ func (a *FastABOD) Scores(ctx context.Context, v *dataset.View) ([]float64, erro
 				continue // duplicate of p; angle undefined
 			}
 			for t := s + 1; t < len(nbrs); t++ {
-				pt := v.Point(nbrs[t])
+				pt := v.Point(int(nbrs[t]))
 				var nb, dot float64
 				for d := 0; d < dim; d++ {
 					db[d] = pt[d] - p[d]

@@ -19,6 +19,7 @@ import (
 
 	"anex/internal/core"
 	"anex/internal/dataset"
+	"anex/internal/stats"
 )
 
 // DefaultCacheBytes is the generous default byte budget of a Cached
@@ -69,10 +70,15 @@ type Cached struct {
 	evictions int
 }
 
-// cacheEntry is one memoised score vector, resident in the LRU list.
+// cacheEntry is one memoised score vector, resident in the LRU list,
+// together with the population moments of its distribution — memoised so
+// that Z-score standardisation of a cached subspace is O(1) instead of a
+// fresh O(n) pass per (point, subspace) lookup.
 type cacheEntry struct {
-	key    string
-	scores []float64
+	key      string
+	scores   []float64
+	mean     float64
+	variance float64
 }
 
 // entryBytes is the budget charge of one memo entry.
@@ -205,8 +211,9 @@ func (c *Cached) insert(key string, scores []float64) {
 		c.lru.MoveToFront(el)
 		return
 	}
+	mean, variance := stats.PopulationMeanVariance(scores)
 	c.bytes += entryBytes(key, scores)
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, scores: scores})
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, scores: scores, mean: mean, variance: variance})
 	for c.bytes > c.maxBytes && c.lru.Len() > 0 {
 		cold := c.lru.Back()
 		e := cold.Value.(*cacheEntry)
@@ -215,6 +222,31 @@ func (c *Cached) insert(key string, scores []float64) {
 		c.bytes -= entryBytes(e.key, e.scores)
 		c.evictions++
 	}
+}
+
+// ScoresWithStats returns memoised scores plus the population moments of
+// their distribution (core.StatScorer). On a cache hit the moments come
+// straight from the entry; after a miss (or an eviction race) they are
+// computed with the same stats.PopulationMeanVariance pass the memo uses,
+// so both paths are bit-identical to standardising the scores directly.
+func (c *Cached) ScoresWithStats(ctx context.Context, v *dataset.View) (scores []float64, mean, variance float64, err error) {
+	scores, err = c.Scores(ctx, v)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	key := v.Dataset().Name() + "|" + v.Subspace().Key()
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		// The entry can only be this call's result: keys are immutable and
+		// Scores just returned for this key.
+		mean, variance = e.mean, e.variance
+		c.mu.Unlock()
+		return scores, mean, variance, nil
+	}
+	c.mu.Unlock()
+	mean, variance = stats.PopulationMeanVariance(scores)
+	return scores, mean, variance, nil
 }
 
 // Stats returns cache calls and hits since construction. A call that waited

@@ -89,12 +89,16 @@ func (f *IsolationForest) Scores(ctx context.Context, v *dataset.View) ([]float6
 	// Derive a per-view stream so scores do not depend on the order in
 	// which subspaces are evaluated.
 	base := f.Seed ^ hashString(v.Dataset().Name()+"|"+v.Subspace().Key())
+	// One builder's worth of flat buffers serves every repetition: the node
+	// arena, the sample permutation, and the partition spill are all sized
+	// once, so a whole forest build performs no per-node allocations.
+	b := newForestBuilder(v, f.trees(), psi)
 	for r := 0; r < reps; r++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		rng := rand.New(rand.NewSource(base + int64(r)*int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)))
-		forest := buildForest(v, f.trees(), psi, rng)
+		forest := b.buildForest(rng)
 		c := averagePathLength(float64(psi))
 		// Each point's traversal of the (now immutable) forest is
 		// independent and accumulates into its own slot, in the same
@@ -141,36 +145,87 @@ type iNode struct {
 	size        int
 }
 
-func buildForest(v *dataset.View, trees, psi int, rng *rand.Rand) []*iTree {
-	n := v.N()
+// forestBuilder owns the flat buffers a forest build works in: one node
+// arena shared by every tree, the Fisher–Yates permutation array, the
+// per-tree working index set, and the partition spill. All of them are sized
+// once at construction — trees with ≤ ψ training points never exceed 2ψ−1
+// nodes, so the arena cap is exact — which makes a whole forest build (and
+// every later repetition reusing the builder) free of per-node allocations.
+//
+// The builder replays exactly the allocation-heavy recursion it replaced:
+// the RNG is consulted at the same call sites in the same order, the
+// partition is stable on both sides, and leaf conditions are unchanged, so
+// the produced forests — and therefore the scores — are bit-identical.
+type forestBuilder struct {
+	v           *dataset.View
+	trees       int
+	psi         int
+	heightLimit int
+	// arena backs every tree's nodes; tree t's slice is a sub-slice with
+	// node ids local to its own base, so pathLength still walks from 0.
+	arena  []iNode
+	forest []iTree
+	// sample is the 0..n−1 permutation array the partial Fisher–Yates
+	// shuffles across trees. It is reset to the identity per repetition
+	// (the recursion allocated it fresh per forest) and is never handed to
+	// the partition — trees split a copy in work, because an in-place
+	// partition of sample would corrupt the next tree's shuffle.
+	sample []int
+	work   []int
+	spill  []int
+}
+
+func newForestBuilder(v *dataset.View, trees, psi int) *forestBuilder {
 	heightLimit := int(math.Ceil(math.Log2(float64(psi))))
 	if heightLimit < 1 {
 		heightLimit = 1
 	}
-	forest := make([]*iTree, trees)
-	sample := make([]int, n)
-	for i := range sample {
-		sample[i] = i
+	return &forestBuilder{
+		v:           v,
+		trees:       trees,
+		psi:         psi,
+		heightLimit: heightLimit,
+		arena:       make([]iNode, 0, trees*(2*psi-1)),
+		forest:      make([]iTree, trees),
+		sample:      make([]int, v.N()),
+		work:        make([]int, psi),
+		spill:       make([]int, 0, psi),
 	}
-	for t := range forest {
-		// Uniform subsample without replacement (partial Fisher–Yates).
-		for i := 0; i < psi; i++ {
-			j := i + rng.Intn(n-i)
-			sample[i], sample[j] = sample[j], sample[i]
-		}
-		tree := &iTree{}
-		tree.build(v, append([]int(nil), sample[:psi]...), 0, heightLimit, rng)
-		forest[t] = tree
-	}
-	return forest
 }
 
-// build appends the subtree over idx and returns its node index.
-func (t *iTree) build(v *dataset.View, idx []int, depth, limit int, rng *rand.Rand) int {
-	nodeID := len(t.nodes)
-	t.nodes = append(t.nodes, iNode{})
-	if depth >= limit || len(idx) <= 1 || allIdentical(v, idx) {
-		t.nodes[nodeID] = iNode{feature: -1, size: len(idx)}
+// buildForest grows one forest into the (recycled) arena and returns its
+// trees. The slice and its nodes are owned by the builder and valid until
+// the next buildForest call.
+func (b *forestBuilder) buildForest(rng *rand.Rand) []iTree {
+	n := len(b.sample)
+	b.arena = b.arena[:0]
+	for i := range b.sample {
+		b.sample[i] = i
+	}
+	for t := range b.forest {
+		// Uniform subsample without replacement (partial Fisher–Yates).
+		for i := 0; i < b.psi; i++ {
+			j := i + rng.Intn(n-i)
+			b.sample[i], b.sample[j] = b.sample[j], b.sample[i]
+		}
+		copy(b.work, b.sample[:b.psi])
+		base := len(b.arena)
+		b.node(b.work, 0, base, rng)
+		b.forest[t].nodes = b.arena[base:len(b.arena):len(b.arena)]
+	}
+	return b.forest
+}
+
+// node appends the subtree over idx to the arena and returns its node index
+// relative to base (the owning tree's first arena slot). idx is partitioned
+// in place; recursion happens only after the spill buffer has been copied
+// back, so one shared spill serves the whole build.
+func (b *forestBuilder) node(idx []int, depth, base int, rng *rand.Rand) int {
+	v := b.v
+	nodeID := len(b.arena) - base
+	b.arena = append(b.arena, iNode{})
+	if depth >= b.heightLimit || len(idx) <= 1 || allIdentical(v, idx) {
+		b.arena[base+nodeID] = iNode{feature: -1, size: len(idx)}
 		return nodeID
 	}
 	dim := v.Dim()
@@ -194,25 +249,32 @@ func (t *iTree) build(v *dataset.View, idx []int, depth, limit int, rng *rand.Ra
 		found = hi > lo
 	}
 	if !found {
-		t.nodes[nodeID] = iNode{feature: -1, size: len(idx)}
+		b.arena[base+nodeID] = iNode{feature: -1, size: len(idx)}
 		return nodeID
 	}
 	split := lo + rng.Float64()*(hi-lo)
-	var left, right []int
+	// Stable in-place partition: the left side compacts forward, the right
+	// side detours through spill and is copied back behind it, preserving
+	// the relative order the append-based recursion produced on both sides.
+	spill := b.spill[:0]
+	w := 0
 	for _, i := range idx {
 		if v.Point(i)[feature] < split {
-			left = append(left, i)
+			idx[w] = i
+			w++
 		} else {
-			right = append(right, i)
+			spill = append(spill, i)
 		}
 	}
-	if len(left) == 0 || len(right) == 0 {
-		t.nodes[nodeID] = iNode{feature: -1, size: len(idx)}
+	copy(idx[w:], spill)
+	b.spill = spill
+	if w == 0 || w == len(idx) {
+		b.arena[base+nodeID] = iNode{feature: -1, size: len(idx)}
 		return nodeID
 	}
-	l := t.build(v, left, depth+1, limit, rng)
-	r := t.build(v, right, depth+1, limit, rng)
-	t.nodes[nodeID] = iNode{feature: feature, split: split, left: l, right: r}
+	l := b.node(idx[:w], depth+1, base, rng)
+	r := b.node(idx[w:], depth+1, base, rng)
+	b.arena[base+nodeID] = iNode{feature: feature, split: split, left: l, right: r}
 	return nodeID
 }
 

@@ -17,13 +17,19 @@ import (
 type KNNDist struct {
 	// K is the neighbourhood size; zero means 10.
 	K int
+	// Neighbors, when non-nil, answers the kNN phase through the delta
+	// engine on views it accepts; results are bit-identical either way.
+	Neighbors *neighbors.DeltaEngine
 }
 
 // DefaultKNNDistK is the default neighbourhood size.
 const DefaultKNNDistK = 10
 
-// NewKNNDist returns a mean-kNN-distance detector (0 → k=10).
-func NewKNNDist(k int) *KNNDist { return &KNNDist{K: k} }
+// NewKNNDist returns a mean-kNN-distance detector (0 → k=10) with
+// delta-distance subspace scoring enabled.
+func NewKNNDist(k int) *KNNDist {
+	return &KNNDist{K: k, Neighbors: neighbors.NewDeltaEngine(0)}
+}
 
 func (d *KNNDist) Name() string { return "kNN-dist" }
 
@@ -49,17 +55,24 @@ func (d *KNNDist) Scores(ctx context.Context, v *dataset.View) ([]float64, error
 	if k < 1 {
 		return scores, nil
 	}
-	ix := neighbors.NewIndex(v.Points())
-	_, dist, err := neighbors.AllKNNParallel(ctx, ix, k, 1)
+	_, dist, m, ok, err := d.Neighbors.AllKNN(ctx, v, k, 1)
 	if err != nil {
 		return nil, err
 	}
+	if !ok {
+		ix := neighbors.NewIndex(v.Points())
+		idx2, dist2, err := neighbors.AllKNNParallel(ctx, ix, k, 1)
+		if err != nil {
+			return nil, err
+		}
+		_, dist, m = neighbors.FlattenKNN(idx2, dist2)
+	}
 	for i := range scores {
 		var sum float64
-		for _, dd := range dist[i] {
+		for _, dd := range dist[i*m : (i+1)*m] {
 			sum += dd
 		}
-		scores[i] = sum / float64(len(dist[i]))
+		scores[i] = sum / float64(m)
 	}
 	return scores, nil
 }

@@ -21,10 +21,18 @@ type LOF struct {
 	// (including the zero value) keep scoring serial. Results are identical
 	// at any worker count.
 	Workers int
+	// Neighbors, when non-nil, answers the kNN phase through the delta
+	// engine on views it accepts (low-dimensional subspace views), reusing
+	// parent-subspace partials across search stages. Results are
+	// bit-identical either way; nil always uses the per-view index.
+	Neighbors *neighbors.DeltaEngine
 }
 
-// NewLOF returns a LOF detector with neighbourhood size k (0 → default 15).
-func NewLOF(k int) *LOF { return &LOF{K: k} }
+// NewLOF returns a LOF detector with neighbourhood size k (0 → default 15)
+// and delta-distance subspace scoring enabled.
+func NewLOF(k int) *LOF {
+	return &LOF{K: k, Neighbors: neighbors.NewDeltaEngine(0)}
+}
 
 func (l *LOF) Name() string { return "LOF" }
 
@@ -54,16 +62,23 @@ func (l *LOF) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 		// A single point has no neighbours; call it a perfect inlier.
 		return []float64{1}, nil
 	}
-	ix := neighbors.NewIndex(v.Points())
-	nnIdx, nnDist, err := neighbors.AllKNNParallel(ctx, ix, k, l.Workers)
+	nnIdx, nnDist, m, ok, err := l.Neighbors.AllKNN(ctx, v, k, l.Workers)
 	if err != nil {
 		return nil, err
+	}
+	if !ok {
+		ix := neighbors.NewIndex(v.Points())
+		idx2, dist2, err := neighbors.AllKNNParallel(ctx, ix, k, l.Workers)
+		if err != nil {
+			return nil, err
+		}
+		nnIdx, nnDist, m = neighbors.FlattenKNN(idx2, dist2)
 	}
 
 	// k-distance of each point = distance to its k-th nearest neighbour.
 	kdist := make([]float64, n)
 	for i := range kdist {
-		kdist[i] = nnDist[i][len(nnDist[i])-1]
+		kdist[i] = nnDist[i*m+m-1]
 	}
 
 	// Local reachability density:
@@ -71,14 +86,14 @@ func (l *LOF) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 	lrd := make([]float64, n)
 	for i := 0; i < n; i++ {
 		var sum float64
-		for j, o := range nnIdx[i] {
-			reach := nnDist[i][j]
+		for j, o := range nnIdx[i*m : (i+1)*m] {
+			reach := nnDist[i*m+j]
 			if kdist[o] > reach {
 				reach = kdist[o]
 			}
 			sum += reach
 		}
-		mean := sum / float64(len(nnIdx[i]))
+		mean := sum / float64(m)
 		if mean == 0 {
 			// Duplicate points: infinite density, representable as a
 			// large finite value to keep downstream arithmetic clean.
@@ -92,10 +107,10 @@ func (l *LOF) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 	scores := make([]float64, n)
 	for i := 0; i < n; i++ {
 		var sum float64
-		for _, o := range nnIdx[i] {
+		for _, o := range nnIdx[i*m : (i+1)*m] {
 			sum += lrd[o]
 		}
-		scores[i] = sum / (float64(len(nnIdx[i])) * lrd[i])
+		scores[i] = sum / (float64(m) * lrd[i])
 	}
 	return scores, nil
 }

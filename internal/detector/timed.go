@@ -7,6 +7,7 @@ import (
 
 	"anex/internal/core"
 	"anex/internal/dataset"
+	"anex/internal/stats"
 )
 
 // Timed wraps a detector and accumulates the wall-clock time spent inside
@@ -40,10 +41,34 @@ func (t *Timed) Scores(ctx context.Context, v *dataset.View) ([]float64, error) 
 	return s, err
 }
 
+// ScoresWithStats implements core.StatScorer: when the wrapped detector
+// memoises moments the call forwards to it (timed like Scores); otherwise
+// the moments are computed here with the same stats.PopulationMeanVariance
+// pass a direct standardisation would run, so results are bit-identical
+// whether or not the wrapped detector cooperates.
+func (t *Timed) ScoresWithStats(ctx context.Context, v *dataset.View) (scores []float64, mean, variance float64, err error) {
+	if ss, ok := t.inner.(core.StatScorer); ok {
+		start := time.Now()
+		scores, mean, variance, err = ss.ScoresWithStats(ctx, v)
+		t.nanos.Add(int64(time.Since(start)))
+		t.calls.Add(1)
+		return scores, mean, variance, err
+	}
+	scores, err = t.Scores(ctx, v)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	mean, variance = stats.PopulationMeanVariance(scores)
+	return scores, mean, variance, nil
+}
+
 // Elapsed returns the total time spent in Scores since construction.
 func (t *Timed) Elapsed() time.Duration { return time.Duration(t.nanos.Load()) }
 
 // Calls returns the number of completed Scores invocations.
 func (t *Timed) Calls() int64 { return t.calls.Load() }
 
-var _ core.Detector = (*Timed)(nil)
+var (
+	_ core.Detector   = (*Timed)(nil)
+	_ core.StatScorer = (*Timed)(nil)
+)

@@ -23,6 +23,17 @@ import (
 // scores so that subspaces of different dimensionality become comparable
 // (paper, Section 2.2).
 func pointZScore(ctx context.Context, det core.Detector, ds *dataset.Dataset, s subspace.Subspace, p int) (float64, error) {
+	if ss, ok := det.(core.StatScorer); ok {
+		// Memoising detectors hand back the distribution's population
+		// moments with the scores, so a cache hit standardises in O(1)
+		// instead of re-deriving the same moments per point. The moments
+		// contract makes this bit-identical to the plain path below.
+		scores, mean, variance, err := ss.ScoresWithStats(ctx, ds.View(s))
+		if err != nil {
+			return 0, err
+		}
+		return stats.ZScoreFromMoments(scores[p], mean, variance), nil
+	}
 	scores, err := det.Scores(ctx, ds.View(s))
 	if err != nil {
 		return 0, err

@@ -25,10 +25,10 @@ func TestCacheHitZeroMaterialisation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The warm-up itself may already gather zero rows: the delta-distance
+	// engine scores low-dimensional views straight from dataset columns.
+	// Either way, cache hits must add nothing.
 	gathers := ds.Gathers()
-	if gathers == 0 {
-		t.Fatal("warm-up scored without ever materialising a view")
-	}
 
 	for i := 0; i < 3; i++ {
 		got, err := pointZScore(ctx, cached, ds, sub, p)

@@ -294,9 +294,18 @@ func buildCells(spec GridSpec, inner int) []gridCell {
 	for _, dim := range spec.Dims {
 		for _, d := range dets {
 			for _, pp := range PointPipelines(d, spec.Seed, opts) {
-				pp.Workers = inner
+				// The factory already gave the explainer opts.Workers, so the
+				// inner budget must NOT be applied to the per-point loop too:
+				// that stacks to inner² goroutines per cell, and the cells
+				// themselves already run `workers`-wide. The budget lives in
+				// the candidate-scoring loops — points racing there would
+				// mostly queue behind the score cache's singleflight anyway —
+				// so the per-point loop stays serial.
+				pp.Workers = 1
 				addPoint(pp, dim)
 			}
+			// Summarizers have no internal worker knob, so the per-subspace
+			// ranking loop is the budget's single application on this path.
 			for _, sp := range SummaryPipelines(d, spec.Seed, opts) {
 				sp.Workers = inner
 				addSummary(sp, dim)

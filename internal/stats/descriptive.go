@@ -74,10 +74,17 @@ func PopulationMeanVariance(xs []float64) (mean, variance float64) {
 // neither help nor hurt a candidate subspace.
 func ZScore(x float64, xs []float64) float64 {
 	m, v := PopulationMeanVariance(xs)
-	if v <= 0 || math.IsNaN(v) {
+	return ZScoreFromMoments(x, m, v)
+}
+
+// ZScoreFromMoments is ZScore for callers that already hold the population
+// moments (memoised score distributions): same formula, same zero-variance
+// convention, bit-identical results.
+func ZScoreFromMoments(x, mean, variance float64) float64 {
+	if variance <= 0 || math.IsNaN(variance) {
 		return 0
 	}
-	return (x - m) / math.Sqrt(v)
+	return (x - mean) / math.Sqrt(variance)
 }
 
 // ZScores standardises every element of xs in place-compatible fashion,

@@ -3,12 +3,12 @@
 # machine-readable JSON snapshot (ns/op, B/op, allocs/op per benchmark),
 # the perf trajectory artefact the PR acceptance criteria compare against.
 #
-# Usage: scripts/bench.sh [output.json]    (default BENCH_3.json)
+# Usage: scripts/bench.sh [output.json]    (default BENCH_4.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
