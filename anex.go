@@ -44,6 +44,7 @@ import (
 	"anex/internal/detector"
 	"anex/internal/explain"
 	"anex/internal/metrics"
+	"anex/internal/neighbors"
 	"anex/internal/parallel"
 	"anex/internal/pipeline"
 	"anex/internal/plot"
@@ -394,6 +395,28 @@ func OpenJournal(path string) (*Journal, error) { return pipeline.OpenJournal(pa
 func RunGrid(ctx context.Context, spec GridSpec) ([]PipelineResult, error) {
 	return pipeline.RunGrid(ctx, spec)
 }
+
+// NeighborhoodPlane is the shared kNN cache behind the library's
+// kNN-based detectors: one computation per (dataset, subspace) at the
+// maximum registered neighbourhood size, prefix-sliced for every consumer,
+// byte-budgeted with LRU eviction. Detectors constructed by this library
+// share one process-wide plane by default; GridSpec.Plane injects a
+// private one.
+type NeighborhoodPlane = neighbors.Plane
+
+// NeighborhoodPlaneStats is a snapshot of a plane's activity (queries,
+// hits, dedup factor, residency).
+type NeighborhoodPlaneStats = neighbors.PlaneStats
+
+// NewNeighborhoodPlane returns a plane bounded by maxBytes of resident
+// neighbourhood structures (≤ 0 selects the 256 MiB default).
+func NewNeighborhoodPlane(maxBytes int64) *NeighborhoodPlane {
+	return neighbors.NewPlane(maxBytes)
+}
+
+// SharedNeighborhoodPlane returns the process-wide default plane that
+// detector constructors wire in.
+func SharedNeighborhoodPlane() *NeighborhoodPlane { return neighbors.Shared() }
 
 // ExplainOutliers runs the explainer on every outlier the ground truth
 // explains at targetDim and evaluates MAP/recall against it.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	anexbench [-scale small|paper] [-seed N] [-exp all|table1|figure8|figure9|figure10|figure11|table2|ablation|conformance] [-csv dir] [-quiet] [-workers N] [-cache-mb 256]
+//	anexbench [-scale small|paper] [-seed N] [-exp all|table1|figure8|figure9|figure10|figure11|table2|ablation|conformance] [-csv dir] [-quiet] [-workers N] [-cache-mb 256] [-plane-mb 256] [-stats]
 //
 // At the default small scale the full run finishes in minutes on a laptop;
 // paper scale matches the dataset shapes of the paper's Table 1 and can
@@ -47,6 +47,8 @@ func main() {
 		metric    = flag.String("metric", "map", "effectiveness metric for figures 9/10: map or recall")
 		workers   = flag.Int("workers", 0, "inner-loop workers per pipeline cell (0 = GOMAXPROCS); results are identical at any count")
 		cacheMB   = flag.Int("cache-mb", 0, "byte budget (MiB) of each detector's shared score memo; LRU-evicts past it (0 = default 256)")
+		planeMB   = flag.Int("plane-mb", 0, "byte budget (MiB) of the session's shared neighbourhood plane (0 = default 256)")
+		stats     = flag.Bool("stats", false, "print neighbourhood-plane cache statistics (hits, dedup factor, residency) to stderr when the run ends")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a post-GC heap profile to this file when the run ends")
 	)
@@ -61,7 +63,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	err = run(ctx, *scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric, *workers, *cacheMB)
+	err = run(ctx, *scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric, *workers, *cacheMB, *planeMB, *stats)
 	// Profiles must be flushed on every exit path — os.Exit skips defers —
 	// and an interrupted run still yields a usable CPU profile.
 	stopProfiles()
@@ -117,7 +119,7 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 	}, nil
 }
 
-func run(ctx context.Context, scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdPath, journalPath, detectors, metric string, workers, cacheMB int) error {
+func run(ctx context.Context, scaleFlag string, seed int64, exp, csvDir string, quiet bool, only, mdPath, journalPath, detectors, metric string, workers, cacheMB, planeMB int, stats bool) error {
 	scale, err := synth.ParseScale(scaleFlag)
 	if err != nil {
 		return err
@@ -163,6 +165,7 @@ func run(ctx context.Context, scaleFlag string, seed int64, exp, csvDir string, 
 		UseMeanRecall:  metric == "recall",
 		Workers:        workers,
 		CacheBytes:     int64(cacheMB) << 20,
+		PlaneBytes:     int64(planeMB) << 20,
 	})
 	if err != nil {
 		return err
@@ -237,6 +240,9 @@ func run(ctx context.Context, scaleFlag string, seed int64, exp, csvDir string, 
 	}
 	if !matched {
 		return fmt.Errorf("unknown experiment %q (want all, table1, figure8, figure9, figure10, figure11, table2, ablation or conformance)", exp)
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "neighbourhood plane: %s\n", session.PlaneStats())
 	}
 	return nil
 }

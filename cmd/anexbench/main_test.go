@@ -9,13 +9,13 @@ import (
 )
 
 func TestRunUnknownScale(t *testing.T) {
-	if err := run(context.Background(), "huge", 1, "table1", "", true, "", "", "", "", "map", 1, 0); err == nil {
+	if err := run(context.Background(), "huge", 1, "table1", "", true, "", "", "", "", "map", 1, 0, 0, false); err == nil {
 		t.Error("unknown scale should fail")
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(context.Background(), "small", 1, "figure99", "", true, "", "", "", "", "map", 1, 0); err == nil {
+	if err := run(context.Background(), "small", 1, "figure99", "", true, "", "", "", "", "map", 1, 0, 0, false); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
@@ -32,7 +32,7 @@ func TestRunTable1AndCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(context.Background(), "small", 1, "table1", dir, true, "", "", "", "", "map", 1, 0)
+	runErr := run(context.Background(), "small", 1, "table1", dir, true, "", "", "", "", "map", 1, 0, 0, false)
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {
@@ -53,7 +53,7 @@ func TestRunTable1AndCSV(t *testing.T) {
 		t.Errorf("CSV malformed: %s", data)
 	}
 	// figure8 shares the session-generation path.
-	if err := run(context.Background(), "small", 1, "figure8", "", true, "", "", "", "", "map", 1, 0); err != nil {
+	if err := run(context.Background(), "small", 1, "figure8", "", true, "", "", "", "", "map", 1, 0, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -70,7 +70,7 @@ func TestRunDatasetFilter(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(context.Background(), "small", 1, "table1", "", true, "hics-8d", "", "", "", "map", 1, 0)
+	runErr := run(context.Background(), "small", 1, "table1", "", true, "hics-8d", "", "", "", "map", 1, 0, 0, false)
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {
@@ -82,7 +82,7 @@ func TestRunDatasetFilter(t *testing.T) {
 	if !strings.Contains(text, "hics-8d") || strings.Contains(text, "hics-12d") {
 		t.Errorf("filter not applied:\n%s", text)
 	}
-	if err := run(context.Background(), "small", 1, "table1", "", true, "no-such-dataset", "", "", "", "map", 1, 0); err == nil {
+	if err := run(context.Background(), "small", 1, "table1", "", true, "no-such-dataset", "", "", "", "map", 1, 0, 0, false); err == nil {
 		t.Error("unmatched filter should fail")
 	}
 }
@@ -99,7 +99,7 @@ func TestRunMarkdownReport(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(context.Background(), "small", 1, "table1", "", true, "hics-8d", mdPath, "", "", "map", 1, 0)
+	runErr := run(context.Background(), "small", 1, "table1", "", true, "hics-8d", mdPath, "", "", "map", 1, 0, 0, false)
 	w.Close()
 	os.Stdout = old
 	if runErr != nil {

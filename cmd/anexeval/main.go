@@ -12,8 +12,8 @@
 // Usage:
 //
 //	anexeval -data d.csv -gt d.groundtruth.json [-dims 2,3] [-seed N]
-//	         [-workers N] [-topk 30] [-cache-mb 256] [-journal run.journal]
-//	         [-cell-timeout 5m]
+//	         [-workers N] [-topk 30] [-cache-mb 256] [-plane-mb 256]
+//	         [-no-sched] [-journal run.journal] [-cell-timeout 5m]
 package main
 
 import (
@@ -40,6 +40,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "parallel pipeline workers (0 = GOMAXPROCS)")
 		topK        = flag.Int("topk", 0, "result-list bound per explainer (0 = paper default 100)")
 		cacheMB     = flag.Int("cache-mb", 0, "byte budget (MiB) of each detector's shared score memo; LRU-evicts past it (0 = default 256)")
+		planeMB     = flag.Int("plane-mb", 0, "byte budget (MiB) of the grid's shared neighbourhood plane (0 = default 256)")
+		noSched     = flag.Bool("no-sched", false, "disable cost-aware cell scheduling; cells dispatch in deterministic order (results are identical either way)")
 		journalPath = flag.String("journal", "", "checkpoint completed cells to this file and resume from it")
 		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline (0 = none); timed-out cells report an error, the rest of the grid completes")
 	)
@@ -48,7 +50,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := run(ctx, *dataPath, *gtPath, *dims, *seed, *workers, *topK, *cacheMB, *journalPath, *cellTimeout)
+	err := run(ctx, *dataPath, *gtPath, *dims, *seed, *workers, *topK, *cacheMB, *planeMB, *noSched, *journalPath, *cellTimeout)
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "anexeval: interrupted")
 		os.Exit(130)
@@ -59,7 +61,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, dataPath, gtPath, dimsArg string, seed int64, workers, topK, cacheMB int, journalPath string, cellTimeout time.Duration) error {
+func run(ctx context.Context, dataPath, gtPath, dimsArg string, seed int64, workers, topK, cacheMB, planeMB int, noSched bool, journalPath string, cellTimeout time.Duration) error {
 	if dataPath == "" || gtPath == "" {
 		return fmt.Errorf("both -data and -gt are required")
 	}
@@ -103,6 +105,13 @@ func run(ctx context.Context, dataPath, gtPath, dimsArg string, seed int64, work
 	fmt.Printf("%s: %d points × %d features, %d outliers; dims %v\n\n",
 		ds.Name(), ds.N(), ds.D(), gt.NumOutliers(), dims)
 
+	// A custom budget needs a private plane; otherwise the grid keeps the
+	// process-wide shared one the detector constructors wired in.
+	var plane *anex.NeighborhoodPlane
+	if planeMB > 0 {
+		plane = anex.NewNeighborhoodPlane(int64(planeMB) << 20)
+	}
+
 	start := time.Now()
 	results, jerr := anex.RunGrid(ctx, anex.GridSpec{
 		Dataset:     ds,
@@ -111,6 +120,8 @@ func run(ctx context.Context, dataPath, gtPath, dimsArg string, seed int64, work
 		Seed:        seed,
 		Options:     anex.PipelineOptions{TopK: topK, CacheBytes: int64(cacheMB) << 20},
 		Cached:      true,
+		Plane:       plane,
+		NoSched:     noSched,
 		Workers:     workers,
 		Journal:     journal,
 		CellTimeout: cellTimeout,

@@ -58,7 +58,7 @@ func captureStdout(t *testing.T, fn func() error) (string, error) {
 func TestRunEvaluatesGrid(t *testing.T) {
 	dataPath, gtPath := writeTestbed(t)
 	out, err := captureStdout(t, func() error {
-		return run(context.Background(), dataPath, gtPath, "2", 1, 1, 10, 0, "", 0)
+		return run(context.Background(), dataPath, gtPath, "2", 1, 1, 10, 0, 0, false, "", 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -87,13 +87,13 @@ func TestRunArgumentValidation(t *testing.T) {
 		name string
 		fn   func() error
 	}{
-		{"missing data", func() error { return run(context.Background(), "", gtPath, "2", 1, 1, 0, 0, "", 0) }},
-		{"missing gt", func() error { return run(context.Background(), dataPath, "", "2", 1, 1, 0, 0, "", 0) }},
-		{"bad dim", func() error { return run(context.Background(), dataPath, gtPath, "1", 1, 1, 0, 0, "", 0) }},
-		{"dim too high", func() error { return run(context.Background(), dataPath, gtPath, "99", 1, 1, 0, 0, "", 0) }},
-		{"nonsense dim", func() error { return run(context.Background(), dataPath, gtPath, "x", 1, 1, 0, 0, "", 0) }},
-		{"missing file", func() error { return run(context.Background(), "/nope.csv", gtPath, "2", 1, 1, 0, 0, "", 0) }},
-		{"missing gt file", func() error { return run(context.Background(), dataPath, "/nope.json", "2", 1, 1, 0, 0, "", 0) }},
+		{"missing data", func() error { return run(context.Background(), "", gtPath, "2", 1, 1, 0, 0, 0, false, "", 0) }},
+		{"missing gt", func() error { return run(context.Background(), dataPath, "", "2", 1, 1, 0, 0, 0, false, "", 0) }},
+		{"bad dim", func() error { return run(context.Background(), dataPath, gtPath, "1", 1, 1, 0, 0, 0, false, "", 0) }},
+		{"dim too high", func() error { return run(context.Background(), dataPath, gtPath, "99", 1, 1, 0, 0, 0, false, "", 0) }},
+		{"nonsense dim", func() error { return run(context.Background(), dataPath, gtPath, "x", 1, 1, 0, 0, 0, false, "", 0) }},
+		{"missing file", func() error { return run(context.Background(), "/nope.csv", gtPath, "2", 1, 1, 0, 0, 0, false, "", 0) }},
+		{"missing gt file", func() error { return run(context.Background(), dataPath, "/nope.json", "2", 1, 1, 0, 0, 0, false, "", 0) }},
 	}
 	for _, c := range cases {
 		if _, err := captureStdout(t, c.fn); err == nil {
@@ -121,7 +121,7 @@ func TestRunJournalResume(t *testing.T) {
 		return stdout, string(buf[:n]), err
 	}
 	first, firstErr, err := captureBoth(func() error {
-		return run(context.Background(), dataPath, gtPath, "2", 1, 1, 10, 0, journalPath, 0)
+		return run(context.Background(), dataPath, gtPath, "2", 1, 1, 10, 0, 0, false, journalPath, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -130,7 +130,7 @@ func TestRunJournalResume(t *testing.T) {
 		t.Errorf("fresh journal claimed a resume:\n%s", firstErr)
 	}
 	second, secondErr, err := captureBoth(func() error {
-		return run(context.Background(), dataPath, gtPath, "2", 1, 1, 10, 0, journalPath, 0)
+		return run(context.Background(), dataPath, gtPath, "2", 1, 1, 10, 0, 0, false, journalPath, 0)
 	})
 	if err != nil {
 		t.Fatal(err)

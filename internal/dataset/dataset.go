@@ -6,6 +6,7 @@ package dataset
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -17,11 +18,15 @@ import (
 // operation of every explanation algorithm — a simple gather of k columns.
 type Dataset struct {
 	name     string
+	id       uint64      // process-unique identity (see ID)
 	features []string    // feature names, len d
 	cols     [][]float64 // cols[f][i] = value of feature f at point i
 	n        int
 	gathers  atomic.Int64 // view materialisations performed (see Gathers)
 }
+
+// nextDatasetID hands out process-unique dataset identities.
+var nextDatasetID atomic.Uint64
 
 // New builds a dataset from column-major data. The columns are not copied;
 // the caller must not mutate them afterwards. Feature names may be nil, in
@@ -45,7 +50,7 @@ func New(name string, cols [][]float64, features []string) (*Dataset, error) {
 	if len(features) != len(cols) {
 		return nil, fmt.Errorf("dataset %q: %d feature names for %d columns", name, len(features), len(cols))
 	}
-	return &Dataset{name: name, features: features, cols: cols, n: n}, nil
+	return &Dataset{name: name, id: nextDatasetID.Add(1), features: features, cols: cols, n: n}, nil
 }
 
 // FromRows builds a dataset from row-major data, copying it into
@@ -72,6 +77,12 @@ func FromRows(name string, rows [][]float64, features []string) (*Dataset, error
 
 // Name returns the dataset's name.
 func (ds *Dataset) Name() string { return ds.name }
+
+// ID returns the dataset's process-unique identity. Two datasets built in
+// the same process never share an ID even when their names collide, which
+// is what makes process-wide caches (the shared neighbourhood plane) safe
+// to key by dataset rather than by name.
+func (ds *Dataset) ID() uint64 { return ds.id }
 
 // N returns the number of points.
 func (ds *Dataset) N() int { return ds.n }
@@ -205,8 +216,13 @@ func (v *View) NumFeatures() int { return len(v.dataset.cols) }
 // Shared storage; do not mutate.
 func (v *View) SourceColumn(f int) []float64 { return v.dataset.cols[f] }
 
-// SourceKey identifies the underlying dataset for cross-view caching.
-func (v *View) SourceKey() string { return v.dataset.name }
+// SourceKey identifies the underlying dataset for cross-view caching. It
+// embeds the dataset's process-unique ID, so caches shared across the whole
+// process (the neighbourhood plane, the delta engine) never alias two
+// datasets that happen to carry the same name.
+func (v *View) SourceKey() string {
+	return v.dataset.name + "#" + strconv.FormatUint(v.dataset.id, 10)
+}
 
 // SubspaceKey returns the canonical key of the view's subspace.
 func (v *View) SubspaceKey() string { return v.sub.Key() }

@@ -28,15 +28,25 @@ type FastABOD struct {
 	// phases; values ≤ 1 (including the zero value) keep scoring serial.
 	// Results are identical at any worker count.
 	Workers int
-	// Neighbors, when non-nil, answers the kNN phase through the delta
-	// engine on views it accepts; results are bit-identical either way.
-	Neighbors *neighbors.DeltaEngine
+	// Neighbors, when non-nil, answers the kNN phase through the shared
+	// neighbourhood plane (prefix-sliced to this detector's k); results
+	// are bit-identical either way.
+	Neighbors *neighbors.Plane
 }
 
 // NewFastABOD returns a Fast ABOD detector with neighbourhood size k
-// (0 → default 10) and delta-distance subspace scoring enabled.
+// (0 → default 10) wired to the process-wide shared neighbourhood plane.
 func NewFastABOD(k int) *FastABOD {
-	return &FastABOD{K: k, Neighbors: neighbors.NewDeltaEngine(0)}
+	a := &FastABOD{K: k, Neighbors: neighbors.Shared()}
+	a.Neighbors.RegisterK(a.k())
+	return a
+}
+
+// SetNeighbors injects the neighbourhood plane (nil disables sharing) and
+// registers this detector's k with it.
+func (a *FastABOD) SetNeighbors(p *neighbors.Plane) {
+	a.Neighbors = p
+	p.RegisterK(a.k())
 }
 
 func (a *FastABOD) Name() string { return "FastABOD" }
@@ -65,17 +75,17 @@ func (a *FastABOD) Scores(ctx context.Context, v *dataset.View) ([]float64, erro
 		// No angle pairs exist; everything is equally (non-)outlying.
 		return scores, nil
 	}
-	nnIdx, _, m, ok, err := a.Neighbors.AllKNN(ctx, v, k, a.Workers)
+	nnIdx, _, m, stride, ok, err := a.Neighbors.AllKNN(ctx, v, k, a.Workers)
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		ix := neighbors.NewIndex(v.Points())
-		idx2, dist2, err := neighbors.AllKNNParallel(ctx, ix, k, a.Workers)
+		nnIdx, _, m, err = neighbors.AllKNNFlat(ctx, ix, k, a.Workers)
 		if err != nil {
 			return nil, err
 		}
-		nnIdx, _, m = neighbors.FlattenKNN(idx2, dist2)
+		stride = m
 	}
 
 	dim := v.Dim()
@@ -91,7 +101,7 @@ func (a *FastABOD) Scores(ctx context.Context, v *dataset.View) ([]float64, erro
 	err = parallel.ForEachShard(ctx, a.Workers, n, func(shard, i int) {
 		da, db := scratchA[shard], scratchB[shard]
 		p := v.Point(i)
-		nbrs := nnIdx[i*m : (i+1)*m]
+		nbrs := nnIdx[i*stride : i*stride+m]
 		// Welford accumulation of the weighted angle statistic
 		// f(x1,x2) = <x1−p, x2−p> / (|x1−p|² · |x2−p|²)
 		// over all neighbour pairs.

@@ -17,18 +17,32 @@ import (
 type KNNDist struct {
 	// K is the neighbourhood size; zero means 10.
 	K int
-	// Neighbors, when non-nil, answers the kNN phase through the delta
-	// engine on views it accepts; results are bit-identical either way.
-	Neighbors *neighbors.DeltaEngine
+	// Workers bounds the goroutines of the per-point kNN phase; values
+	// ≤ 1 (including the zero value) keep scoring serial. Results are
+	// identical at any worker count.
+	Workers int
+	// Neighbors, when non-nil, answers the kNN phase through the shared
+	// neighbourhood plane (prefix-sliced to this detector's k); results
+	// are bit-identical either way.
+	Neighbors *neighbors.Plane
 }
 
 // DefaultKNNDistK is the default neighbourhood size.
 const DefaultKNNDistK = 10
 
-// NewKNNDist returns a mean-kNN-distance detector (0 → k=10) with
-// delta-distance subspace scoring enabled.
+// NewKNNDist returns a mean-kNN-distance detector (0 → k=10) wired to the
+// process-wide shared neighbourhood plane.
 func NewKNNDist(k int) *KNNDist {
-	return &KNNDist{K: k, Neighbors: neighbors.NewDeltaEngine(0)}
+	d := &KNNDist{K: k, Neighbors: neighbors.Shared()}
+	d.Neighbors.RegisterK(d.k())
+	return d
+}
+
+// SetNeighbors injects the neighbourhood plane (nil disables sharing) and
+// registers this detector's k with it.
+func (d *KNNDist) SetNeighbors(p *neighbors.Plane) {
+	d.Neighbors = p
+	p.RegisterK(d.k())
 }
 
 func (d *KNNDist) Name() string { return "kNN-dist" }
@@ -55,21 +69,21 @@ func (d *KNNDist) Scores(ctx context.Context, v *dataset.View) ([]float64, error
 	if k < 1 {
 		return scores, nil
 	}
-	_, dist, m, ok, err := d.Neighbors.AllKNN(ctx, v, k, 1)
+	_, dist, m, stride, ok, err := d.Neighbors.AllKNN(ctx, v, k, d.Workers)
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		ix := neighbors.NewIndex(v.Points())
-		idx2, dist2, err := neighbors.AllKNNParallel(ctx, ix, k, 1)
+		_, dist, m, err = neighbors.AllKNNFlat(ctx, ix, k, d.Workers)
 		if err != nil {
 			return nil, err
 		}
-		_, dist, m = neighbors.FlattenKNN(idx2, dist2)
+		stride = m
 	}
 	for i := range scores {
 		var sum float64
-		for _, dd := range dist[i*m : (i+1)*m] {
+		for _, dd := range dist[i*stride : i*stride+m] {
 			sum += dd
 		}
 		scores[i] = sum / float64(m)

@@ -21,17 +21,28 @@ type LOF struct {
 	// (including the zero value) keep scoring serial. Results are identical
 	// at any worker count.
 	Workers int
-	// Neighbors, when non-nil, answers the kNN phase through the delta
-	// engine on views it accepts (low-dimensional subspace views), reusing
-	// parent-subspace partials across search stages. Results are
-	// bit-identical either way; nil always uses the per-view index.
-	Neighbors *neighbors.DeltaEngine
+	// Neighbors, when non-nil, answers the kNN phase through the shared
+	// neighbourhood plane: one computation at the plane's kmax per
+	// (dataset, subspace), prefix-sliced to this detector's k and shared
+	// with every other detector on the same plane. Results are
+	// bit-identical either way; nil always uses the private per-view index.
+	Neighbors *neighbors.Plane
 }
 
 // NewLOF returns a LOF detector with neighbourhood size k (0 → default 15)
-// and delta-distance subspace scoring enabled.
+// wired to the process-wide shared neighbourhood plane.
 func NewLOF(k int) *LOF {
-	return &LOF{K: k, Neighbors: neighbors.NewDeltaEngine(0)}
+	l := &LOF{K: k, Neighbors: neighbors.Shared()}
+	l.Neighbors.RegisterK(l.k())
+	return l
+}
+
+// SetNeighbors injects the neighbourhood plane (nil disables sharing) and
+// registers this detector's k with it — the hook GridSpec.Plane uses to
+// wire one plane across all cells.
+func (l *LOF) SetNeighbors(p *neighbors.Plane) {
+	l.Neighbors = p
+	p.RegisterK(l.k())
 }
 
 func (l *LOF) Name() string { return "LOF" }
@@ -62,23 +73,25 @@ func (l *LOF) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 		// A single point has no neighbours; call it a perfect inlier.
 		return []float64{1}, nil
 	}
-	nnIdx, nnDist, m, ok, err := l.Neighbors.AllKNN(ctx, v, k, l.Workers)
+	nnIdx, nnDist, m, stride, ok, err := l.Neighbors.AllKNN(ctx, v, k, l.Workers)
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		ix := neighbors.NewIndex(v.Points())
-		idx2, dist2, err := neighbors.AllKNNParallel(ctx, ix, k, l.Workers)
+		nnIdx, nnDist, m, err = neighbors.AllKNNFlat(ctx, ix, k, l.Workers)
 		if err != nil {
 			return nil, err
 		}
-		nnIdx, nnDist, m = neighbors.FlattenKNN(idx2, dist2)
+		stride = m
 	}
 
 	// k-distance of each point = distance to its k-th nearest neighbour.
+	// The plane's rows may be wider than m (they hold kmax neighbours);
+	// this detector reads the first m slots of each stride-spaced row.
 	kdist := make([]float64, n)
 	for i := range kdist {
-		kdist[i] = nnDist[i*m+m-1]
+		kdist[i] = nnDist[i*stride+m-1]
 	}
 
 	// Local reachability density:
@@ -86,8 +99,9 @@ func (l *LOF) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 	lrd := make([]float64, n)
 	for i := 0; i < n; i++ {
 		var sum float64
-		for j, o := range nnIdx[i*m : (i+1)*m] {
-			reach := nnDist[i*m+j]
+		row := i * stride
+		for j, o := range nnIdx[row : row+m] {
+			reach := nnDist[row+j]
 			if kdist[o] > reach {
 				reach = kdist[o]
 			}
@@ -107,7 +121,7 @@ func (l *LOF) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 	scores := make([]float64, n)
 	for i := 0; i < n; i++ {
 		var sum float64
-		for _, o := range nnIdx[i*m : (i+1)*m] {
+		for _, o := range nnIdx[i*stride : i*stride+m] {
 			sum += lrd[o]
 		}
 		scores[i] = sum / (float64(m) * lrd[i])

@@ -9,6 +9,7 @@ import (
 	"anex/internal/core"
 	"anex/internal/dataset"
 	"anex/internal/detector"
+	"anex/internal/neighbors"
 	"anex/internal/parallel"
 	"anex/internal/pipeline"
 	"anex/internal/subspace"
@@ -52,6 +53,14 @@ type Config struct {
 	// CacheBytes is the byte budget of each cached detector's score memo
 	// (see detector.NewCachedBudget); zero selects the generous default.
 	CacheBytes int64
+	// PlaneBytes is the byte budget of the session's shared neighbourhood
+	// plane — ONE plane serves every kNN detector across all datasets and
+	// experiments, LRU-bounded; zero selects neighbors.DefaultPlaneBytes.
+	PlaneBytes int64
+
+	// plane is the session-wide shared neighbourhood cache, created by
+	// NewSession and injected into every kNN detector the session builds.
+	plane *neighbors.Plane
 }
 
 func (c *Config) wantDetector(name string) bool {
@@ -134,7 +143,10 @@ func (c *Config) options() pipeline.Options {
 }
 
 // detectors builds the three detectors, sized to the scale. Effectiveness
-// experiments share score caches; timing experiments must not.
+// experiments share score caches; timing experiments must not. Every kNN
+// detector is wired to the session's shared neighbourhood plane, so the
+// per-(dataset, subspace) structures survive the per-dataset cache resets
+// and are shared across detectors and experiments.
 func (c *Config) detectors(cached bool) []pipeline.NamedDetector {
 	var dets []pipeline.NamedDetector
 	if c.Scale == synth.ScalePaper {
@@ -146,6 +158,13 @@ func (c *Config) detectors(cached bool) []pipeline.NamedDetector {
 			{Name: "iForest", Detector: &detector.IsolationForest{
 				Trees: 50, Subsample: 128, Repetitions: 3, Seed: c.Seed,
 			}},
+		}
+	}
+	if c.plane != nil {
+		for _, d := range dets {
+			if ns, ok := d.Detector.(interface{ SetNeighbors(*neighbors.Plane) }); ok {
+				ns.SetNeighbors(c.plane)
+			}
 		}
 	}
 	if cached {
@@ -186,6 +205,7 @@ type Session struct {
 // testbed generation (the ground-truth derivation runs full detector
 // sweeps) with ctx's error.
 func NewSession(ctx context.Context, cfg Config) (*Session, error) {
+	cfg.plane = neighbors.NewPlane(cfg.PlaneBytes)
 	tb := &Testbed{}
 	for _, c := range synth.SyntheticConfigs(cfg.Scale, cfg.Seed) {
 		if !cfg.wantDataset(c.Name) {
@@ -290,6 +310,13 @@ func (s *Session) SummaryResults(ctx context.Context) []pipeline.Result {
 		}
 	}
 	return s.summaryResults
+}
+
+// PlaneStats reports the activity of the session's shared neighbourhood
+// plane: hits, computations, the dedup factor, residency, and the embedded
+// delta engine's counters — anexbench's -stats dump.
+func (s *Session) PlaneStats() neighbors.PlaneStats {
+	return s.Cfg.plane.Stats()
 }
 
 // skipped marks an infeasible cell; MAP < 0 renders as "-".

@@ -1,0 +1,59 @@
+package neighbors_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"anex/internal/neighbors"
+)
+
+func allocPoints(n, d int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for f := range pts[i] {
+			pts[i][f] = rng.NormFloat64()
+		}
+	}
+	return pts
+}
+
+// TestAllKNNAllocs pins the O(1)-allocation contract of the serial
+// neighbourhood builders: the whole n×m structure costs a constant number
+// of allocations — the flat result arrays, one scratch slice, and the
+// scratch's internal buffers — NOT O(n) per-row slices. The count is
+// asserted both in absolute terms (a regression to per-row allocation
+// would be ≥ n) and to be independent of n.
+func TestAllKNNAllocs(t *testing.T) {
+	const k = 10
+	counts := map[string][2]float64{}
+	for trial, n := range []int{128, 512} {
+		ix := neighbors.NewIndex(allocPoints(n, 3, int64(n)))
+		flat := testing.AllocsPerRun(10, func() {
+			if _, _, _, err := neighbors.AllKNNFlat(context.Background(), ix, k, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		headered := testing.AllocsPerRun(10, func() {
+			neighbors.AllKNN(ix, k)
+		})
+		for name, got := range map[string]float64{"AllKNNFlat": flat, "AllKNN": headered} {
+			if got >= float64(n) {
+				t.Errorf("%s at n=%d: %v allocs/op — per-row allocation is back", name, n, got)
+			}
+			if got > 16 {
+				t.Errorf("%s at n=%d: %v allocs/op, want ≤ 16", name, n, got)
+			}
+			c := counts[name]
+			c[trial] = got
+			counts[name] = c
+		}
+	}
+	for name, c := range counts {
+		if c[0] != c[1] {
+			t.Errorf("%s allocations scale with n: %v at n=128 vs %v at n=512", name, c[0], c[1])
+		}
+	}
+}

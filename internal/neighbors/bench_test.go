@@ -1,6 +1,7 @@
 package neighbors
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -49,6 +50,24 @@ func BenchmarkAllKNN(b *testing.B) {
 			ix := NewBruteForce(points)
 			for i := 0; i < b.N; i++ {
 				AllKNN(ix, 15)
+			}
+		})
+	}
+}
+
+// BenchmarkAllKNNFlat measures the header-free flat builder the plane and
+// detector hot paths consume; allocs/op must stay constant in n (the
+// contract TestAllKNNAllocs pins).
+func BenchmarkAllKNNFlat(b *testing.B) {
+	for _, n := range []int{256, 1000} {
+		points := benchPoints(n, 3)
+		ix := NewIndex(points)
+		b.Run(itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := AllKNNFlat(context.Background(), ix, 15, 1); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -67,6 +67,14 @@ const (
 
 	// deltaEntryOverhead approximates the per-entry bookkeeping charge.
 	deltaEntryOverhead = 96
+
+	// maxDeltaSources bounds the per-dataset pinned structures (sorted
+	// dimension orders, full-space seeds) an engine retains. A per-detector
+	// engine only ever sees a handful of datasets, but the process-wide
+	// shared plane funnels EVERY dataset in the process through one engine,
+	// so the coldest source is dropped once the cap is reached — its
+	// structures are rebuilt on demand if that dataset returns.
+	maxDeltaSources = 32
 )
 
 // ColumnSource is the column-contiguous access the delta engine needs from
@@ -122,6 +130,7 @@ type DeltaEngine struct {
 	mu       sync.Mutex
 	maxBytes int64
 	bytes    int64
+	tick     int64 // source-recency clock (see source)
 	sources  map[string]*deltaSource
 	entries  map[string]*list.Element // of *knnEntry, LRU
 	lru      list.List
@@ -138,6 +147,7 @@ type deltaSource struct {
 	pairs   map[string]*sweepPair
 	fullKNN map[int]*knnEntry
 	finite  map[int]bool
+	lastUse int64 // tick of the most recent source() lookup
 }
 
 // finiteColumn reports (memoised per feature) whether the column holds only
@@ -351,10 +361,21 @@ func FlattenKNN(idx [][]int, dist [][]float64) ([]int32, []float64, int) {
 	return flatIdx, flatDist, m
 }
 
-// source returns (creating on demand) the per-dataset state. Caller holds mu.
+// source returns (creating on demand) the per-dataset state, evicting the
+// least-recently-used source past maxDeltaSources. Caller holds mu.
 func (e *DeltaEngine) source(key string) *deltaSource {
+	e.tick++
 	ds, ok := e.sources[key]
 	if !ok {
+		if len(e.sources) >= maxDeltaSources {
+			coldKey, coldUse := "", int64(1<<62)
+			for k, s := range e.sources {
+				if s.lastUse < coldUse {
+					coldKey, coldUse = k, s.lastUse
+				}
+			}
+			delete(e.sources, coldKey)
+		}
 		ds = &deltaSource{
 			dims:    make(map[int]*sortedDim),
 			ranges:  make(map[int]float64),
@@ -364,6 +385,7 @@ func (e *DeltaEngine) source(key string) *deltaSource {
 		}
 		e.sources[key] = ds
 	}
+	ds.lastUse = e.tick
 	return ds
 }
 

@@ -191,22 +191,24 @@ func TestDeltaLatticeTies(t *testing.T) {
 }
 
 // TestDeltaDetectorScoresBitIdentical closes the loop at the consumer
-// layer: LOF and kNN-dist with the engine wired in produce bitwise the same
-// score vectors as the plain index path, across a staged chain and worker
-// counts — the property the explainers' output invariance rests on.
+// layer: LOF with the shared plane wired in (whose compute path is the
+// delta engine) produces bitwise the same score vectors as the plain index
+// path, across a staged chain and worker counts — the property the
+// explainers' output invariance rests on.
 func TestDeltaDetectorScoresBitIdentical(t *testing.T) {
 	ds := deltaDataset(t, "scores", 300, 8, 6)
 	rng := rand.New(rand.NewSource(7))
-	eng := neighbors.NewDeltaEngine(0)
+	plane := neighbors.NewPlane(0)
 	ctx := context.Background()
 	for _, s := range randomChain(rng, ds.D(), 5) {
 		v := ds.View(s)
 		for _, workers := range []int{1, 4} {
 			plainLOF := detector.NewLOF(15)
 			plainLOF.Workers = workers
+			plainLOF.Neighbors = nil // private index path
 			deltaLOF := detector.NewLOF(15)
 			deltaLOF.Workers = workers
-			deltaLOF.Neighbors = eng
+			deltaLOF.SetNeighbors(plane)
 			want, err := plainLOF.Scores(ctx, v)
 			if err != nil {
 				t.Fatal(err)

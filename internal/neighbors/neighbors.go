@@ -54,10 +54,58 @@ func NewIndex(points [][]float64) Index {
 
 // AllKNN returns, for every indexed point, its k nearest neighbours and
 // their distances. This is the access pattern of LOF and FastABOD, which
-// need the complete neighbourhood structure.
+// need the complete neighbourhood structure. The serial loop routes through
+// the same flat-backing KNNInto/Scratch path as AllKNNParallel: the per-row
+// result slices are sub-slices of two shared arrays and each query reuses
+// one scratch, so the whole structure costs O(1) allocations (pinned by
+// TestAllKNNAllocs) instead of O(n) per-row slices.
 func AllKNN(ix Index, k int) (idx [][]int, dist [][]float64) {
 	idx, dist, _ = AllKNNParallel(context.Background(), ix, k, 1)
 	return idx, dist
+}
+
+// AllKNNFlat is the header-free variant of AllKNNParallel: the complete
+// neighbourhood structure is returned as two flat row-major n×m arrays
+// (m = min(k, n−1)) — point i's neighbours are idx[i*m : (i+1)*m] with
+// distances in the matching dist slots, ascending, index tie-broken. The
+// layout and values are bit-identical to the delta engine's AllKNN, so
+// consumers (the neighbourhood plane, detector hot loops) handle a single
+// shape on every path, and not even the per-row slice headers of
+// AllKNNParallel are allocated: three allocations total, whatever n is.
+func AllKNNFlat(ctx context.Context, ix Index, k, workers int) (idx []int32, dist []float64, m int, err error) {
+	n := ix.Len()
+	if n == 0 {
+		return nil, nil, 0, nil
+	}
+	checkK(k)
+	m = k
+	if m > n-1 {
+		m = n - 1
+	}
+	if m == 0 {
+		return nil, nil, 0, nil
+	}
+	idx = make([]int32, n*m)
+	dist = make([]float64, n*m)
+	sq, scratched := ix.(ScratchQuerier)
+	scratch := make([]Scratch, parallel.ShardCount(workers, n))
+	err = parallel.ForEachShard(ctx, workers, n, func(shard, i int) {
+		var qi []int
+		var qd []float64
+		if scratched {
+			qi, qd = sq.KNNInto(i, k, &scratch[shard])
+		} else {
+			qi, qd = ix.KNNOf(i, k)
+		}
+		for t, p := range qi {
+			idx[i*m+t] = int32(p)
+		}
+		copy(dist[i*m:(i+1)*m], qd)
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return idx, dist, m, nil
 }
 
 // AllKNNParallel is AllKNN with the independent per-point queries

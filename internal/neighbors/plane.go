@@ -1,0 +1,445 @@
+package neighbors
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"anex/internal/parallel"
+)
+
+// The shared neighbourhood plane deduplicates kNN work ACROSS detectors.
+// The paper's grids pair three kNN-based detectors (LOF k=15, FastABOD
+// k=10, kNN-dist k=10) with four explainers over the same datasets, and
+// every one of those pipelines queries identical subspace views — so the
+// same neighbourhood structure used to be computed up to three times per
+// grid (once per private engine) and once more per uncached view re-visit.
+// The plane computes each view's structure exactly once, process-wide:
+//
+//   - Queries are keyed by (dataset ID, subspace key): dataset IDs are
+//     process-unique (dataset.Dataset.ID), so one plane can serve every
+//     grid, session, and test in the process without name collisions.
+//   - The one computation runs at k = kmax, the maximum neighbourhood size
+//     across registered consumers (15 with the paper's detectors). Cheaper
+//     k are answered by PREFIX SLICING: the packed top-k entries are
+//     totally ordered by (distance bit pattern, index) on every path —
+//     the delta engine's insertion-sorted scratch and the standard path's
+//     bounded heap drain agree on this order — so the k-nearest list is a
+//     strict prefix of the kmax-nearest list, bit for bit. The contract is
+//     pinned by TestPlanePrefixSlicingProperty.
+//   - Concurrent misses on one key are deduplicated singleflight-style
+//     (one leader computes, waiters share the result), and resident
+//     entries live in a byte-budgeted LRU, mirroring detector.Cached.
+//
+// Computation itself delegates to the delta engine for the low-dimensional
+// views it accepts and falls back to the standard index path (KD-tree or
+// brute force, flat layout via AllKNNFlat) for everything else — which
+// means full-space and large views are cached across detectors too, a path
+// the per-detector engines never covered.
+
+// DefaultPlaneBytes bounds the shared plane's resident neighbourhood
+// entries. A grid cell's 2d sweep over a 100-feature dataset holds
+// C(100,2) = 4950 views; at n = 1000, kmax = 15 each entry costs ~180 KB,
+// so the default admits roughly 1.5 such sweeps before LRU eviction.
+const DefaultPlaneBytes = 256 << 20
+
+// planeEntryOverhead approximates the per-entry bookkeeping charge (map
+// cell, LRU element, struct and key headers).
+const planeEntryOverhead = 96
+
+// Plane is the process-wide shared neighbourhood cache. The zero value is
+// not usable; construct with NewPlane or use the package-wide Shared
+// instance. A nil *Plane is a valid "disabled" plane: AllKNN reports
+// ok=false and callers fall back to their private path.
+type Plane struct {
+	mu       sync.Mutex
+	kmax     int
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*list.Element // of *planeEntry, front = hottest
+	lru      list.List
+	inflight map[string]*planeCall
+	delta    *DeltaEngine
+	stats    PlaneStats
+}
+
+// planeEntry is one resident neighbourhood structure, computed at
+// neighbourhood size k (m = min(k, n−1) actual neighbours per point).
+type planeEntry struct {
+	key  string
+	k, m int
+	idx  []int32   // n×m row-major neighbour indices
+	dist []float64 // n×m Euclidean distances, ascending, index tie-broken
+}
+
+func (en *planeEntry) bytes() int64 {
+	return int64(len(en.idx))*4 + int64(len(en.dist))*8 + int64(len(en.key)) + planeEntryOverhead
+}
+
+// planeCall is one in-flight computation that concurrent queries of the
+// same key wait on.
+type planeCall struct {
+	done chan struct{}
+	ent  *planeEntry
+	err  error
+}
+
+// PlaneStats is a point-in-time snapshot of the plane's activity,
+// mirroring detector.CacheStats.
+type PlaneStats struct {
+	// Queries counts AllKNN calls the plane accepted; Hits of those were
+	// answered from a resident entry or by waiting on another caller's
+	// in-flight computation (no kNN work either way).
+	Queries, Hits int
+	// Computations counts actual kNN builds — the denominator of the
+	// dedup factor.
+	Computations int
+	// Upgrades counts entries recomputed because kmax rose after they
+	// were built (a consumer with a larger k registered late).
+	Upgrades int
+	// Evictions counts entries dropped to honour the byte budget.
+	Evictions int
+	// Entries is the number of resident neighbourhood structures.
+	Entries int
+	// ResidentBytes is the budget charge of the resident entries; it
+	// never exceeds MaxBytes.
+	ResidentBytes int64
+	// MaxBytes is the configured budget.
+	MaxBytes int64
+	// KMax is the neighbourhood size all computations run at.
+	KMax int
+	// Delta is the embedded delta engine's activity (the plane's compute
+	// path for low-dimensional views).
+	Delta DeltaStats
+}
+
+// DedupFactor reports how many queries each actual computation served:
+// queries ÷ computations. A factor of 1 means no sharing engaged; the
+// paper's three-detector grids sit well above 1.5. Zero computations
+// (nothing ever queried, or everything answered from cache warmed
+// elsewhere) reports the query count itself, or 1 for an idle plane.
+func (s PlaneStats) DedupFactor() float64 {
+	if s.Computations == 0 {
+		if s.Queries == 0 {
+			return 1
+		}
+		return float64(s.Queries)
+	}
+	return float64(s.Queries) / float64(s.Computations)
+}
+
+func (s PlaneStats) String() string {
+	return fmt.Sprintf("queries %d, hits %d, computations %d (dedup %.2f×), upgrades %d, evictions %d, resident %d/%d MiB in %d entries, kmax %d",
+		s.Queries, s.Hits, s.Computations, s.DedupFactor(), s.Upgrades, s.Evictions,
+		s.ResidentBytes>>20, s.MaxBytes>>20, s.Entries, s.KMax)
+}
+
+// NewPlane returns a plane whose resident entries are bounded by maxBytes
+// (≤ 0 → DefaultPlaneBytes). The plane owns a private delta engine sized
+// by the same order of budget for its partials.
+func NewPlane(maxBytes int64) *Plane {
+	if maxBytes <= 0 {
+		maxBytes = DefaultPlaneBytes
+	}
+	return &Plane{
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*planeCall),
+		delta:    NewDeltaEngine(0),
+	}
+}
+
+var (
+	sharedPlaneOnce sync.Once
+	sharedPlane     *Plane
+)
+
+// Shared returns the process-wide default plane, built lazily with the
+// default budget. The detector constructors wire it in by default, so
+// every detector in a process shares one neighbourhood cache unless
+// explicitly given its own (or nil, for the private fallback path).
+func Shared() *Plane {
+	sharedPlaneOnce.Do(func() { sharedPlane = NewPlane(0) })
+	return sharedPlane
+}
+
+// RegisterK declares a consumer's neighbourhood size. kmax only ever
+// grows; all subsequent computations run at the new maximum, and resident
+// entries computed at a smaller k are transparently recomputed on next
+// access (counted as Upgrades). Registering before the first query — the
+// detector constructors and grid wiring do — avoids those recomputes
+// entirely. Safe on a nil plane.
+func (p *Plane) RegisterK(k int) {
+	if p == nil || k < 1 {
+		return
+	}
+	p.mu.Lock()
+	if k > p.kmax {
+		p.kmax = k
+	}
+	p.mu.Unlock()
+}
+
+// KMax returns the current registered maximum neighbourhood size.
+func (p *Plane) KMax() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.kmax
+}
+
+// Stats returns the plane's activity counters.
+func (p *Plane) Stats() PlaneStats {
+	if p == nil {
+		return PlaneStats{}
+	}
+	p.mu.Lock()
+	s := p.stats
+	s.Entries = p.lru.Len()
+	s.ResidentBytes = p.bytes
+	s.MaxBytes = p.maxBytes
+	s.KMax = p.kmax
+	p.mu.Unlock()
+	s.Delta = p.delta.Stats()
+	return s
+}
+
+// Reset drops all resident entries and zeroes the counters (kmax and the
+// byte budget are kept). Computations in flight publish into the fresh
+// cache.
+func (p *Plane) Reset() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries = make(map[string]*list.Element)
+	p.lru.Init()
+	p.bytes = 0
+	p.stats = PlaneStats{}
+}
+
+// AllKNN answers the all-points k-nearest-neighbour query for the view
+// from the shared cache, computing it once (at kmax) on first access. The
+// returned arrays are row-major with row stride `stride` and m =
+// min(k, n−1) valid neighbours per row: point i's neighbours are
+// idx[i*stride : i*stride+m] with Euclidean distances in the matching dist
+// slots, ascending, index tie-broken — the first m entries of each
+// kmax-row, bit-identical to computing at k directly (the prefix-slicing
+// contract). The arrays are shared cache state and must not be mutated.
+//
+// ok reports whether the plane handled the query: false only on a nil
+// plane or a degenerate query (k < 1 or fewer than two points), in which
+// case the caller falls back to its private path. Errors are context
+// cancellation (or a failed inner computation) and mean the query must be
+// abandoned, not retried on the fallback path.
+func (p *Plane) AllKNN(ctx context.Context, src ColumnSource, k, workers int) (idx []int32, dist []float64, m, stride int, ok bool, err error) {
+	if p == nil {
+		return nil, nil, 0, 0, false, nil
+	}
+	n := src.N()
+	if k < 1 || n < 2 {
+		return nil, nil, 0, 0, false, nil
+	}
+	p.RegisterK(k)
+	key := src.SourceKey() + "|" + src.SubspaceKey()
+	for {
+		p.mu.Lock()
+		p.stats.Queries++
+		if el, hit := p.entries[key]; hit {
+			en := el.Value.(*planeEntry)
+			if en.k >= k || en.m >= n-1 {
+				p.stats.Hits++
+				p.lru.MoveToFront(el)
+				p.mu.Unlock()
+				return en.idx, en.dist, minInt(k, en.m), en.m, true, nil
+			}
+			// Computed before a larger consumer registered: rebuild at
+			// the current kmax.
+			p.stats.Upgrades++
+			p.removeLocked(el)
+		}
+		if call, inflight := p.inflight[key]; inflight {
+			p.mu.Unlock()
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, nil, 0, 0, true, ctx.Err()
+			}
+			if call.err != nil {
+				// A leader cancelled by ITS context must not fail waiters
+				// whose contexts are still live: retry, electing a new
+				// leader (detector.Cached semantics).
+				if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+					if cerr := ctx.Err(); cerr != nil {
+						return nil, nil, 0, 0, true, cerr
+					}
+					p.mu.Lock()
+					p.stats.Queries-- // the retry re-counts
+					p.mu.Unlock()
+					continue
+				}
+				return nil, nil, 0, 0, true, call.err
+			}
+			if en := call.ent; en.k >= k || en.m >= n-1 {
+				p.mu.Lock()
+				p.stats.Hits++
+				p.mu.Unlock()
+				return en.idx, en.dist, minInt(k, en.m), en.m, true, nil
+			}
+			// The leader ran at an older, smaller kmax; go around and
+			// recompute at the current one.
+			p.mu.Lock()
+			p.stats.Queries--
+			p.mu.Unlock()
+			continue
+		}
+		call := &planeCall{done: make(chan struct{})}
+		p.inflight[key] = call
+		kq := p.kmax // ≥ k: RegisterK above
+		p.mu.Unlock()
+		en, lerr := p.lead(ctx, src, key, kq, workers, call)
+		if lerr != nil {
+			return nil, nil, 0, 0, true, lerr
+		}
+		return en.idx, en.dist, minInt(k, en.m), en.m, true, nil
+	}
+}
+
+// lead runs the kNN computation as the key's singleflight leader and
+// publishes the outcome to waiters. A panicking computation releases the
+// waiters with an error while the panic continues up the leader's stack
+// (where the grid's cell isolation contains it).
+func (p *Plane) lead(ctx context.Context, src ColumnSource, key string, kq, workers int, call *planeCall) (en *planeEntry, err error) {
+	completed := false
+	defer func() {
+		if !completed {
+			call.err = fmt.Errorf("neighbors: concurrent plane computation for %q panicked in its leader", key)
+		}
+		p.mu.Lock()
+		if call.err == nil {
+			p.stats.Computations++
+			p.storeLocked(call.ent)
+		}
+		delete(p.inflight, key)
+		p.mu.Unlock()
+		close(call.done)
+	}()
+	en, err = p.compute(ctx, src, kq, workers)
+	if err != nil {
+		call.err = err
+	} else {
+		en.key = key
+		call.ent = en
+	}
+	completed = true
+	return en, err
+}
+
+// compute builds the flat neighbourhood structure at neighbourhood size
+// kq: through the delta engine for the low-dimensional views it accepts,
+// through the standard index (AllKNNFlat over NewIndex) otherwise. Both
+// paths produce bit-identical values in the same layout.
+func (p *Plane) compute(ctx context.Context, src ColumnSource, kq, workers int) (*planeEntry, error) {
+	idx, dist, m, ok, err := p.delta.AllKNN(ctx, src, kq, workers)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		ix := NewIndex(sourceRows(src))
+		idx, dist, m, err = AllKNNFlat(ctx, ix, kq, workers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &planeEntry{k: kq, m: m, idx: idx, dist: dist}, nil
+}
+
+// RowSource is the optional row-major access a ColumnSource may provide;
+// dataset.View does, and the plane's fallback path uses it so a view that
+// was (or will be) materialised anyway is not gathered twice.
+type RowSource interface {
+	Points() [][]float64
+}
+
+// sourceRows returns the source's row-major points, gathering them from
+// the columns (ascending feature order, one flat backing array — exactly
+// dataset.View's layout, so distances come out bit-identical) when the
+// source does not expose rows itself.
+func sourceRows(src ColumnSource) [][]float64 {
+	if rs, ok := src.(RowSource); ok {
+		return rs.Points()
+	}
+	n, d := src.N(), src.Dim()
+	flat := make([]float64, n*d)
+	rows := make([][]float64, n)
+	for j := 0; j < d; j++ {
+		col := src.Column(j)
+		for i := 0; i < n; i++ {
+			flat[i*d+j] = col[i]
+		}
+	}
+	for i := range rows {
+		rows[i] = flat[i*d : (i+1)*d : (i+1)*d]
+	}
+	return rows
+}
+
+// Warm precomputes entries for the given views at the current kmax — the
+// grid's prefetch pass. Views already resident cost a cache hit; failures
+// other than context cancellation are swallowed (a cold entry just gets
+// computed later, by whichever cell needs it). No-op on a nil plane or
+// before any consumer registered a k.
+func (p *Plane) Warm(ctx context.Context, srcs []ColumnSource, workers int) error {
+	if p == nil || len(srcs) == 0 {
+		return nil
+	}
+	k := p.KMax()
+	if k < 1 {
+		return nil
+	}
+	return parallel.ForEach(ctx, workers, len(srcs), func(i int) {
+		// Serial inside: the fan-out is across views.
+		_, _, _, _, _, _ = p.AllKNN(ctx, srcs[i], k, 1)
+	})
+}
+
+// storeLocked publishes a freshly computed entry and evicts cold entries
+// past the byte budget. Caller holds p.mu.
+func (p *Plane) storeLocked(en *planeEntry) {
+	if el, ok := p.entries[en.key]; ok {
+		// A concurrent leader (possible across an upgrade race) already
+		// republished: keep the resident entry if it is at least as deep.
+		if el.Value.(*planeEntry).k >= en.k {
+			p.lru.MoveToFront(el)
+			return
+		}
+		p.removeLocked(el)
+	}
+	p.bytes += en.bytes()
+	p.entries[en.key] = p.lru.PushFront(en)
+	for p.bytes > p.maxBytes && p.lru.Len() > 1 {
+		cold := p.lru.Back()
+		p.removeLocked(cold)
+		p.stats.Evictions++
+	}
+}
+
+// removeLocked drops one resident entry. Caller holds p.mu.
+func (p *Plane) removeLocked(el *list.Element) {
+	en := el.Value.(*planeEntry)
+	p.lru.Remove(el)
+	delete(p.entries, en.key)
+	p.bytes -= en.bytes()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -203,7 +203,10 @@ func stripTimings(results []Result) []Result {
 func TestRunGridJournalResumeByteIdentical(t *testing.T) {
 	ds, gt := testbed(t, 43)
 	path := filepath.Join(t.TempDir(), "grid.journal")
-	base := GridSpec{Dataset: ds, GroundTruth: gt, Dims: []int{2}, Workers: 1}
+	// NoSched pins FIFO dispatch: the interruption scenario below depends on
+	// cells 0–1 finishing before cell 2 cancels the grid, which cost-aware
+	// dispatch would reorder (the interrupting stub has no cost prior).
+	base := GridSpec{Dataset: ds, GroundTruth: gt, Dims: []int{2}, Workers: 1, NoSched: true}
 
 	// Reference: one uninterrupted run, no journal.
 	ref := base

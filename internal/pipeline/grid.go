@@ -9,6 +9,8 @@ import (
 
 	"anex/internal/dataset"
 	"anex/internal/detector"
+	"anex/internal/explain"
+	"anex/internal/neighbors"
 	"anex/internal/parallel"
 )
 
@@ -31,8 +33,28 @@ type GridSpec struct {
 	// Detectors overrides the paper's three detectors (useful for
 	// custom detectors or reduced hyper-parameters); nil selects them.
 	// The Cached flag is not applied to overridden detectors — wrap them
-	// with detector.NewCached as needed.
+	// with detector.NewCached as needed. The Plane field is likewise not
+	// applied to overridden detectors: inject one via SetNeighbors before
+	// handing them over.
 	Detectors []NamedDetector
+	// Plane, when non-nil, is the shared neighbourhood cache wired into
+	// every factory-built kNN detector (via SetNeighbors), giving the grid
+	// its own isolated cache; nil keeps the constructors' default, the
+	// process-wide neighbors.Shared() plane. Either way all cells of the
+	// grid share ONE plane, so each (subspace, dataset) neighbourhood is
+	// computed once per grid, not once per detector per cell.
+	Plane *neighbors.Plane
+	// NoSched disables cost-aware dispatch: cells are handed to workers in
+	// their deterministic (dimension, detector, explainer) order instead of
+	// longest-estimated-first. Results are byte-identical either way —
+	// scheduling only affects wall-clock packing.
+	NoSched bool
+	// Prefetch warms the plane (Plane, or the shared default) with the
+	// dataset's 1d and 2d subspace neighbourhoods before any cell starts,
+	// so the sweeps every explainer's candidate enumeration hammers are
+	// resident up front. Only useful when the grid's detectors actually
+	// query that plane.
+	Prefetch bool
 	// PointPipelines and SummaryPipelines, when either is non-nil,
 	// replace the factory-built pipelines entirely: the grid runs exactly
 	// the given pipelines per dimension, and Detectors/Options-driven
@@ -156,15 +178,23 @@ func RunGrid(ctx context.Context, spec GridSpec) ([]Result, error) {
 		return res
 	}
 
+	if spec.Prefetch && len(pending) > 0 {
+		warmNeighborhoods(ctx, spec.Plane, spec.Dataset, budget)
+	}
+
 	done := ctx.Done()
-	jobs := make(chan gridCell)
+	sched := newCellScheduler(pending, !spec.NoSched)
 	var wg sync.WaitGroup
 	var resMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for c := range jobs {
+			for {
+				c, ok := sched.next()
+				if !ok {
+					return
+				}
 				var res Result
 				cancelled := false
 				if done != nil {
@@ -183,7 +213,9 @@ func RunGrid(ctx context.Context, spec GridSpec) ([]Result, error) {
 						Err:       ctx.Err(),
 					}
 				} else {
+					start := time.Now()
 					res = runCell(c)
+					sched.observe(c, time.Since(start))
 				}
 				resMu.Lock()
 				results[c.order] = res
@@ -192,10 +224,6 @@ func RunGrid(ctx context.Context, spec GridSpec) ([]Result, error) {
 			}
 		}()
 	}
-	for _, c := range pending {
-		jobs <- c
-	}
-	close(jobs)
 	wg.Wait()
 
 	// Defensive: every cell must carry a result (journaled, computed, or
@@ -278,6 +306,15 @@ func buildCells(spec GridSpec, inner int) []gridCell {
 	dets := spec.Detectors
 	if dets == nil {
 		dets = NewDetectors(spec.Seed, false)
+		if spec.Plane != nil {
+			// Inject before the cache wrap: the setter lives on the
+			// underlying kNN detectors.
+			for _, d := range dets {
+				if ns, ok := d.Detector.(neighborsSetter); ok {
+					ns.SetNeighbors(spec.Plane)
+				}
+			}
+		}
 		if spec.Cached {
 			for i := range dets {
 				dets[i].Detector = detector.NewCachedBudget(dets[i].Detector, spec.Options.CacheBytes)
@@ -313,6 +350,36 @@ func buildCells(spec GridSpec, inner int) []gridCell {
 		}
 	}
 	return cells
+}
+
+// neighborsSetter is the plane-injection hook the kNN detectors (LOF,
+// FastABOD, KNNDist) implement; GridSpec.Plane reaches factory-built
+// detectors through it.
+type neighborsSetter interface {
+	SetNeighbors(p *neighbors.Plane)
+}
+
+// warmNeighborhoods is the grid's prefetch pass: it precomputes the plane's
+// neighbourhood entries for every 1d and 2d subspace of the dataset — the
+// sweeps Beam's stage 1, LookOut's pair enumeration, and the delta engine's
+// prefix chains all start from — so cells begin against a hot cache. A nil
+// plane resolves to the process-wide shared one (what the factory-built
+// detectors query); planes with no registered consumer are left alone.
+// Cancellation just cuts the pass short — the cells carry the ctx error.
+func warmNeighborhoods(ctx context.Context, plane *neighbors.Plane, ds *dataset.Dataset, workers int) {
+	if plane == nil {
+		plane = neighbors.Shared()
+	}
+	if plane.KMax() < 1 {
+		return
+	}
+	var srcs []neighbors.ColumnSource
+	for dim := 1; dim <= 2; dim++ {
+		for _, s := range explain.StageCandidates(ds.D(), dim) {
+			srcs = append(srcs, ds.View(s))
+		}
+	}
+	_ = plane.Warm(ctx, srcs, workers)
 }
 
 // isContextErr reports whether err is (or wraps) a context cancellation or

@@ -1,0 +1,133 @@
+package pipeline
+
+import (
+	"sync"
+	"time"
+)
+
+// Cost-aware cell scheduling. A grid's cells have wildly unequal runtimes
+// (BENCH_4: a RefOut cell costs ~5× a Beam cell on the same detector), so
+// FIFO dispatch routinely strands one worker on a huge cell it picked up
+// last while the others sit idle — the classic makespan pathology. Greedy
+// longest-estimated-first dispatch (LPT list scheduling) avoids it: each
+// free worker takes the most expensive pending cell, so the big rocks are
+// placed first and the small cells pack around them.
+//
+// Estimates start from static priors per explainer, detector, and target
+// dimensionality (calibrated against results/BENCH_4.json) and are refined
+// online: each completed cell's wall time is folded into an EWMA of the
+// "seconds per static cost unit" of its explainer, so the second half of a
+// grid is scheduled with observed costs, not guesses. Only DISPATCH ORDER
+// depends on the estimates — every cell writes its own results[order] slot
+// and all shared state (score caches, the neighbourhood plane) is
+// value-deterministic, so grid output is byte-identical with scheduling on
+// or off, at any worker count (TestGridSchedulerInvariance).
+
+// explainerPrior is the relative base cost of one cell of the explainer,
+// in Beam-cell units (BENCH_4, Figure 9 workload: RefOut ≈ 5× Beam_FX;
+// HiCS's Monte-Carlo contrast sits in between; LookOut's submodular sweep
+// is Beam-like).
+func explainerPrior(name string) float64 {
+	switch name {
+	case "RefOut":
+		return 5
+	case "HiCS_FX", "HiCS":
+		return 3
+	case "Beam_FX", "Beam", "LookOut":
+		return 1
+	}
+	return 2 // unknown explainers: mid-range guess until observed
+}
+
+// detectorPrior scales for the scoring cost of the detector driving the
+// cell (BENCH_4, 1000×3: FastABOD ≈ 1.3× LOF, kNN-dist ≈ 0.8×).
+func detectorPrior(name string) float64 {
+	switch name {
+	case "FastABOD":
+		return 1.3
+	case "kNN-dist":
+		return 0.8
+	}
+	return 1
+}
+
+// dimPrior scales for the target dimensionality: the staged explainers run
+// roughly one candidate sweep per added feature beyond the 2d base.
+func dimPrior(dim int) float64 {
+	if dim < 2 {
+		dim = 2
+	}
+	return float64(dim) / 2
+}
+
+func staticCost(c gridCell) float64 {
+	return explainerPrior(c.explainer) * detectorPrior(c.detector) * dimPrior(c.dim)
+}
+
+// cellScheduler hands pending cells to free workers. With byCost set it
+// dispatches longest-estimated-first; otherwise it preserves the cells'
+// deterministic (dimension, detector, explainer) order, which is exactly
+// the old FIFO channel behaviour.
+type cellScheduler struct {
+	mu      sync.Mutex
+	pending []gridCell
+	byCost  bool
+	// units holds, per explainer, an EWMA of observed seconds per static
+	// cost unit. Missing entries fall back to the pure prior.
+	units map[string]float64
+}
+
+func newCellScheduler(pending []gridCell, byCost bool) *cellScheduler {
+	return &cellScheduler{pending: pending, byCost: byCost, units: make(map[string]float64)}
+}
+
+// next pops the next cell to dispatch; ok=false when the grid is drained.
+// Under cost-aware dispatch ties keep the lowest order, so the dispatch
+// sequence itself is deterministic for a fixed estimate state.
+func (s *cellScheduler) next() (c gridCell, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) == 0 {
+		return gridCell{}, false
+	}
+	best := 0
+	if s.byCost {
+		bestCost := s.estimateLocked(s.pending[0])
+		for i := 1; i < len(s.pending); i++ {
+			if est := s.estimateLocked(s.pending[i]); est > bestCost {
+				best, bestCost = i, est
+			}
+		}
+	}
+	c = s.pending[best]
+	s.pending = append(s.pending[:best], s.pending[best+1:]...)
+	return c, true
+}
+
+func (s *cellScheduler) estimateLocked(c gridCell) float64 {
+	est := staticCost(c)
+	if unit, ok := s.units[c.explainer]; ok {
+		est *= unit
+	}
+	return est
+}
+
+// ewmaAlpha weights the newest observation; 0.4 adapts within 2–3 cells
+// while smoothing over cache-warmth noise between the first and later
+// cells of an explainer.
+const ewmaAlpha = 0.4
+
+// observe folds a completed cell's wall time back into the estimates.
+func (s *cellScheduler) observe(c gridCell, elapsed time.Duration) {
+	if !s.byCost {
+		return
+	}
+	unit := elapsed.Seconds() / staticCost(c)
+	s.mu.Lock()
+	if prev, ok := s.units[c.explainer]; ok {
+		s.units[c.explainer] = (1-ewmaAlpha)*prev + ewmaAlpha*unit
+	} else {
+		s.units[c.explainer] = unit
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,66 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+)
+
+func schedCells() []gridCell {
+	return []gridCell{
+		{order: 0, detector: "LOF", explainer: "Beam_FX", dim: 2},
+		{order: 1, detector: "LOF", explainer: "RefOut", dim: 2},
+		{order: 2, detector: "FastABOD", explainer: "Beam_FX", dim: 2},
+		{order: 3, detector: "FastABOD", explainer: "RefOut", dim: 2},
+		{order: 4, detector: "LOF", explainer: "Beam_FX", dim: 4},
+	}
+}
+
+// TestCellSchedulerLongestFirst: cost-aware dispatch pops by descending
+// static estimate — RefOut cells (5× prior) before Beam cells, the pricier
+// detector and deeper dimensionality first within each explainer.
+func TestCellSchedulerLongestFirst(t *testing.T) {
+	s := newCellScheduler(schedCells(), true)
+	want := []int{3, 1, 4, 2, 0} // FastABOD/RefOut, LOF/RefOut, 4d Beam, FastABOD/Beam, LOF/Beam
+	for i, w := range want {
+		c, ok := s.next()
+		if !ok {
+			t.Fatalf("drained after %d cells, want %d", i, len(want))
+		}
+		if c.order != w {
+			t.Fatalf("pop %d: order=%d, want %d", i, c.order, w)
+		}
+	}
+	if _, ok := s.next(); ok {
+		t.Fatal("scheduler not drained")
+	}
+}
+
+// TestCellSchedulerFIFO: with cost-aware dispatch off the original
+// deterministic order is preserved exactly.
+func TestCellSchedulerFIFO(t *testing.T) {
+	s := newCellScheduler(schedCells(), false)
+	for i := 0; i < 5; i++ {
+		c, ok := s.next()
+		if !ok || c.order != i {
+			t.Fatalf("pop %d: order=%d ok=%v, want FIFO", i, c.order, ok)
+		}
+	}
+}
+
+// TestCellSchedulerEWMARefinement: observed wall times override the static
+// priors — an explainer that proves 100× more expensive than its prior
+// jumps the queue.
+func TestCellSchedulerEWMARefinement(t *testing.T) {
+	cells := []gridCell{
+		{order: 0, detector: "LOF", explainer: "RefOut", dim: 2},  // prior 5
+		{order: 1, detector: "LOF", explainer: "LookOut", dim: 2}, // prior 1
+	}
+	s := newCellScheduler(cells, true)
+	// LookOut was observed to take 100 s per unit; RefOut 0.01 s per unit.
+	s.observe(gridCell{detector: "LOF", explainer: "LookOut", dim: 2}, 100*time.Second)
+	s.observe(gridCell{detector: "LOF", explainer: "RefOut", dim: 2}, 50*time.Millisecond)
+	c, _ := s.next()
+	if c.explainer != "LookOut" {
+		t.Fatalf("popped %s first, want the observed-expensive LookOut", c.explainer)
+	}
+}
