@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test build vet bench profile
+.PHONY: check test build vet bench profile anexd smoke-anexd
 
 # Tier-1 gate: vet + build + race-detected tests (scripts/check.sh).
 check:
@@ -22,6 +22,16 @@ profile:
 	$(GO) build -o anexbench.profile.bin ./cmd/anexbench
 	./anexbench.profile.bin -scale small -exp figure9 -quiet -cpuprofile cpu.out -memprofile mem.out
 	rm -f anexbench.profile.bin
+
+# Build the explanation server binary.
+anexd:
+	$(GO) build -o anexd.bin ./cmd/anexd
+
+# The anexd service smoke on its own (also part of `make check`): register,
+# concurrent explains, 429 under saturation, clean SIGTERM drain — all
+# under the race detector.
+smoke-anexd:
+	$(GO) test -race -count=1 -run 'TestAnexd' ./cmd/anexd
 
 # Worker-scaling benchmarks for the parallel inner loops.
 bench:

@@ -48,6 +48,7 @@ import (
 	"anex/internal/parallel"
 	"anex/internal/pipeline"
 	"anex/internal/plot"
+	"anex/internal/server"
 	"anex/internal/stream"
 	"anex/internal/subspace"
 	"anex/internal/summarize"
@@ -213,6 +214,10 @@ func NewKNNDist(k int) *KNNDist { return detector.NewKNNDist(k) }
 
 // NewStreamMonitor builds a sliding-window detection + explanation monitor.
 func NewStreamMonitor(cfg StreamConfig) (*StreamMonitor, error) { return stream.NewMonitor(cfg) }
+
+// StreamThreshold returns a pointer to z for StreamConfig.ZThreshold,
+// distinguishing a deliberate zero threshold from "unset, use the default".
+func StreamThreshold(z float64) *float64 { return stream.Threshold(z) }
 
 // CachedDetector wraps a detector with a per-subspace score memo, sound
 // whenever the detector is deterministic per subspace (all three built-in
@@ -417,6 +422,27 @@ func NewNeighborhoodPlane(maxBytes int64) *NeighborhoodPlane {
 // SharedNeighborhoodPlane returns the process-wide default plane that
 // detector constructors wire in.
 func SharedNeighborhoodPlane() *NeighborhoodPlane { return neighbors.Shared() }
+
+// Explanation as a service (the anexd server's core, usable in-process).
+type (
+	// ExplainEngine is the long-lived explanation core behind the anexd
+	// HTTP server and the anexplain CLI: a multi-tenant dataset registry
+	// whose shared neighbourhood plane and per-dataset score memos persist
+	// across requests, so repeated explanations cost cache lookups instead
+	// of detector work.
+	ExplainEngine = server.Engine
+	// ExplainEngineConfig sizes an ExplainEngine.
+	ExplainEngineConfig = server.EngineConfig
+	// ExplainRequest asks an engine to explain points of a registered
+	// dataset; zero-valued knobs select the anexplain CLI defaults.
+	ExplainRequest = server.ExplainRequest
+	// ExplainResponse is an engine's ranked answer.
+	ExplainResponse = server.ExplainResponse
+)
+
+// NewExplainEngine builds an explanation engine with its own private
+// neighbourhood plane and score-memo budgets.
+func NewExplainEngine(cfg ExplainEngineConfig) *ExplainEngine { return server.NewEngine(cfg) }
 
 // ExplainOutliers runs the explainer on every outlier the ground truth
 // explains at targetDim and evaluates MAP/recall against it.

@@ -16,18 +16,16 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"syscall"
 
+	"anex/internal/clix"
 	"anex/internal/experiments"
 	"anex/internal/pipeline"
 	"anex/internal/synth"
@@ -54,30 +52,25 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// anexbench keeps the raw clix primitives instead of clix.Main: profiles
+	// must flush on every exit path (os.Exit skips defers) and the resume
+	// hint belongs after the "interrupted" line.
+	ctx, stop := clix.Context()
 	defer stop()
 
 	stopProfiles, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "anexbench:", err)
-		os.Exit(1)
+		os.Exit(clix.Report("anexbench", err))
 	}
 
 	err = run(ctx, *scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric, *workers, *cacheMB, *planeMB, *stats)
-	// Profiles must be flushed on every exit path — os.Exit skips defers —
-	// and an interrupted run still yields a usable CPU profile.
+	// An interrupted run still yields a usable CPU profile.
 	stopProfiles()
-	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "anexbench: interrupted")
-		if *journal != "" {
-			fmt.Fprintf(os.Stderr, "re-run the same command to resume from %s\n", *journal)
-		}
-		os.Exit(130)
+	code := clix.Report("anexbench", err)
+	if code == 130 && *journal != "" {
+		fmt.Fprintf(os.Stderr, "re-run the same command to resume from %s\n", *journal)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "anexbench:", err)
-		os.Exit(1)
-	}
+	os.Exit(code)
 }
 
 // startProfiles begins CPU profiling and arranges a heap snapshot, returning

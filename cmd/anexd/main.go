@@ -1,0 +1,127 @@
+// Command anexd serves explanations over HTTP/JSON: a long-lived process
+// that keeps the shared neighbourhood plane and per-dataset score memos
+// warm across requests, so repeated explanations of a registered dataset
+// cost cache lookups instead of detector work.
+//
+// Usage:
+//
+//	anexd [-addr :8347] [-max-inflight N] [-rate R] [-burst B]
+//	      [-plane-mb 256] [-cache-mb 256] [-workers N] [-grace 15s]
+//
+// Endpoints:
+//
+//	POST /v1/datasets  register a CSV payload under a name
+//	POST /v1/explain   explain points (same knobs and output as anexplain)
+//	GET  /v1/stats     cache reuse, admission and latency counters
+//	GET  /healthz      liveness
+//
+// SIGINT/SIGTERM drain in-flight requests and exit 0 (a clean shutdown);
+// requests still running after -grace are hard-cancelled and the exit is
+// non-zero. Saturation (past -max-inflight or -rate) answers 429 with a
+// Retry-After header instead of queueing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"anex/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8347", "listen address (host:port; :0 picks a free port)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently served explanation requests (0 = the worker budget)")
+		rate        = flag.Float64("rate", 0, "admitted POST requests per second, token bucket (0 = unlimited)")
+		burst       = flag.Int("burst", 0, "token-bucket capacity (0 = ceil(rate))")
+		planeMB     = flag.Int("plane-mb", 0, "byte budget (MiB) of the shared neighbourhood plane (0 = default 256)")
+		cacheMB     = flag.Int("cache-mb", 0, "byte budget (MiB) of each dataset's per-detector score memo (0 = default 256)")
+		workers     = flag.Int("workers", 0, "scoring workers per request (0 = GOMAXPROCS); results are identical at any count")
+		grace       = flag.Duration("grace", 15*time.Second, "shutdown drain deadline before in-flight requests are hard-cancelled")
+	)
+	flag.Parse()
+
+	// Unlike the one-shot CLIs (internal/clix: interrupt → exit 130), a
+	// signal to the daemon means "drain and exit cleanly".
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, options{
+		addr:        *addr,
+		maxInflight: *maxInflight,
+		rate:        *rate,
+		burst:       *burst,
+		planeMB:     *planeMB,
+		cacheMB:     *cacheMB,
+		workers:     *workers,
+		grace:       *grace,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "anexd:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr        string
+	maxInflight int
+	rate        float64
+	burst       int
+	planeMB     int
+	cacheMB     int
+	workers     int
+	grace       time.Duration
+	// ready, when non-nil, receives the bound address once the listener is
+	// up (the test seam for -addr :0).
+	ready chan<- string
+}
+
+func run(ctx context.Context, opts options) error {
+	eng := server.NewEngine(server.EngineConfig{
+		Workers:    opts.workers,
+		CacheBytes: int64(opts.cacheMB) << 20,
+		PlaneBytes: int64(opts.planeMB) << 20,
+	})
+	srv := server.New(eng, server.Config{
+		MaxInflight: opts.maxInflight,
+		Rate:        opts.rate,
+		Burst:       opts.burst,
+	})
+
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "anexd: listening on %s\n", ln.Addr())
+	if opts.ready != nil {
+		opts.ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish, exit
+	// clean. Past the grace deadline the remaining connections are
+	// hard-closed and the exit reports the incomplete drain.
+	fmt.Fprintln(os.Stderr, "anexd: draining in-flight requests")
+	drainCtx, cancel := context.WithTimeout(context.Background(), opts.grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("drain incomplete after %s: %w", opts.grace, err)
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"anex/internal/server"
+)
+
+// testCSV builds the quickstart geometry (coupled pair + noise dims) with
+// an anomaly at index 0, as CSV text.
+func testCSV(n, noiseDims int) string {
+	rng := rand.New(rand.NewSource(1))
+	var b strings.Builder
+	b.WriteString("a,b")
+	for f := 0; f < noiseDims; f++ {
+		fmt.Fprintf(&b, ",n%d", f)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		base := 0.25
+		if rng.Intn(2) == 1 {
+			base = 0.75
+		}
+		x, y := base+rng.NormFloat64()*0.03, base+rng.NormFloat64()*0.03
+		if i == 0 {
+			x, y = 0.25, 0.75
+		}
+		fmt.Fprintf(&b, "%.6f,%.6f", x, y)
+		for f := 0; f < noiseDims; f++ {
+			fmt.Fprintf(&b, ",%.6f", rng.Float64())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// startAnexd runs the daemon on a free port and returns its base URL, a
+// channel carrying run's error, and the cancel that triggers shutdown.
+func startAnexd(t *testing.T, opts options) (string, <-chan error, context.CancelFunc) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	opts.addr = "127.0.0.1:0"
+	opts.ready = ready
+	if opts.grace == 0 {
+		opts.grace = 30 * time.Second
+	}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, opts) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, done, cancel
+	case err := <-done:
+		cancel()
+		t.Fatalf("anexd exited before listening: %v", err)
+		return "", nil, nil
+	}
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getStats(t *testing.T, base string) server.StatsResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func register(t *testing.T, base, name, csv string) {
+	t.Helper()
+	resp, body := postJSON(t, base+"/v1/datasets", server.RegisterRequest{Name: name, CSV: csv, Header: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestAnexdWarmPathReuse is the headline assertion: the second identical
+// explanation must be answered from the shared plane and the score memo —
+// dedup factor above 1, zero new kNN computations — and byte-identically.
+func TestAnexdWarmPathReuse(t *testing.T) {
+	base, done, cancel := startAnexd(t, options{})
+	defer func() { cancel(); <-done }()
+
+	register(t, base, "quickstart", testCSV(150, 2))
+	req := server.ExplainRequest{Dataset: "quickstart", Points: []int{0}}
+	resp1, body1 := postJSON(t, base+"/v1/explain", req)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold explain: %d %s", resp1.StatusCode, body1)
+	}
+	cold := getStats(t, base)
+
+	resp2, body2 := postJSON(t, base+"/v1/explain", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm explain: %d %s", resp2.StatusCode, body2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("warm response differs from cold:\ncold: %s\nwarm: %s", body1, body2)
+	}
+	warm := getStats(t, base)
+	if warm.DedupFactor <= 1 {
+		t.Errorf("dedup factor = %.2f after repeat request, want > 1", warm.DedupFactor)
+	}
+	if warm.Plane.Computations != cold.Plane.Computations {
+		t.Errorf("warm request computed %d new kNN structures, want 0",
+			warm.Plane.Computations-cold.Plane.Computations)
+	}
+	if warm.ScoreMemoHits <= cold.ScoreMemoHits {
+		t.Errorf("score memo hits %d → %d, want an increase on the warm request",
+			cold.ScoreMemoHits, warm.ScoreMemoHits)
+	}
+	if warm.Datasets != 1 {
+		t.Errorf("stats report %d datasets, want 1", warm.Datasets)
+	}
+	ep := warm.Endpoints["POST /v1/explain"]
+	if ep.Count != 2 || ep.Errors != 0 {
+		t.Errorf("explain endpoint counters = %+v, want Count 2 Errors 0", ep)
+	}
+}
+
+// TestAnexdSaturation429 pins load shedding: with a one-token bucket, the
+// immediate second request is rejected with 429 and a Retry-After hint.
+func TestAnexdSaturation429(t *testing.T) {
+	base, done, cancel := startAnexd(t, options{rate: 0.5, burst: 1})
+	defer func() { cancel(); <-done }()
+
+	register(t, base, "d", testCSV(60, 1))
+	// Registration consumed the bucket's only token; the explain that
+	// follows within the refill window must be shed.
+	resp, body := postJSON(t, base+"/v1/explain", server.ExplainRequest{Dataset: "d", Points: []int{0}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated explain: %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 carries no Retry-After header")
+	}
+	if n := getStats(t, base).Admission.Rejected429; n == 0 {
+		t.Error("stats report zero rejected requests after a 429")
+	}
+}
+
+// TestAnexdConcurrentExplains hammers the gated path under -race: all
+// requests either succeed or are shed with 429, nothing hangs or corrupts.
+func TestAnexdConcurrentExplains(t *testing.T) {
+	base, done, cancel := startAnexd(t, options{maxInflight: 2})
+	defer func() { cancel(); <-done }()
+
+	register(t, base, "d", testCSV(150, 2))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	codes := map[int]int{}
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			resp, _ := postJSON(t, base+"/v1/explain", server.ExplainRequest{Dataset: "d", Points: []int{p % 5}})
+			mu.Lock()
+			codes[resp.StatusCode]++
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if codes[http.StatusOK] == 0 {
+		t.Fatalf("no request succeeded: %v", codes)
+	}
+	for code := range codes {
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			t.Errorf("unexpected status %d: %v", code, codes)
+		}
+	}
+}
+
+// TestAnexdGracefulDrainSIGTERM exercises the real signal path: SIGTERM
+// while a request is in flight must drain it (the client sees 200) and
+// run must return nil — the clean exit-0 shutdown.
+func TestAnexdGracefulDrainSIGTERM(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, options{addr: "127.0.0.1:0", maxInflight: 4, grace: 30 * time.Second, ready: ready})
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("anexd exited before listening: %v", err)
+	}
+
+	// A deliberately heavy request so it is still running when the signal
+	// lands (refout over a wider dataset).
+	register(t, base, "slow", testCSV(500, 6))
+	type result struct {
+		code int
+		body []byte
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, body := postJSON(t, base+"/v1/explain", server.ExplainRequest{
+			Dataset: "slow", Points: []int{0, 1, 2}, Algo: "refout", Dim: 2,
+		})
+		resc <- result{resp.StatusCode, body}
+	}()
+
+	// Wait until the request is admitted, then deliver the real signal.
+	deadline := time.Now().Add(10 * time.Second)
+	for getStats(t, base).Admission.Inflight == 0 {
+		if time.Now().After(deadline) {
+			t.Log("request never observed in flight; signalling anyway")
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-resc
+	if res.code != http.StatusOK {
+		t.Errorf("in-flight request during drain: %d %s, want 200", res.code, res.body)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("run returned %v after SIGTERM, want nil (clean drain)", err)
+	}
+}
+
+// TestAnexdHealthzAndErrors covers the small contract corners: liveness,
+// unknown dataset 404, malformed body 400.
+func TestAnexdHealthzAndErrors(t *testing.T) {
+	base, done, cancel := startAnexd(t, options{})
+	defer func() { cancel(); <-done }()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d, want 200", resp.StatusCode)
+	}
+
+	resp2, body := postJSON(t, base+"/v1/explain", server.ExplainRequest{Dataset: "nope", Points: []int{0}})
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown dataset: %d %s, want 404", resp2.StatusCode, body)
+	}
+
+	resp3, err := http.Post(base+"/v1/explain", "application/json", strings.NewReader(`{"bogus": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", resp3.StatusCode)
+	}
+}

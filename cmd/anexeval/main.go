@@ -18,17 +18,15 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
 	"anex"
+	"anex/internal/clix"
 )
 
 func main() {
@@ -47,18 +45,9 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	err := run(ctx, *dataPath, *gtPath, *dims, *seed, *workers, *topK, *cacheMB, *planeMB, *noSched, *journalPath, *cellTimeout)
-	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "anexeval: interrupted")
-		os.Exit(130)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "anexeval:", err)
-		os.Exit(1)
-	}
+	clix.Main("anexeval", func(ctx context.Context) error {
+		return run(ctx, *dataPath, *gtPath, *dims, *seed, *workers, *topK, *cacheMB, *planeMB, *noSched, *journalPath, *cellTimeout)
+	})
 }
 
 func run(ctx context.Context, dataPath, gtPath, dimsArg string, seed int64, workers, topK, cacheMB, planeMB int, noSched bool, journalPath string, cellTimeout time.Duration) error {

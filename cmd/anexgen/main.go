@@ -15,14 +15,12 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
-	"syscall"
 
+	"anex/internal/clix"
 	"anex/internal/dataset"
 	"anex/internal/detector"
 	"anex/internal/subspace"
@@ -39,18 +37,9 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	err := run(ctx, *scaleFlag, *seed, *outDir, *family, *derive)
-	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "anexgen: interrupted")
-		os.Exit(130)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "anexgen:", err)
-		os.Exit(1)
-	}
+	clix.Main("anexgen", func(ctx context.Context) error {
+		return run(ctx, *scaleFlag, *seed, *outDir, *family, *derive)
+	})
 }
 
 func run(ctx context.Context, scaleFlag string, seed int64, outDir, family string, derive bool) error {

@@ -11,20 +11,26 @@
 // Point algorithms (beam, refout) explain each point individually; summary
 // algorithms (lookout, hics) produce one ranked list jointly covering all
 // the points.
+//
+// anexplain is a thin client of the same explanation engine that powers
+// the anexd server: it registers the CSV, runs one ExplainRequest, and
+// prints the response — so its output is identical, subspace for subspace
+// and byte for byte, to what a POST /v1/explain with the same knobs
+// returns.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
-	"syscall"
 
 	"anex"
+	"anex/internal/clix"
+	"anex/internal/server"
+	"anex/internal/subspace"
 )
 
 func main() {
@@ -41,18 +47,9 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	err := run(ctx, *dataPath, *points, *algo, *detName, *dim, *top, *seed, *plot, *workers)
-	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "anexplain: interrupted")
-		os.Exit(130)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "anexplain:", err)
-		os.Exit(1)
-	}
+	clix.Main("anexplain", func(ctx context.Context) error {
+		return run(ctx, *dataPath, *points, *algo, *detName, *dim, *top, *seed, *plot, *workers)
+	})
 }
 
 func run(ctx context.Context, dataPath, pointsArg, algo, detName string, dim, top int, seed int64, plotTop bool, workers int) error {
@@ -62,7 +59,7 @@ func run(ctx context.Context, dataPath, pointsArg, algo, detName string, dim, to
 	if pointsArg == "" {
 		return fmt.Errorf("missing -points")
 	}
-	ds, err := anex.LoadCSV(strings.TrimSuffix(dataPath, ".csv"), dataPath)
+	raw, err := os.ReadFile(dataPath)
 	if err != nil {
 		return err
 	}
@@ -75,80 +72,65 @@ func run(ctx context.Context, dataPath, pointsArg, algo, detName string, dim, to
 		points = append(points, p)
 	}
 
-	w := anex.ResolveWorkers(workers)
-	var det anex.Detector
-	switch detName {
-	case "lof":
-		det = &anex.LOF{Workers: w}
-	case "abod":
-		det = &anex.FastABOD{Workers: w}
-	case "iforest":
-		det = &anex.IsolationForest{Seed: seed, Workers: w}
-	default:
-		return fmt.Errorf("unknown detector %q (want lof, abod or iforest)", detName)
+	eng := server.NewEngine(server.EngineConfig{Workers: workers})
+	name := strings.TrimSuffix(dataPath, ".csv")
+	if _, err := eng.RegisterCSV(name, raw, true); err != nil {
+		return err
 	}
-	det = anex.CachedDetector(det)
+	resp, err := eng.Explain(ctx, server.ExplainRequest{
+		Dataset:  name,
+		Points:   points,
+		Algo:     algo,
+		Detector: detName,
+		Dim:      dim,
+		Top:      top,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	return printResponse(eng, resp, points, top, plotTop)
+}
 
-	printList := func(list []anex.ScoredSubspace) {
+// printResponse renders an engine response in the CLI's text format; the
+// anexd parity test pins this output against a live server's answer.
+func printResponse(eng *server.Engine, resp *server.ExplainResponse, points []int, top int, plotTop bool) error {
+	printList := func(list []server.ScoredSubspaceJSON) {
 		if len(list) > top {
 			list = list[:top]
 		}
 		for rank, s := range list {
-			names := make([]string, s.Subspace.Dim())
-			for i, f := range s.Subspace {
-				names[i] = ds.FeatureName(f)
-			}
-			fmt.Printf("  %2d. {%s}  score %.4f\n", rank+1, strings.Join(names, ", "), s.Score)
+			fmt.Printf("  %2d. {%s}  score %.4f\n", rank+1, strings.Join(s.Names, ", "), s.Score)
 		}
 	}
 
-	maybePlot := func(list []anex.ScoredSubspace, highlight []int, title string) error {
-		if !plotTop || len(list) == 0 || list[0].Subspace.Dim() != 2 {
+	maybePlot := func(list []server.ScoredSubspaceJSON, highlight []int, title string) error {
+		if !plotTop || len(list) == 0 || len(list[0].Features) != 2 {
 			return nil
 		}
-		return anex.PlotSubspace(os.Stdout, ds, list[0].Subspace, anex.PlotOptions{
+		ds, _, ok := eng.Dataset(resp.Dataset)
+		if !ok {
+			return fmt.Errorf("dataset %q vanished from the engine", resp.Dataset)
+		}
+		return anex.PlotSubspace(os.Stdout, ds, subspace.Subspace(list[0].Features), anex.PlotOptions{
 			Highlight: highlight,
 			Title:     title,
 		})
 	}
 
-	switch algo {
-	case "beam", "refout":
-		var explainer anex.PointExplainer
-		if algo == "beam" {
-			explainer = anex.NewBeamFX(det)
-		} else {
-			explainer = anex.NewRefOut(det, seed)
-		}
-		for _, p := range points {
-			list, err := explainer.ExplainPoint(ctx, ds, p, dim)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("point %d — %dd subspaces ranked by %s with %s:\n", p, dim, explainer.Name(), det.Name())
-			printList(list)
-			if err := maybePlot(list, []int{p}, fmt.Sprintf("point %d in its top subspace", p)); err != nil {
-				return err
-			}
-		}
-	case "lookout", "hics":
-		var summarizer anex.Summarizer
-		if algo == "lookout" {
-			summarizer = anex.NewLookOut(det)
-		} else {
-			summarizer = anex.NewHiCSFX(det, seed)
-		}
-		list, err := summarizer.Summarize(ctx, ds, points, dim)
-		if err != nil {
+	for _, pe := range resp.Points {
+		fmt.Printf("point %d — %dd subspaces ranked by %s with %s:\n", pe.Point, resp.Dim, resp.AlgoName, resp.DetectorName)
+		printList(pe.Subspaces)
+		if err := maybePlot(pe.Subspaces, []int{pe.Point}, fmt.Sprintf("point %d in its top subspace", pe.Point)); err != nil {
 			return err
 		}
-		fmt.Printf("summary for points %v — %dd subspaces ranked by %s with %s:\n", points, dim, summarizer.Name(), det.Name())
-		printList(list)
-		if err := maybePlot(list, points, "points of interest in the top summary subspace"); err != nil {
+	}
+	if resp.Summary != nil {
+		fmt.Printf("summary for points %v — %dd subspaces ranked by %s with %s:\n", points, resp.Dim, resp.AlgoName, resp.DetectorName)
+		printList(resp.Summary)
+		if err := maybePlot(resp.Summary, points, "points of interest in the top summary subspace"); err != nil {
 			return err
 		}
-	default:
-		return fmt.Errorf("unknown algorithm %q (want beam, refout, lookout or hics)", algo)
 	}
 	return nil
 }

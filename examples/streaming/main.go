@@ -51,7 +51,7 @@ func main() {
 	monitor, err := anex.NewStreamMonitor(anex.StreamConfig{
 		WindowSize:        200,
 		Stride:            50,
-		ZThreshold:        6,
+		ZThreshold:        anex.StreamThreshold(6),
 		MaxFlagsPerWindow: 2,
 		TargetDim:         2,
 		Detector:          det,

@@ -1,0 +1,55 @@
+// Package clix is the shared runtime of the one-shot CLIs (anexplain,
+// anexeval, anexgen, anexbench): a signal-aware root context and the
+// conventional exit protocol — 0 on success, 130 on interrupt, 1 on any
+// other error, diagnostics prefixed with the command name on stderr.
+//
+// The long-lived anexd server deliberately does NOT use this package: for
+// a daemon, SIGINT/SIGTERM mean "drain and exit 0", not "abort with 130".
+package clix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Context returns a root context cancelled by SIGINT or SIGTERM, and its
+// stop function. For CLIs that need custom teardown between cancellation
+// and exit (profile flushing, resume hints); most use Main.
+func Context() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Report prints err the conventional way ("name: interrupted" on
+// cancellation, "name: err" otherwise) and returns the exit status for it:
+// 0, 130 or 1. It does not exit — callers with teardown order it around
+// their own epilogue and pass the status to os.Exit themselves.
+func Report(name string, err error) int {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "%s: interrupted\n", name)
+		return 130
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		return 1
+	}
+	return 0
+}
+
+// Main runs fn under a signal-aware context and exits with the
+// conventional status. The body of every plain CLI's main after flag
+// parsing.
+func Main(name string, fn func(ctx context.Context) error) {
+	os.Exit(run(name, fn))
+}
+
+// run is Main without the os.Exit, so deferred cleanup inside it (the
+// signal stop) executes before the process terminates.
+func run(name string, fn func(ctx context.Context) error) int {
+	ctx, stop := Context()
+	defer stop()
+	return Report(name, fn(ctx))
+}

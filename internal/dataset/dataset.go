@@ -84,6 +84,15 @@ func (ds *Dataset) Name() string { return ds.name }
 // to key by dataset rather than by name.
 func (ds *Dataset) ID() uint64 { return ds.id }
 
+// SourceKey identifies the dataset in process-wide caches (the
+// neighbourhood plane, the delta engine): the name plus the process-unique
+// ID, the same key every View of this dataset reports. Holders of short-
+// lived datasets (the stream monitor's windows) use it to release cache
+// entries when a dataset dies.
+func (ds *Dataset) SourceKey() string {
+	return ds.name + "#" + strconv.FormatUint(ds.id, 10)
+}
+
 // N returns the number of points.
 func (ds *Dataset) N() int { return ds.n }
 
@@ -220,9 +229,7 @@ func (v *View) SourceColumn(f int) []float64 { return v.dataset.cols[f] }
 // embeds the dataset's process-unique ID, so caches shared across the whole
 // process (the neighbourhood plane, the delta engine) never alias two
 // datasets that happen to carry the same name.
-func (v *View) SourceKey() string {
-	return v.dataset.name + "#" + strconv.FormatUint(v.dataset.id, 10)
-}
+func (v *View) SourceKey() string { return v.dataset.SourceKey() }
 
 // SubspaceKey returns the canonical key of the view's subspace.
 func (v *View) SubspaceKey() string { return v.sub.Key() }

@@ -288,6 +288,30 @@ func (c *Cached) CacheStats() CacheStats {
 	}
 }
 
+// Forget drops every memoised score vector belonging to the named dataset.
+// Memo keys embed the dataset NAME (not the process-unique ID), so owners
+// of short-lived datasets with generated unique names — the stream
+// monitor's windows — call Forget when a dataset dies to release its
+// entries eagerly instead of waiting for LRU pressure. Computations in
+// flight publish after Forget returns and die with the next Forget (or
+// under the byte budget).
+func (c *Cached) Forget(datasetName string) {
+	if datasetName == "" {
+		return
+	}
+	prefix := datasetName + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.entries {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			e := el.Value.(*cacheEntry)
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			c.bytes -= entryBytes(e.key, e.scores)
+		}
+	}
+}
+
 // Reset drops all memoised scores. Computations in flight at reset time
 // complete and publish into the fresh memo.
 func (c *Cached) Reset() {

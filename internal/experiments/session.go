@@ -12,6 +12,7 @@ import (
 	"anex/internal/neighbors"
 	"anex/internal/parallel"
 	"anex/internal/pipeline"
+	"anex/internal/server"
 	"anex/internal/subspace"
 	"anex/internal/synth"
 )
@@ -58,9 +59,11 @@ type Config struct {
 	// experiments, LRU-bounded; zero selects neighbors.DefaultPlaneBytes.
 	PlaneBytes int64
 
-	// plane is the session-wide shared neighbourhood cache, created by
-	// NewSession and injected into every kNN detector the session builds.
-	plane *neighbors.Plane
+	// engine is the session's explanation core — the same server.Engine
+	// that backs anexd — created by NewSession. It owns the session-wide
+	// shared neighbourhood plane and builds every score memo, so the batch
+	// harness and the long-lived service exercise one code path.
+	engine *server.Engine
 }
 
 func (c *Config) wantDetector(name string) bool {
@@ -160,12 +163,16 @@ func (c *Config) detectors(cached bool) []pipeline.NamedDetector {
 			}},
 		}
 	}
-	if c.plane != nil {
+	if c.engine != nil {
 		for _, d := range dets {
-			if ns, ok := d.Detector.(interface{ SetNeighbors(*neighbors.Plane) }); ok {
-				ns.SetNeighbors(c.plane)
+			c.engine.WirePlane(d.Detector)
+		}
+		if cached {
+			for i := range dets {
+				dets[i].Detector = c.engine.NewScoreMemo(dets[i].Detector)
 			}
 		}
+		return dets
 	}
 	if cached {
 		for i := range dets {
@@ -205,7 +212,11 @@ type Session struct {
 // testbed generation (the ground-truth derivation runs full detector
 // sweeps) with ctx's error.
 func NewSession(ctx context.Context, cfg Config) (*Session, error) {
-	cfg.plane = neighbors.NewPlane(cfg.PlaneBytes)
+	cfg.engine = server.NewEngine(server.EngineConfig{
+		Workers:    cfg.Workers,
+		CacheBytes: cfg.CacheBytes,
+		PlaneBytes: cfg.PlaneBytes,
+	})
 	tb := &Testbed{}
 	for _, c := range synth.SyntheticConfigs(cfg.Scale, cfg.Seed) {
 		if !cfg.wantDataset(c.Name) {
@@ -316,8 +327,12 @@ func (s *Session) SummaryResults(ctx context.Context) []pipeline.Result {
 // plane: hits, computations, the dedup factor, residency, and the embedded
 // delta engine's counters — anexbench's -stats dump.
 func (s *Session) PlaneStats() neighbors.PlaneStats {
-	return s.Cfg.plane.Stats()
+	return s.Cfg.engine.PlaneStats()
 }
+
+// Engine exposes the session's explanation core (for serving a generated
+// testbed, or inspecting its caches).
+func (s *Session) Engine() *server.Engine { return s.Cfg.engine }
 
 // skipped marks an infeasible cell; MAP < 0 renders as "-".
 func skipped(dataset, det, expl string, dim int) pipeline.Result {

@@ -240,6 +240,30 @@ func NewDeltaEngine(maxBytes int64) *DeltaEngine {
 	}
 }
 
+// Forget drops the pinned per-source structures and every cached
+// neighbourhood entry of the dataset identified by sourceKey
+// (dataset.Dataset.SourceKey). Owners of short-lived datasets call it when
+// the dataset dies, so its sorted orders, sweep pairs, and kNN partials do
+// not occupy one of the maxDeltaSources slots (or LRU budget) until
+// pressure evicts them. Safe when sourceKey has no state.
+func (e *DeltaEngine) Forget(sourceKey string) {
+	if e == nil || sourceKey == "" {
+		return
+	}
+	prefix := sourceKey + "|"
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.sources, sourceKey)
+	for key, el := range e.entries {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			en := el.Value.(*knnEntry)
+			e.lru.Remove(el)
+			delete(e.entries, key)
+			e.bytes -= en.bytes()
+		}
+	}
+}
+
 // Stats returns the engine's activity counters.
 func (e *DeltaEngine) Stats() DeltaStats {
 	e.mu.Lock()

@@ -101,6 +101,9 @@ type PlaneStats struct {
 	Upgrades int
 	// Evictions counts entries dropped to honour the byte budget.
 	Evictions int
+	// Forgets counts entries dropped by Forget calls (a dataset's owner
+	// declaring its cache entries dead, e.g. an expired stream window).
+	Forgets int
 	// Entries is the number of resident neighbourhood structures.
 	Entries int
 	// ResidentBytes is the budget charge of the resident entries; it
@@ -221,6 +224,32 @@ func (p *Plane) Reset() {
 	p.lru.Init()
 	p.bytes = 0
 	p.stats = PlaneStats{}
+}
+
+// Forget drops every resident entry belonging to the dataset identified by
+// sourceKey (dataset.Dataset.SourceKey), including the delta engine's
+// pinned per-source structures. Short-lived datasets — the stream monitor's
+// sliding windows — carry process-unique IDs, so once their owner is done
+// with them their entries are unreachable garbage that would otherwise
+// linger until LRU pressure; Forget releases them eagerly. Entries for
+// other datasets and computations in flight are untouched (an in-flight
+// leader republishes after Forget returns; that entry dies with the next
+// Forget or under LRU pressure). Safe on a nil plane and when sourceKey has
+// no entries.
+func (p *Plane) Forget(sourceKey string) {
+	if p == nil || sourceKey == "" {
+		return
+	}
+	prefix := sourceKey + "|"
+	p.mu.Lock()
+	for key, el := range p.entries {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			p.removeLocked(el)
+			p.stats.Forgets++
+		}
+	}
+	p.mu.Unlock()
+	p.delta.Forget(sourceKey)
 }
 
 // AllKNN answers the all-points k-nearest-neighbour query for the view

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the serving layer's backpressure: a bounded in-flight
+// semaphore sized off the engine's worker budget plus an optional
+// token-bucket rate limiter. Work past either bound is rejected
+// immediately with 429 + Retry-After rather than queued — a saturated
+// explanation service should shed load while warm-path requests stay
+// cheap, not build an unbounded backlog of expensive cold ones.
+type admission struct {
+	sem  chan struct{}
+	rate float64 // tokens per second; 0 = unlimited
+	// burst is the bucket capacity (≥ 1 whenever rate > 0).
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	rejected atomic.Int64
+	now      func() time.Time // test seam
+}
+
+// newAdmission builds the admission gate. maxInflight ≤ 0 disables the
+// semaphore (callers normally resolve a default off the engine's worker
+// budget before getting here). rate ≤ 0 disables the limiter;
+// burst ≤ 0 defaults to ceil(rate) so one second of tokens fits.
+func newAdmission(maxInflight int, rate float64, burst int) *admission {
+	a := &admission{rate: rate, now: time.Now}
+	if maxInflight > 0 {
+		a.sem = make(chan struct{}, maxInflight)
+	}
+	if rate > 0 {
+		a.burst = float64(burst)
+		if a.burst <= 0 {
+			a.burst = math.Ceil(rate)
+		}
+		a.tokens = a.burst
+		a.last = a.now()
+	}
+	return a
+}
+
+// acquire attempts to admit one request. On success it returns a release
+// func and ok=true. On rejection it returns ok=false and the Retry-After
+// hint in seconds (≥ 1).
+func (a *admission) acquire() (release func(), retryAfter int, ok bool) {
+	if !a.takeToken() {
+		a.rejected.Add(1)
+		return nil, a.retryAfterSeconds(), false
+	}
+	if a.sem != nil {
+		select {
+		case a.sem <- struct{}{}:
+		default:
+			// Semaphore full: refund the token so a rejected request does not
+			// also starve the bucket.
+			a.refundToken()
+			a.rejected.Add(1)
+			return nil, 1, false
+		}
+	}
+	released := false
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		if a.sem != nil {
+			<-a.sem
+		}
+	}, 0, true
+}
+
+// takeToken refills the bucket by elapsed time and consumes one token;
+// always true when no rate limit is configured.
+func (a *admission) takeToken() bool {
+	if a.rate <= 0 {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	a.tokens = math.Min(a.burst, a.tokens+now.Sub(a.last).Seconds()*a.rate)
+	a.last = now
+	if a.tokens < 1 {
+		return false
+	}
+	a.tokens--
+	return true
+}
+
+func (a *admission) refundToken() {
+	if a.rate <= 0 {
+		return
+	}
+	a.mu.Lock()
+	a.tokens = math.Min(a.burst, a.tokens+1)
+	a.mu.Unlock()
+}
+
+// retryAfterSeconds estimates when the next token arrives, rounded up to
+// whole seconds (the Retry-After header's granularity), minimum 1.
+func (a *admission) retryAfterSeconds() int {
+	if a.rate <= 0 {
+		return 1
+	}
+	a.mu.Lock()
+	missing := 1 - a.tokens
+	a.mu.Unlock()
+	if missing <= 0 {
+		return 1
+	}
+	s := int(math.Ceil(missing / a.rate))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Stats snapshots the gate.
+func (a *admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		Inflight:    len(a.sem),
+		MaxInflight: cap(a.sem),
+		RatePerSec:  a.rate,
+		Rejected429: a.rejected.Load(),
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdmissionSemaphoreBound(t *testing.T) {
+	a := newAdmission(1, 0, 0)
+	release, _, ok := a.acquire()
+	if !ok {
+		t.Fatal("first acquire rejected")
+	}
+	if _, retry, ok := a.acquire(); ok || retry < 1 {
+		t.Fatalf("second acquire ok=%v retry=%d, want rejection with retry ≥ 1", ok, retry)
+	}
+	release()
+	if _, _, ok := a.acquire(); !ok {
+		t.Fatal("acquire after release rejected")
+	}
+	if got := a.Stats().Rejected429; got != 1 {
+		t.Errorf("Rejected429 = %d, want 1", got)
+	}
+}
+
+func TestAdmissionReleaseIdempotent(t *testing.T) {
+	a := newAdmission(1, 0, 0)
+	release, _, ok := a.acquire()
+	if !ok {
+		t.Fatal("acquire rejected")
+	}
+	release()
+	release() // double release must not free a second slot
+	if _, _, ok := a.acquire(); !ok {
+		t.Fatal("acquire after release rejected")
+	}
+	if _, _, ok := a.acquire(); ok {
+		t.Fatal("semaphore of 1 admitted two requests (double release freed a phantom slot)")
+	}
+}
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	a := newAdmission(0, 1, 2)
+	clock := time.Unix(0, 0)
+	a.now = func() time.Time { return clock }
+	a.tokens, a.last = a.burst, clock
+
+	for i := 0; i < 2; i++ {
+		if _, _, ok := a.acquire(); !ok {
+			t.Fatalf("burst acquire %d rejected", i)
+		}
+	}
+	if _, retry, ok := a.acquire(); ok || retry < 1 {
+		t.Fatalf("empty-bucket acquire ok=%v retry=%d, want rejection with retry ≥ 1", ok, retry)
+	}
+	clock = clock.Add(time.Second) // one token refilled
+	if _, _, ok := a.acquire(); !ok {
+		t.Fatal("acquire after refill rejected")
+	}
+	if _, _, ok := a.acquire(); ok {
+		t.Fatal("bucket served more tokens than the elapsed time refilled")
+	}
+}
+
+// TestAdmissionSemaphoreRejectionRefundsToken pins that a request shed at
+// the semaphore does not also burn a rate token — otherwise saturation
+// bursts would starve the bucket for well-behaved clients.
+func TestAdmissionSemaphoreRejectionRefundsToken(t *testing.T) {
+	a := newAdmission(1, 1, 2)
+	clock := time.Unix(0, 0)
+	a.now = func() time.Time { return clock }
+	a.tokens, a.last = a.burst, clock
+
+	release, _, ok := a.acquire()
+	if !ok {
+		t.Fatal("first acquire rejected")
+	}
+	if _, _, ok := a.acquire(); ok {
+		t.Fatal("second acquire admitted past the semaphore")
+	}
+	release()
+	// Without the refund the bucket would now be empty at the same instant.
+	if _, _, ok := a.acquire(); !ok {
+		t.Fatal("acquire after semaphore rejection + release rejected: token was not refunded")
+	}
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"anex/internal/core"
+	"anex/internal/dataset"
+	"anex/internal/detector"
+	"anex/internal/explain"
+	"anex/internal/summarize"
+)
+
+// legacyExplain reproduces the pre-server anexplain CLI construction path
+// verbatim — struct-literal detector (no plane wiring), default-budget
+// score memo, factory explainer — so the parity test pins the engine (and
+// through it the anexd server and today's thin-client CLI) to the exact
+// numbers the standalone CLI has always printed.
+func legacyExplain(t *testing.T, ds *dataset.Dataset, algo, detName string, points []int, dim, top int, seed int64, workers int) [][]core.ScoredSubspace {
+	t.Helper()
+	var det core.Detector
+	switch detName {
+	case "lof":
+		det = &detector.LOF{Workers: workers}
+	case "abod":
+		det = &detector.FastABOD{Workers: workers}
+	case "iforest":
+		det = &detector.IsolationForest{Seed: seed, Workers: workers}
+	default:
+		t.Fatalf("legacy: unknown detector %q", detName)
+	}
+	cached := detector.NewCached(det)
+
+	ctx := context.Background()
+	var lists [][]core.ScoredSubspace
+	switch algo {
+	case "beam", "refout":
+		var explainer core.PointExplainer
+		if algo == "beam" {
+			explainer = explain.NewBeamFX(cached)
+		} else {
+			explainer = explain.NewRefOut(cached, seed)
+		}
+		for _, p := range points {
+			list, err := explainer.ExplainPoint(ctx, ds, p, dim)
+			if err != nil {
+				t.Fatalf("legacy %s/%s: %v", algo, detName, err)
+			}
+			lists = append(lists, core.TopK(list, top))
+		}
+	case "lookout", "hics":
+		var summarizer core.Summarizer
+		if algo == "lookout" {
+			summarizer = summarize.NewLookOut(cached)
+		} else {
+			summarizer = summarize.NewHiCSFX(cached, seed)
+		}
+		list, err := summarizer.Summarize(ctx, ds, points, dim)
+		if err != nil {
+			t.Fatalf("legacy %s/%s: %v", algo, detName, err)
+		}
+		lists = append(lists, core.TopK(list, top))
+	default:
+		t.Fatalf("legacy: unknown algo %q", algo)
+	}
+	return lists
+}
+
+// sameList compares a legacy ranked list against the wire shape bitwise:
+// same length, same subspaces in the same order, bit-identical scores.
+func sameList(t *testing.T, label string, want []core.ScoredSubspace, got []ScoredSubspaceJSON) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %d subspaces, legacy has %d", label, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if len(want[i].Subspace) != len(got[i].Features) {
+			t.Errorf("%s[%d]: subspace %v vs %v", label, i, got[i].Features, want[i].Subspace)
+			continue
+		}
+		for j, f := range want[i].Subspace {
+			if got[i].Features[j] != f {
+				t.Errorf("%s[%d]: subspace %v vs %v", label, i, got[i].Features, want[i].Subspace)
+				break
+			}
+		}
+		if math.Float64bits(want[i].Score) != math.Float64bits(got[i].Score) {
+			t.Errorf("%s[%d]: score %v (%x) vs legacy %v (%x)", label, i,
+				got[i].Score, math.Float64bits(got[i].Score), want[i].Score, math.Float64bits(want[i].Score))
+		}
+	}
+}
+
+// TestEngineParityWithLegacyCLI runs every algorithm × a detector spread
+// through both construction paths and demands bit-identical results —
+// the acceptance gate for "the server answers exactly what the CLI
+// printed".
+func TestEngineParityWithLegacyCLI(t *testing.T) {
+	csv := []byte(engineCSV(1, 150, 2))
+	legacyDS, err := dataset.ReadCSV("parity", bytes.NewReader(csv), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(EngineConfig{Workers: 2})
+	if _, err := eng.RegisterCSV("parity", csv, true); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		algo, det string
+		seed      int64
+	}{
+		{"beam", "lof", 1},
+		{"beam", "iforest", 7},
+		{"refout", "lof", 3},
+		{"refout", "abod", 1},
+		{"lookout", "lof", 1},
+		{"hics", "lof", 5},
+	}
+	points := []int{0, 3}
+	const dim, top = 2, 5
+	for _, c := range cases {
+		legacy := legacyExplain(t, legacyDS, c.algo, c.det, points, dim, top, c.seed, 2)
+		resp, err := eng.Explain(context.Background(), ExplainRequest{
+			Dataset: "parity", Points: points, Algo: c.algo, Detector: c.det,
+			Dim: dim, Top: top, Seed: c.seed,
+		})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.algo, c.det, err)
+		}
+		label := c.algo + "/" + c.det
+		if IsPointAlgo(c.algo) {
+			if len(resp.Points) != len(points) {
+				t.Fatalf("%s: %d point explanations, want %d", label, len(resp.Points), len(points))
+			}
+			for i, pe := range resp.Points {
+				if pe.Point != points[i] {
+					t.Errorf("%s: explanation %d is for point %d, want %d", label, i, pe.Point, points[i])
+				}
+				sameList(t, label, legacy[i], pe.Subspaces)
+			}
+		} else {
+			sameList(t, label, legacy[0], resp.Summary)
+		}
+	}
+}
+
+// TestServerParityOverHTTP pins that the HTTP round trip changes nothing:
+// the wire response decodes to exactly the engine's in-process answer, and
+// repeating the request yields byte-identical JSON.
+func TestServerParityOverHTTP(t *testing.T) {
+	csv := engineCSV(1, 120, 2)
+	eng := NewEngine(EngineConfig{Workers: 2})
+	ts := httptest.NewServer(New(eng, Config{}).Handler())
+	defer ts.Close()
+
+	reg, err := json.Marshal(RegisterRequest{Name: "d", CSV: csv, Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.Post(ts.URL+"/v1/datasets", "application/json", bytes.NewReader(reg)); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("register: %v %v", resp.Status, err)
+	}
+
+	// Direct engine answer on an identical twin engine (same construction,
+	// fresh caches) — the HTTP body must decode to exactly this.
+	twin := NewEngine(EngineConfig{Workers: 2})
+	if _, err := twin.RegisterCSV("d", []byte(csv), true); err != nil {
+		t.Fatal(err)
+	}
+	req := ExplainRequest{Dataset: "d", Points: []int{0}, Algo: "beam", Detector: "lof"}
+	want, err := twin.Explain(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(req)
+	post := func() []byte {
+		resp, err := http.Post(ts.URL+"/v1/explain", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("explain: %d %s", resp.StatusCode, raw)
+		}
+		return raw
+	}
+	cold := post()
+	var got ExplainResponse
+	if err := json.Unmarshal(cold, &got); err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(&got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("HTTP answer differs from in-process engine:\nhttp:   %s\nengine: %s", gotJSON, wantJSON)
+	}
+	if warm := post(); !bytes.Equal(cold, warm) {
+		t.Errorf("warm HTTP body differs from cold:\ncold: %s\nwarm: %s", cold, warm)
+	}
+}

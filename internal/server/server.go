@@ -1,0 +1,225 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config tunes the serving layer around an Engine.
+type Config struct {
+	// MaxInflight bounds concurrently admitted explanation requests
+	// (0 → the engine's worker budget: past that point extra requests only
+	// queue inside the scoring pools, so shedding them keeps latency flat).
+	MaxInflight int
+	// Rate, when positive, caps admitted POST requests per second with a
+	// token bucket of capacity Burst (0 → ceil(Rate)).
+	Rate  float64
+	Burst int
+}
+
+// Server is the HTTP/JSON skin over an Engine: admission control, wire
+// codecs, per-endpoint latency counters. Mount Handler on any http.Server.
+type Server struct {
+	engine *Engine
+	gate   *admission
+
+	mu        sync.Mutex
+	endpoints map[string]*EndpointStats
+}
+
+// New builds a server over engine.
+func New(engine *Engine, cfg Config) *Server {
+	maxInflight := cfg.MaxInflight
+	if maxInflight == 0 {
+		maxInflight = engine.Workers()
+	}
+	return &Server{
+		engine:    engine,
+		gate:      newAdmission(maxInflight, cfg.Rate, cfg.Burst),
+		endpoints: make(map[string]*EndpointStats),
+	}
+}
+
+// Handler returns the service's route table:
+//
+//	POST /v1/datasets  register a CSV payload        (admission-gated)
+//	POST /v1/explain   explain points of a dataset   (admission-gated)
+//	GET  /v1/stats     reuse + admission counters    (always admitted)
+//	GET  /healthz      liveness                      (always admitted)
+//
+// The read-only endpoints bypass admission so health checks and
+// observability keep working while the service sheds load.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.instrument("POST /v1/datasets", true, s.handleRegister))
+	mux.HandleFunc("POST /v1/explain", s.instrument("POST /v1/explain", true, s.handleExplain))
+	mux.HandleFunc("GET /v1/stats", s.instrument("GET /v1/stats", false, s.handleStats))
+	mux.HandleFunc("GET /healthz", s.instrument("GET /healthz", false, s.handleHealthz))
+	return mux
+}
+
+// instrument wraps a handler with admission (when gated) and the
+// per-endpoint latency counters reported by /v1/stats.
+func (s *Server) instrument(name string, gated bool, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		cw := &codeWriter{ResponseWriter: w}
+		if gated {
+			release, retryAfter, ok := s.gate.acquire()
+			if !ok {
+				cw.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+				writeError(cw, &StatusError{Code: http.StatusTooManyRequests, Msg: "saturated; retry later"})
+				s.record(name, start, cw.code)
+				return
+			}
+			defer release()
+		}
+		h(cw, r)
+		s.record(name, start, cw.code)
+	}
+}
+
+func (s *Server) record(name string, start time.Time, code int) {
+	ms := time.Since(start).Milliseconds()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep := s.endpoints[name]
+	if ep == nil {
+		ep = &EndpointStats{}
+		s.endpoints[name] = ep
+	}
+	ep.Count++
+	if code >= 400 {
+		ep.Errors++
+	}
+	ep.TotalMS += ms
+	if ms > ep.MaxMS {
+		ep.MaxMS = ms
+	}
+}
+
+// codeWriter captures the response status for the latency counters.
+type codeWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *codeWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *codeWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.engine.RegisterCSV(req.Name, []byte(req.CSV), req.Header)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.engine.Explain(r.Context(), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Stats snapshots the full service state: the engine's cross-request reuse
+// counters plus the serving layer's admission and latency counters.
+func (s *Server) Stats() StatsResponse {
+	datasets, plane, memo := s.engine.Stats()
+	s.mu.Lock()
+	endpoints := make(map[string]EndpointStats, len(s.endpoints))
+	for name, ep := range s.endpoints {
+		endpoints[name] = *ep
+	}
+	s.mu.Unlock()
+	// Service-wide dedup: every scoring-work request (kNN builds asked of
+	// the plane, score vectors asked of the memos) over every one actually
+	// computed. Memo hits and plane hits both push the numerator alone.
+	work := plane.Computations + (memo.Calls - memo.Hits)
+	queries := plane.Queries + memo.Calls
+	dedup := 1.0
+	if work > 0 {
+		dedup = float64(queries) / float64(work)
+	}
+	return StatsResponse{
+		Datasets:         datasets,
+		DedupFactor:      dedup,
+		Plane:            plane,
+		PlaneDedupFactor: plane.DedupFactor(),
+		ScoreMemo:        memo,
+		ScoreMemoHits:    memo.Hits,
+		Admission:        s.gate.Stats(),
+		Endpoints:        endpoints,
+	}
+}
+
+// decodeJSON strictly decodes a request body (unknown fields rejected, so
+// a typo like "detecor" fails loudly instead of silently running defaults).
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps an error to its HTTP status: StatusError carries its
+// own code, context expiry maps to 504, everything else is a 500.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var se *StatusError
+	switch {
+	case errors.As(err, &se):
+		code = se.Code
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	}
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf("%v", err)})
+}

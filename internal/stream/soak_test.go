@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"anex/internal/detector"
+	"anex/internal/explain"
+	"anex/internal/neighbors"
+)
+
+// TestMonitorLongStreamBoundedFootprint is the long-stream soak: ≥ 50
+// window evaluations with full ring wraparound, pinning that
+//
+//   - the flagged-sequence dedup set stays bounded by the window size
+//     (pruned each evaluation) instead of growing one entry per alert,
+//   - the neighbourhood plane and the detector's score memo hold entries
+//     for at most the current + previous window (expired windows are
+//     forgotten eagerly, not left to LRU pressure), and
+//   - every flagged sequence is alerted exactly once, including points
+//     whose window lifetime spans several overlapping evaluations.
+func TestMonitorLongStreamBoundedFootprint(t *testing.T) {
+	const (
+		windowSize = 40
+		stride     = 20
+		minEvals   = 50
+	)
+	plane := neighbors.NewPlane(0)
+	lof := detector.NewLOF(5)
+	lof.SetNeighbors(plane)
+	cached := detector.NewCached(lof)
+	m, err := NewMonitor(Config{
+		WindowSize: windowSize,
+		Stride:     stride,
+		ZThreshold: Threshold(4),
+		Detector:   cached,
+		Explainer:  &explain.Beam{Detector: cached, Width: 4, TopK: 2, FixedDim: true},
+		Plane:      plane,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// One evaluation of a 4-feature window touches the full view plus the
+	// Beam sweep's subspaces — under a dozen entries. Two windows may be
+	// live at once (current + the previous, released next evaluation).
+	const maxViewsPerWindow = 12
+	rng := rand.New(rand.NewSource(7))
+	alertCount := map[int]int{}
+	for i := 0; m.Evaluations() < minEvals; i++ {
+		p := inlier(rng)
+		if i%97 == 0 && i > windowSize {
+			p = anomaly(rng)
+		}
+		alerts, err := m.Push(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range alerts {
+			alertCount[a.Sequence]++
+		}
+		if live := m.FlaggedLive(); live > windowSize {
+			t.Fatalf("after %d pushes: %d flagged sequences tracked, window is %d", i+1, live, windowSize)
+		}
+		if ps := plane.Stats(); ps.Entries > 2*maxViewsPerWindow {
+			t.Fatalf("after %d pushes: %d plane entries resident, want ≤ %d (2 live windows)", i+1, ps.Entries, 2*maxViewsPerWindow)
+		}
+		if cs := cached.CacheStats(); cs.Entries > 2*maxViewsPerWindow {
+			t.Fatalf("after %d pushes: %d score-memo entries resident, want ≤ %d", i+1, cs.Entries, 2*maxViewsPerWindow)
+		}
+	}
+	if len(alertCount) == 0 {
+		t.Fatal("soak produced no alerts; the exactly-once assertion is vacuous")
+	}
+	for seq, n := range alertCount {
+		if n != 1 {
+			t.Errorf("sequence %d alerted %d times, want exactly 1", seq, n)
+		}
+	}
+	// Eviction-free run: everything dropped was dropped by Forget.
+	ps := plane.Stats()
+	if ps.Forgets == 0 {
+		t.Error("plane recorded no Forgets; expired windows were not released")
+	}
+	if ps.Evictions != 0 {
+		t.Errorf("plane fell back to LRU eviction (%d) despite eager release", ps.Evictions)
+	}
+	t.Logf("soak: %d evals, %d alerts, plane %s", m.Evaluations(), len(alertCount), ps)
+}
+
+// TestMonitorCloseReleasesLastWindow pins that Close forgets the final
+// window's plane and memo entries, leaving a fully drained footprint.
+func TestMonitorCloseReleasesLastWindow(t *testing.T) {
+	plane := neighbors.NewPlane(0)
+	lof := detector.NewLOF(5)
+	lof.SetNeighbors(plane)
+	cached := detector.NewCached(lof)
+	m, err := NewMonitor(Config{
+		WindowSize: MinWindowSize,
+		Stride:     MinWindowSize,
+		Detector:   cached,
+		Plane:      plane,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2*MinWindowSize; i++ {
+		if _, err := m.Push(context.Background(), inlier(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Evaluations() == 0 {
+		t.Fatal("no evaluations ran")
+	}
+	m.Close()
+	if n := plane.Stats().Entries; n != 0 {
+		t.Errorf("%d plane entries resident after Close, want 0", n)
+	}
+	if n := cached.CacheStats().Entries; n != 0 {
+		t.Errorf("%d score-memo entries resident after Close, want 0", n)
+	}
+}

@@ -5,6 +5,12 @@
 // because subspace explanations are descriptive and must be recomputed for
 // every new bunch of data — re-explains each newly flagged point with a
 // point-explanation algorithm before emitting it as an alert.
+//
+// Monitors are built for unbounded streams: per-evaluation state (the
+// flagged-sequence dedup set, the window datasets' entries in the shared
+// neighbourhood plane and in a memoising detector's score cache) is
+// released as soon as it can no longer influence an alert, so a monitor's
+// memory footprint is a function of the window size, not of stream length.
 package stream
 
 import (
@@ -14,8 +20,29 @@ import (
 
 	"anex/internal/core"
 	"anex/internal/dataset"
+	"anex/internal/neighbors"
 	"anex/internal/stats"
 )
+
+// MinWindowSize is the smallest window a Monitor evaluates: below it the
+// Z-score standardisation of the window's detector scores is too noisy to
+// threshold. Both NewMonitor's validation and Flush's partial-window gate
+// share this one constant.
+const MinWindowSize = 8
+
+// DefaultZThreshold is the flagging threshold applied when Config.ZThreshold
+// is nil. Detector score distributions are typically right-skewed, so
+// thresholds well above 3 are common for LOF.
+const DefaultZThreshold = 3
+
+// DefaultTargetDim is the explanation dimensionality applied when
+// Config.TargetDim is zero.
+const DefaultTargetDim = 2
+
+// Threshold returns a pointer to z, for Config.ZThreshold. The pointer
+// distinguishes "unset, use DefaultZThreshold" (nil) from a deliberate
+// zero threshold (flag every point scoring above the window mean).
+func Threshold(z float64) *float64 { return &z }
 
 // Alert reports one flagged point together with its subspace explanation.
 type Alert struct {
@@ -31,22 +58,29 @@ type Alert struct {
 	Explanation []core.ScoredSubspace
 }
 
-// Config parameterises a Monitor.
+// Config parameterises a Monitor. The zero value of every optional knob
+// means "use the documented default"; knobs whose zero value is also a
+// legitimate setting (ZThreshold) are pointers so that unset and zero stay
+// distinguishable. SetDefaults resolves the sentinels in place.
 type Config struct {
-	// WindowSize is the number of most recent points evaluated together.
+	// WindowSize is the number of most recent points evaluated together;
+	// it must be at least MinWindowSize.
 	WindowSize int
 	// Stride is how many new points arrive between evaluations; zero
-	// means WindowSize/4 (so consecutive windows overlap by 75 %).
+	// means WindowSize/4 (so consecutive windows overlap by 75 %). Zero is
+	// a pure "unset" sentinel: a stride below 1 point is meaningless.
 	Stride int
-	// ZThreshold flags points whose standardised window score exceeds
-	// it; zero means 3. Detector score distributions are typically
-	// right-skewed, so thresholds well above 3 are common for LOF.
-	ZThreshold float64
+	// ZThreshold flags points whose standardised window score exceeds it;
+	// nil means DefaultZThreshold. Use Threshold(0) for a genuine zero
+	// threshold (flag everything above the window mean).
+	ZThreshold *float64
 	// MaxFlagsPerWindow caps how many points one evaluation may flag
 	// (the highest-scored ones win); zero means no cap. It bounds the
 	// false-alert rate the way a contamination assumption does.
 	MaxFlagsPerWindow int
-	// TargetDim is the explanation dimensionality; zero means 2.
+	// TargetDim is the explanation dimensionality; zero means
+	// DefaultTargetDim (a zero-dimensional explanation is meaningless, so
+	// zero is a pure "unset" sentinel).
 	TargetDim int
 	// Detector scores the window (required).
 	Detector core.Detector
@@ -56,11 +90,44 @@ type Config struct {
 	// FeatureNames, when set, names the stream's features in the window
 	// datasets handed to the explainer.
 	FeatureNames []string
+	// Plane is the neighbourhood plane the monitor's detector queries.
+	// Every evaluation builds a fresh window dataset with a process-unique
+	// identity, so without release the plane would accumulate entries for
+	// dead windows until LRU pressure; the monitor instead calls
+	// Plane.Forget for each expired window. Nil means the process-wide
+	// neighbors.Shared() plane — the one the detector constructors wire in
+	// by default. Forgetting a window from a plane the detector never
+	// queried is a harmless no-op, so a mismatched Plane degrades to the
+	// old LRU-only behaviour rather than corrupting anything.
+	Plane *neighbors.Plane
+}
+
+// SetDefaults resolves every unset knob to its documented default in
+// place: Stride 0 → WindowSize/4 (at least 1), ZThreshold nil →
+// DefaultZThreshold, TargetDim 0 → DefaultTargetDim, Plane nil →
+// neighbors.Shared(). NewMonitor applies it to its private copy of the
+// configuration; callers only need it to inspect resolved values.
+func (c *Config) SetDefaults() {
+	if c.Stride == 0 {
+		c.Stride = c.WindowSize / 4
+		if c.Stride < 1 {
+			c.Stride = 1
+		}
+	}
+	if c.ZThreshold == nil {
+		c.ZThreshold = Threshold(DefaultZThreshold)
+	}
+	if c.TargetDim == 0 {
+		c.TargetDim = DefaultTargetDim
+	}
+	if c.Plane == nil {
+		c.Plane = neighbors.Shared()
+	}
 }
 
 func (c *Config) validate() error {
-	if c.WindowSize < 8 {
-		return fmt.Errorf("stream: window size %d too small (need ≥ 8)", c.WindowSize)
+	if c.WindowSize < MinWindowSize {
+		return fmt.Errorf("stream: window size %d too small (need ≥ %d)", c.WindowSize, MinWindowSize)
 	}
 	if c.Detector == nil {
 		return fmt.Errorf("stream: nil detector")
@@ -69,6 +136,12 @@ func (c *Config) validate() error {
 		return fmt.Errorf("stream: negative stride")
 	}
 	return nil
+}
+
+// cacheForgetter is the optional release hook of score-memoising detectors
+// (detector.Cached): dropping every memo entry of one named dataset.
+type cacheForgetter interface {
+	Forget(datasetName string)
 }
 
 // Monitor is a sliding-window outlier detection + explanation pipeline.
@@ -86,37 +159,27 @@ type Monitor struct {
 	sinceEval int
 	total     int
 
-	flagged map[int]bool // sequence numbers already alerted
+	flagged map[int]bool      // live sequence numbers already alerted
+	prev    *dataset.Dataset  // previous evaluation's window, released next eval
 	evals   int
 }
 
-// NewMonitor builds a Monitor from the configuration.
+// NewMonitor builds a Monitor from the configuration (defaults applied to a
+// private copy; the caller's Config is not mutated).
 func NewMonitor(cfg Config) (*Monitor, error) {
+	cfg.SetDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	m := &Monitor{
+	return &Monitor{
 		cfg:       cfg,
 		stride:    cfg.Stride,
-		threshold: cfg.ZThreshold,
+		threshold: *cfg.ZThreshold,
 		targetDim: cfg.TargetDim,
 		window:    make([][]float64, 0, cfg.WindowSize),
 		seq:       make([]int, 0, cfg.WindowSize),
 		flagged:   make(map[int]bool),
-	}
-	if m.stride == 0 {
-		m.stride = cfg.WindowSize / 4
-		if m.stride < 1 {
-			m.stride = 1
-		}
-	}
-	if m.threshold == 0 {
-		m.threshold = 3
-	}
-	if m.targetDim == 0 {
-		m.targetDim = 2
-	}
-	return m, nil
+	}, nil
 }
 
 // Evaluations returns how many window evaluations have run.
@@ -124,6 +187,11 @@ func (m *Monitor) Evaluations() int { return m.evals }
 
 // Seen returns how many points have been pushed.
 func (m *Monitor) Seen() int { return m.total }
+
+// FlaggedLive returns how many already-alerted sequence numbers the monitor
+// still tracks. Pruning keeps it bounded by the window size regardless of
+// stream length — the observability hook of the soak test.
+func (m *Monitor) FlaggedLive() int { return len(m.flagged) }
 
 // Push consumes one point and returns any alerts raised by the evaluation
 // it may trigger. The point is copied; the caller may reuse the slice.
@@ -152,22 +220,71 @@ func (m *Monitor) Push(ctx context.Context, point []float64) ([]Alert, error) {
 	return m.evaluate(ctx)
 }
 
-// Flush forces an evaluation of the current window if it holds at least 8
-// points, regardless of stride position.
+// Flush forces an evaluation of the current window if it holds at least
+// MinWindowSize points, regardless of stride position.
 func (m *Monitor) Flush(ctx context.Context) ([]Alert, error) {
-	if len(m.window) < 8 {
+	if len(m.window) < MinWindowSize {
 		return nil, nil
 	}
 	m.sinceEval = 0
 	return m.evaluate(ctx)
 }
 
+// Close releases the cache entries of the monitor's current and previous
+// window datasets. Optional: a monitor abandoned without Close leaks at
+// most those two windows' entries until LRU pressure reclaims them.
+func (m *Monitor) Close() {
+	m.release(m.prev)
+	m.prev = nil
+}
+
+// release forgets one dead window dataset from the neighbourhood plane and
+// from the detector's score memo (when the detector keeps one).
+func (m *Monitor) release(ds *dataset.Dataset) {
+	if ds == nil {
+		return
+	}
+	m.cfg.Plane.Forget(ds.SourceKey())
+	if f, ok := m.cfg.Detector.(cacheForgetter); ok {
+		f.Forget(ds.Name())
+	}
+}
+
+// pruneFlagged drops alerted sequence numbers older than the oldest live
+// window slot. Without pruning the dedup set grows one entry per alert for
+// the lifetime of the stream; with it the set is bounded by the window
+// size, and dedup semantics are unchanged — an expired sequence can never
+// reappear in a window, so its entry can no longer suppress anything.
+func (m *Monitor) pruneFlagged() {
+	if len(m.flagged) == 0 || len(m.seq) == 0 {
+		return
+	}
+	oldest := m.seq[0]
+	for _, s := range m.seq[1:] {
+		if s < oldest {
+			oldest = s
+		}
+	}
+	for s := range m.flagged {
+		if s < oldest {
+			delete(m.flagged, s)
+		}
+	}
+}
+
 func (m *Monitor) evaluate(ctx context.Context) ([]Alert, error) {
 	m.evals++
+	m.pruneFlagged()
 	ds, err := dataset.FromRows(fmt.Sprintf("window-%d", m.evals), m.window, m.featureNames())
 	if err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
+	// The previous evaluation's window dataset can no longer influence any
+	// alert: release its plane and score-memo entries before the new
+	// window's are computed, so a long stream holds a bounded footprint of
+	// at most two windows (current + the one released here next round).
+	m.release(m.prev)
+	m.prev = ds
 	scores, err := m.cfg.Detector.Scores(ctx, ds.FullView())
 	if err != nil {
 		return nil, fmt.Errorf("stream: score window %d: %w", m.evals, err)

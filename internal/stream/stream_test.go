@@ -38,7 +38,7 @@ func newTestMonitor(t *testing.T) *Monitor {
 		Stride:     30,
 		// LOF's right tail on 120-point windows reaches z ≈ 5 on clean
 		// data; 6 separates genuine structural anomalies.
-		ZThreshold: 6,
+		ZThreshold: Threshold(6),
 		TargetDim:  2,
 		Detector:   det,
 		Explainer:  &explain.Beam{Detector: det, Width: 6, TopK: 3, FixedDim: true},
@@ -203,7 +203,7 @@ func TestMonitorWithLODAOnline(t *testing.T) {
 	m, err := NewMonitor(Config{
 		WindowSize: 150,
 		Stride:     50,
-		ZThreshold: 3.5,
+		ZThreshold: Threshold(3.5),
 		Detector:   det,
 	})
 	if err != nil {
@@ -240,7 +240,7 @@ func TestMonitorMaxFlagsPerWindow(t *testing.T) {
 	m, err := NewMonitor(Config{
 		WindowSize:        120,
 		Stride:            30,
-		ZThreshold:        2,
+		ZThreshold:        Threshold(2),
 		MaxFlagsPerWindow: 1,
 		Detector:          detector.NewLOF(15),
 	})

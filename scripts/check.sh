@@ -102,3 +102,10 @@ awk -v ratio="$bestgrid" 'BEGIN {
 # exactly that on the mini-grid; run it explicitly (and uncached) so a
 # dedup regression fails the gate even if someone prunes the -race sweep.
 go test -count=1 -run 'TestGridPlaneDedupFactor$' ./internal/pipeline
+
+# anexd smoke: boot the explanation server in-process under the race
+# detector, register a dataset over HTTP, run concurrent explains, and pin
+# the service contract — warm-path dedup factor > 1 on a repeated request,
+# 429 + Retry-After under saturation, and a clean (exit-0) drain of
+# in-flight requests on a real SIGTERM.
+go test -race -count=1 -run 'TestAnexd' ./cmd/anexd
