@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"anex/internal/client"
+	"anex/internal/server"
+)
+
+// anexdProc is one real anexd OS process under test.
+type anexdProc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startProc execs the built binary and parses the bound address off its
+// stderr banner ("anexd: listening on ...").
+func startProc(t *testing.T, bin string, args ...string) *anexdProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		const banner = "anexd: listening on "
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, banner) {
+				addrc <- strings.TrimPrefix(line, banner)
+				break
+			}
+		}
+		io.Copy(io.Discard, stderr) // keep draining so the child never blocks
+	}()
+	select {
+	case addr := <-addrc:
+		return &anexdProc{cmd: cmd, base: "http://" + addr}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("anexd never printed its listen banner")
+		return nil
+	}
+}
+
+// TestAnexdChaosKill9Recovery is the crash smoke the whole PR exists for:
+// a real anexd process, killed with SIGKILL mid-registration-loop, must
+// come back from its -data-dir serving every acked dataset with
+// byte-identical explanations — and the retrying client must ride through
+// the whole episode without special-casing.
+func TestAnexdChaosKill9Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "anexd")
+	if out, err := exec.Command("go", "build", "-o", bin, "anex/cmd/anexd").CombinedOutput(); err != nil {
+		t.Fatalf("build anexd: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(tmp, "data")
+
+	proc := startProc(t, bin, "-data-dir", dataDir)
+	defer func() {
+		if proc.cmd.ProcessState == nil {
+			proc.cmd.Process.Kill()
+			proc.cmd.Wait()
+		}
+	}()
+	newClient := func(base string) *client.Client {
+		c, err := client.New(client.Config{
+			BaseURL:        base,
+			MaxAttempts:    3,
+			BaseDelay:      10 * time.Millisecond,
+			MaxDelay:       100 * time.Millisecond,
+			RequestTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	cl := newClient(proc.base)
+	ctx := context.Background()
+
+	// Register until the kill lands: each acked dataset's explanation bytes
+	// are captured pre-crash as the recovery oracle. The SIGKILL is sent
+	// right after the 4th ack, so the loop dies on a later iteration —
+	// a client mid-conversation, not a clean pause.
+	const killAfter = 4
+	acked := map[string]string{}
+	want := map[string][]byte{}
+	for i := 0; i < 32; i++ {
+		name := fmt.Sprintf("d%02d", i)
+		csv := testCSV(60+2*i, 1)
+		if _, err := cl.Register(ctx, name, []byte(csv), true); err != nil {
+			break // the daemon is dead; everything acked so far must survive
+		}
+		raw, err := cl.ExplainRaw(ctx, server.ExplainRequest{Dataset: name, Points: []int{0}})
+		if err != nil {
+			break // ack landed but the capture died with the process: still must survive
+		}
+		acked[name], want[name] = csv, raw
+		if len(acked) == killAfter {
+			if err := proc.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no fsync courtesy
+				t.Fatal(err)
+			}
+		}
+	}
+	proc.cmd.Wait()
+	if len(acked) < killAfter {
+		t.Fatalf("only %d registrations acked before the daemon died, want ≥ %d", len(acked), killAfter)
+	}
+
+	// Restart over the same data dir: the kernel released the flock with the
+	// process, so this must come up immediately.
+	proc2 := startProc(t, bin, "-data-dir", dataDir)
+	defer func() {
+		proc2.cmd.Process.Kill()
+		proc2.cmd.Wait()
+	}()
+	cl2 := newClient(proc2.base)
+	h, err := cl2.Health(ctx)
+	if err != nil || h.Degraded {
+		t.Fatalf("health after crash recovery = %+v, %v; want healthy", h, err)
+	}
+	stats, err := cl2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Datasets < len(acked) {
+		t.Errorf("recovered %d datasets, want ≥ %d acked ones", stats.Datasets, len(acked))
+	}
+	for name, pre := range want {
+		post, err := cl2.ExplainRaw(ctx, server.ExplainRequest{Dataset: name, Points: []int{0}})
+		if err != nil {
+			t.Errorf("explain %s after recovery: %v", name, err)
+			continue
+		}
+		if !bytes.Equal(pre, post) {
+			t.Errorf("dataset %s: post-crash explanation differs from pre-crash bytes", name)
+		}
+	}
+	// Idempotent re-registration of an acked dataset is a no-op ack — the
+	// blind-retry contract a client relies on after a lost response.
+	for name, csv := range acked {
+		resp, err := cl2.Register(ctx, name, []byte(csv), true)
+		if err != nil || resp.Replaced {
+			t.Errorf("re-register %s after recovery = %+v, %v; want idempotent ack", name, resp, err)
+		}
+		break
+	}
+}

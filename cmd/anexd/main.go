@@ -5,15 +5,28 @@
 //
 // Usage:
 //
-//	anexd [-addr :8347] [-max-inflight N] [-rate R] [-burst B]
-//	      [-plane-mb 256] [-cache-mb 256] [-workers N] [-grace 15s]
+//	anexd [-addr :8347] [-data-dir DIR] [-max-inflight N] [-rate R]
+//	      [-burst B] [-plane-mb 256] [-cache-mb 256] [-workers N]
+//	      [-grace 15s] [-failpoints SPEC]
 //
 // Endpoints:
 //
-//	POST /v1/datasets  register a CSV payload under a name
-//	POST /v1/explain   explain points (same knobs and output as anexplain)
-//	GET  /v1/stats     cache reuse, admission and latency counters
-//	GET  /healthz      liveness
+//	POST   /v1/datasets         register a CSV payload under a name
+//	DELETE /v1/datasets/{name}  forget a dataset (durable tombstone first)
+//	POST   /v1/explain          explain points (same knobs and output as anexplain)
+//	GET    /v1/stats            cache reuse, admission and latency counters
+//	GET    /healthz             liveness + degraded flag
+//
+// With -data-dir (or ANEXD_DATA_DIR) every registration and forget is
+// written to a checksummed write-ahead log before it is acknowledged, and
+// a restart — graceful or kill -9 — recovers the registry from disk:
+// every acked dataset explains byte-identically afterwards. If a durable
+// write ever fails, the store fail-stops and the server degrades to
+// read-only: registered tenants keep explaining, writes answer 503 with
+// Retry-After until an operator restarts the process.
+//
+// -failpoints (or ANEXD_FAILPOINTS) arms deterministic fault injection
+// (see internal/failpoint) for crash drills; never set it in production.
 //
 // SIGINT/SIGTERM drain in-flight requests and exit 0 (a clean shutdown);
 // requests still running after -grace are hard-cancelled and the exit is
@@ -32,12 +45,17 @@ import (
 	"syscall"
 	"time"
 
+	"anex/internal/clix"
+	"anex/internal/durable"
+	"anex/internal/failpoint"
 	"anex/internal/server"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", ":8347", "listen address (host:port; :0 picks a free port)")
+		dataDir     = flag.String("data-dir", clix.EnvString("ANEXD_DATA_DIR", ""), "durable dataset store directory; empty = in-memory only (env ANEXD_DATA_DIR)")
+		failpoints  = flag.String("failpoints", clix.EnvString("ANEXD_FAILPOINTS", ""), "fault-injection spec site=action[@hit][;...] for crash drills (env ANEXD_FAILPOINTS)")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently served explanation requests (0 = the worker budget)")
 		rate        = flag.Float64("rate", 0, "admitted POST requests per second, token bucket (0 = unlimited)")
 		burst       = flag.Int("burst", 0, "token-bucket capacity (0 = ceil(rate))")
@@ -55,6 +73,8 @@ func main() {
 
 	if err := run(ctx, options{
 		addr:        *addr,
+		dataDir:     *dataDir,
+		failpoints:  *failpoints,
 		maxInflight: *maxInflight,
 		rate:        *rate,
 		burst:       *burst,
@@ -70,6 +90,8 @@ func main() {
 
 type options struct {
 	addr        string
+	dataDir     string
+	failpoints  string
 	maxInflight int
 	rate        float64
 	burst       int
@@ -83,15 +105,41 @@ type options struct {
 }
 
 func run(ctx context.Context, opts options) error {
+	if opts.failpoints != "" {
+		if err := failpoint.Enable(opts.failpoints); err != nil {
+			return err
+		}
+		defer failpoint.Disable()
+		fmt.Fprintf(os.Stderr, "anexd: FAULT INJECTION ARMED: %s\n", opts.failpoints)
+	}
 	eng := server.NewEngine(server.EngineConfig{
 		Workers:    opts.workers,
 		CacheBytes: int64(opts.cacheMB) << 20,
 		PlaneBytes: int64(opts.planeMB) << 20,
 	})
+	var store *durable.Store
+	if opts.dataDir != "" {
+		st, recovered, err := durable.Open(opts.dataDir)
+		if err != nil {
+			return fmt.Errorf("data dir %s: %w", opts.dataDir, err)
+		}
+		defer st.Close()
+		store = st
+		for _, rec := range recovered {
+			if _, err := eng.RegisterCSV(rec.Name, rec.CSV, rec.Header); err != nil {
+				return fmt.Errorf("recover dataset %q: %w", rec.Name, err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "anexd: recovered %d datasets from %s\n", len(recovered), opts.dataDir)
+	}
 	srv := server.New(eng, server.Config{
 		MaxInflight: opts.maxInflight,
 		Rate:        opts.rate,
 		Burst:       opts.burst,
+		Durable:     store,
+		OnDegrade: func(err error) {
+			fmt.Fprintf(os.Stderr, "anexd: DEGRADED (read-only until restart): %v\n", err)
+		},
 	})
 
 	ln, err := net.Listen("tcp", opts.addr)

@@ -290,3 +290,75 @@ func TestAnexdHealthzAndErrors(t *testing.T) {
 		t.Errorf("unknown field: %d, want 400", resp3.StatusCode)
 	}
 }
+
+// TestAnexdDurableRestartRecovery pins the daemon-level recovery loop: a
+// graceful restart over the same -data-dir resurrects every registered
+// dataset and explains it byte-identically.
+func TestAnexdDurableRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	base, done, cancel := startAnexd(t, options{dataDir: dir})
+
+	register(t, base, "alpha", testCSV(90, 2))
+	register(t, base, "beta", testCSV(80, 1))
+	req := server.ExplainRequest{Dataset: "alpha", Points: []int{0}}
+	resp, want := postJSON(t, base+"/v1/explain", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain before restart: %d %s", resp.StatusCode, want)
+	}
+	if stats := getStats(t, base); stats.Durable == nil || stats.Durable.Appends != 2 {
+		t.Fatalf("stats.Durable = %+v, want 2 appends", stats.Durable)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first run exited: %v", err)
+	}
+
+	base2, done2, cancel2 := startAnexd(t, options{dataDir: dir})
+	defer func() { cancel2(); <-done2 }()
+	if stats := getStats(t, base2); stats.Datasets != 2 {
+		t.Fatalf("recovered %d datasets, want 2", stats.Datasets)
+	}
+	resp2, got := postJSON(t, base2+"/v1/explain", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("explain after restart: %d %s", resp2.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("recovered explanation differs:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestAnexdFailpointsFlagDegrades drills the operator story end to end:
+// a daemon armed with -failpoints at the WAL append site degrades to
+// read-only on the first durable write — 503 + Retry-After for writes,
+// degraded /healthz, explains still served.
+func TestAnexdFailpointsFlagDegrades(t *testing.T) {
+	base, done, cancel := startAnexd(t, options{
+		dataDir:    t.TempDir(),
+		failpoints: "durable.wal.append=error@2",
+	})
+	defer func() { cancel(); <-done }()
+
+	register(t, base, "ok", testCSV(60, 1)) // hit 1: allowed through
+	resp, body := postJSON(t, base+"/v1/datasets", server.RegisterRequest{Name: "boom", CSV: testCSV(70, 1), Header: true})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("register at armed site: %d %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded 503 carries no Retry-After")
+	}
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health server.HealthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || health.Status != "degraded" {
+		t.Errorf("healthz = %d %+v, want 200 with degraded status", hresp.StatusCode, health)
+	}
+	if resp, body := postJSON(t, base+"/v1/explain", server.ExplainRequest{Dataset: "ok", Points: []int{0}}); resp.StatusCode != http.StatusOK {
+		t.Errorf("explain while degraded: %d %s, want 200", resp.StatusCode, body)
+	}
+}

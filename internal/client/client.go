@@ -1,0 +1,386 @@
+// Package client is a Go client for the anexd explanation service with a
+// crash-tolerant calling convention: every request retries transient
+// failures (transport errors, 429, 503, 5xx) with full-jitter exponential
+// backoff, honours the server's Retry-After hints, bounds each attempt
+// with its own deadline, and verifies registrations by content hash so a
+// blind retry of a lost ack is provably idempotent (the server skips the
+// WAL append for an identical payload).
+//
+// All anexd endpoints are safe to retry: registration is hash-idempotent,
+// explanation is a pure computation, and forget is naturally idempotent
+// (a retried forget of an already-forgotten dataset reports
+// Forgotten=false, which callers should treat as success).
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"anex/internal/server"
+)
+
+// Defaults for the zero-valued Config knobs.
+const (
+	DefaultMaxAttempts = 5
+	DefaultBaseDelay   = 100 * time.Millisecond
+	DefaultMaxDelay    = 5 * time.Second
+)
+
+// Config parameterises a Client. The zero value of every field except
+// BaseURL selects a sensible default.
+type Config struct {
+	// BaseURL is the server's root, e.g. "http://127.0.0.1:8080". Required.
+	BaseURL string
+	// HTTPClient issues the requests; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per call (first attempt included); 0 → 5.
+	MaxAttempts int
+	// BaseDelay and MaxDelay shape the backoff: attempt i sleeps a uniform
+	// random duration in [0, min(MaxDelay, BaseDelay·2^i)] (full jitter).
+	// 0 → 100ms and 5s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// RequestTimeout bounds each individual attempt (not the whole call —
+	// the caller's context does that); 0 → no per-attempt deadline.
+	RequestTimeout time.Duration
+	// Seed drives the jitter; 0 → 1, so retry schedules are reproducible
+	// by default.
+	Seed int64
+	// Sleep waits between attempts; nil → a timer that respects ctx.
+	// Tests substitute a recorder here.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Client is safe for concurrent use.
+type Client struct {
+	base    string
+	http    *http.Client
+	max     int
+	baseDel time.Duration
+	maxDel  time.Duration
+	perReq  time.Duration
+	sleep   func(context.Context, time.Duration) error
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New validates cfg and builds a Client.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: BaseURL required")
+	}
+	u, err := url.Parse(cfg.BaseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: invalid BaseURL %q", cfg.BaseURL)
+	}
+	c := &Client{
+		base:    strings.TrimRight(cfg.BaseURL, "/"),
+		http:    cfg.HTTPClient,
+		max:     cfg.MaxAttempts,
+		baseDel: cfg.BaseDelay,
+		maxDel:  cfg.MaxDelay,
+		perReq:  cfg.RequestTimeout,
+		sleep:   cfg.Sleep,
+	}
+	if c.http == nil {
+		c.http = http.DefaultClient
+	}
+	if c.max <= 0 {
+		c.max = DefaultMaxAttempts
+	}
+	if c.baseDel <= 0 {
+		c.baseDel = DefaultBaseDelay
+	}
+	if c.maxDel <= 0 {
+		c.maxDel = DefaultMaxDelay
+	}
+	if c.sleep == nil {
+		c.sleep = sleepCtx
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c.rng = rand.New(rand.NewSource(seed))
+	return c, nil
+}
+
+// APIError is a server-side failure: the HTTP status plus the error
+// message from the JSON body. Retryable statuses only surface as an
+// APIError once attempts are exhausted.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d %s", e.StatusCode, e.Message)
+}
+
+// HashMismatchError reports a registration whose echoed content hash does
+// not match the payload the client sent — the server registered different
+// bytes than intended. Never retried: it signals a real disagreement, not
+// a transient fault.
+type HashMismatchError struct {
+	Name string
+	Want string
+	Got  string
+}
+
+func (e *HashMismatchError) Error() string {
+	return fmt.Sprintf("register %q: server hash %s != local hash %s", e.Name, e.Got, e.Want)
+}
+
+// Register registers (or idempotently re-registers) csv under name and
+// verifies the server's echoed SHA-256 against a locally computed one.
+// Safe to retry blindly after a lost ack: the server recognises the
+// identical payload by hash and skips the duplicate durable write.
+func (c *Client) Register(ctx context.Context, name string, csv []byte, header bool) (server.RegisterResponse, error) {
+	sum := sha256.Sum256(csv)
+	want := hex.EncodeToString(sum[:])
+	var resp server.RegisterResponse
+	err := c.do(ctx, "POST", "/v1/datasets",
+		server.RegisterRequest{Name: name, CSV: string(csv), Header: header}, &resp)
+	if err != nil {
+		return server.RegisterResponse{}, err
+	}
+	if resp.Hash != want {
+		return server.RegisterResponse{}, &HashMismatchError{Name: name, Want: want, Got: resp.Hash}
+	}
+	return resp, nil
+}
+
+// Explain requests explanations for the given points.
+func (c *Client) Explain(ctx context.Context, req server.ExplainRequest) (server.ExplainResponse, error) {
+	var resp server.ExplainResponse
+	err := c.do(ctx, "POST", "/v1/explain", req, &resp)
+	return resp, err
+}
+
+// ExplainRaw is Explain returning the verbatim response bytes — the tool
+// for byte-level determinism checks across server restarts.
+func (c *Client) ExplainRaw(ctx context.Context, req server.ExplainRequest) ([]byte, error) {
+	return c.doRaw(ctx, "POST", "/v1/explain", req)
+}
+
+// Forget removes a registered dataset. The server's 404 for an unknown
+// name is absorbed into Forgotten=false rather than an error: after a
+// retry of a lost ack it means an earlier attempt already removed it, and
+// either way the caller's goal state (dataset absent) holds.
+func (c *Client) Forget(ctx context.Context, name string) (server.ForgetResponse, error) {
+	var resp server.ForgetResponse
+	err := c.do(ctx, "DELETE", "/v1/datasets/"+url.PathEscape(name), nil, &resp)
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+		return server.ForgetResponse{Name: name, Forgotten: false}, nil
+	}
+	return resp, err
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
+	var resp server.StatsResponse
+	err := c.do(ctx, "GET", "/v1/stats", nil, &resp)
+	return resp, err
+}
+
+// Health fetches liveness plus the degraded flag.
+func (c *Client) Health(ctx context.Context) (server.HealthResponse, error) {
+	var resp server.HealthResponse
+	err := c.do(ctx, "GET", "/healthz", nil, &resp)
+	return resp, err
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	raw, err := c.doRaw(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// doRaw runs the retry loop: marshal once, attempt up to max times, sleep
+// between attempts (server Retry-After hint when given, full-jitter
+// backoff otherwise), and stop early on the caller's context or a
+// non-retryable status.
+func (c *Client) doRaw(ctx context.Context, method, path string, in any) ([]byte, error) {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return nil, fmt.Errorf("client: encode %s %s request: %w", method, path, err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.max; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.retryDelay(attempt-1, lastErr)); err != nil {
+				return nil, err
+			}
+		}
+		raw, err := c.attempt(ctx, method, path, body)
+		if err == nil {
+			return raw, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("client: %s %s failed after %d attempts: %w", method, path, c.max, lastErr)
+}
+
+// attempt issues one HTTP round trip under the per-attempt deadline.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	actx := ctx
+	if c.perReq > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.perReq)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, &transportError{err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, &transportError{err: err}
+	}
+	if resp.StatusCode >= 300 {
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: errorMessage(raw)}
+		if ra := parseRetryAfter(resp.Header.Get("Retry-After")); ra > 0 &&
+			(resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) {
+			return nil, &retryAfterError{APIError: apiErr, after: ra}
+		}
+		return nil, apiErr
+	}
+	return raw, nil
+}
+
+// transportError wraps a network-level failure; always retryable.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "client: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// retryAfterError is an APIError carrying the server's Retry-After hint.
+type retryAfterError struct {
+	*APIError
+	after time.Duration
+}
+
+func (e *retryAfterError) Unwrap() error { return e.APIError }
+
+// retryable reports whether another attempt could succeed: transport
+// errors, throttling (429), unavailability (503), and server faults (5xx).
+// Other 4xx are the caller's bug and retrying would only repeat it.
+func retryable(err error) bool {
+	switch e := err.(type) {
+	case *transportError:
+		return true
+	case *retryAfterError:
+		return true
+	case *APIError:
+		return e.StatusCode == http.StatusTooManyRequests || e.StatusCode >= 500
+	}
+	return false
+}
+
+// retryDelay picks the wait before retry number attempt+1: the server's
+// Retry-After when it sent one, otherwise full jitter — uniform in
+// [0, min(MaxDelay, BaseDelay·2^attempt)], which decorrelates a thundering
+// herd of restarting clients.
+func (c *Client) retryDelay(attempt int, lastErr error) time.Duration {
+	var ra *retryAfterError
+	if e, ok := lastErr.(*retryAfterError); ok {
+		ra = e
+	}
+	if ra != nil && ra.after > 0 {
+		return ra.after
+	}
+	ceil := c.maxDel
+	if shifted := c.baseDel << uint(attempt); shifted > 0 && shifted < ceil {
+		ceil = shifted
+	}
+	c.mu.Lock()
+	f := c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(f * float64(ceil))
+}
+
+// errorMessage extracts the server's {"error": "..."} body, falling back
+// to the raw bytes for non-JSON responses (proxies, panics).
+func errorMessage(raw []byte) string {
+	var m struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &m) == nil && m.Error != "" {
+		return m.Error
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+// parseRetryAfter understands the delay-seconds form anexd emits. The
+// HTTP-date form is ignored (treated as no hint).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

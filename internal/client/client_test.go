@@ -1,0 +1,372 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anex/internal/server"
+)
+
+// testCSV builds a small two-cluster dataset with one obvious anomaly,
+// the same shape the server package's tests use.
+func testCSV(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("a,b,n0\n")
+	for i := 0; i < n; i++ {
+		base := 0.25
+		if rng.Intn(2) == 1 {
+			base = 0.75
+		}
+		x, y := base+rng.NormFloat64()*0.03, base+rng.NormFloat64()*0.03
+		if i == 0 {
+			x, y = 0.25, 0.75
+		}
+		fmt.Fprintf(&b, "%.6f,%.6f,%.6f\n", x, y, rng.Float64())
+	}
+	return []byte(b.String())
+}
+
+// recordingSleep returns a Sleep seam that records requested delays and
+// returns instantly.
+func recordingSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func newTestClient(t *testing.T, baseURL string, mutate func(*Config)) (*Client, *[]time.Duration) {
+	t.Helper()
+	var delays []time.Duration
+	cfg := Config{BaseURL: baseURL, Sleep: recordingSleep(&delays)}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, &delays
+}
+
+func TestNewRejectsBadBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "/relative/only"} {
+		if _, err := New(Config{BaseURL: bad}); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRegisterRetriesUntilSuccess pins the happy retry path: two 503s with
+// Retry-After hints, then success — the client sleeps exactly the hinted
+// durations and the caller sees one clean response.
+func TestRegisterRetriesUntilSuccess(t *testing.T) {
+	csv := testCSV(1, 60)
+	sum := sha256.Sum256(csv)
+	hash := hex.EncodeToString(sum[:])
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n := calls.Add(1); n <= 2 {
+			w.Header().Set("Retry-After", fmt.Sprint(n*3)) // 3s then 6s
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"degraded"}`)
+			return
+		}
+		json.NewEncoder(w).Encode(server.RegisterResponse{Name: "a", Hash: hash, N: 60, D: 3})
+	}))
+	defer ts.Close()
+
+	c, delays := newTestClient(t, ts.URL, nil)
+	resp, err := c.Register(context.Background(), "a", csv, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Hash != hash || calls.Load() != 3 {
+		t.Fatalf("resp.Hash=%s calls=%d, want verified hash after 3 calls", resp.Hash, calls.Load())
+	}
+	want := []time.Duration{3 * time.Second, 6 * time.Second}
+	if len(*delays) != 2 || (*delays)[0] != want[0] || (*delays)[1] != want[1] {
+		t.Errorf("slept %v, want Retry-After hints %v", *delays, want)
+	}
+}
+
+// TestBackoffFullJitterDeterministic pins the no-hint backoff: delays fall
+// inside the full-jitter envelope [0, min(MaxDelay, Base·2^i)] and the same
+// seed reproduces the same schedule.
+func TestBackoffFullJitterDeterministic(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":"boom"}`)
+	}))
+	defer ts.Close()
+
+	run := func(seed int64) []time.Duration {
+		c, delays := newTestClient(t, ts.URL, func(cfg *Config) {
+			cfg.MaxAttempts = 5
+			cfg.BaseDelay = 100 * time.Millisecond
+			cfg.MaxDelay = 300 * time.Millisecond
+			cfg.Seed = seed
+		})
+		if _, err := c.Stats(context.Background()); err == nil {
+			t.Fatal("Stats succeeded against an always-500 server")
+		}
+		return *delays
+	}
+
+	first := run(7)
+	if len(first) != 4 {
+		t.Fatalf("slept %d times, want 4 (5 attempts)", len(first))
+	}
+	ceil := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond, 300 * time.Millisecond}
+	for i, d := range first {
+		if d < 0 || d > ceil[i] {
+			t.Errorf("delay[%d] = %v outside [0, %v]", i, d, ceil[i])
+		}
+	}
+	second := run(7)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("same seed produced different schedules: %v vs %v", first, second)
+		}
+	}
+	if third := run(8); len(third) == len(first) {
+		same := true
+		for i := range first {
+			if first[i] != third[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical jitter schedules")
+		}
+	}
+}
+
+// TestNonRetryable4xxFailsFast pins that caller bugs are not retried.
+func TestNonRetryable4xxFailsFast(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"name required"}`)
+	}))
+	defer ts.Close()
+
+	c, delays := newTestClient(t, ts.URL, nil)
+	_, err := c.Register(context.Background(), "", testCSV(1, 60), true)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 400 || apiErr.Message != "name required" {
+		t.Fatalf("err = %v, want APIError{400, name required}", err)
+	}
+	if calls.Load() != 1 || len(*delays) != 0 {
+		t.Errorf("calls=%d sleeps=%d, want exactly 1 call and no sleeps", calls.Load(), len(*delays))
+	}
+}
+
+// TestExhaustedAttemptsSurfaceLastError pins the give-up path: the final
+// error wraps the last APIError and names the attempt count.
+func TestExhaustedAttemptsSurfaceLastError(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"still degraded"}`)
+	}))
+	defer ts.Close()
+
+	c, _ := newTestClient(t, ts.URL, func(cfg *Config) { cfg.MaxAttempts = 3 })
+	_, err := c.Stats(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 503 {
+		t.Fatalf("err = %v, want wrapped 503 APIError", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want MaxAttempts = 3", calls.Load())
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("err %q does not name the attempt count", err)
+	}
+}
+
+// TestTransportErrorsRetry pins that connection-level failures retry: the
+// first attempt hits a dead listener... not reproducible cheaply, so we
+// use a handler that hijacks and drops the connection instead.
+func TestTransportErrorsRetry(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("recorder not hijackable")
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close() // slam the door: client sees EOF/reset
+			return
+		}
+		json.NewEncoder(w).Encode(server.HealthResponse{Status: "ok"})
+	}))
+	defer ts.Close()
+
+	c, delays := newTestClient(t, ts.URL, nil)
+	h, err := c.Health(context.Background())
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("Health = %+v, %v; want ok after one transport retry", h, err)
+	}
+	if calls.Load() != 2 || len(*delays) != 1 {
+		t.Errorf("calls=%d sleeps=%d, want 2 calls with 1 backoff sleep", calls.Load(), len(*delays))
+	}
+}
+
+// TestPerAttemptDeadline pins that a hung server burns one attempt, not
+// the whole call: attempt 1 exceeds RequestTimeout, attempt 2 answers.
+func TestPerAttemptDeadline(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	defer close(release)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select { // hang until the client gives up on this attempt
+			case <-r.Context().Done():
+			case <-release:
+			}
+			return
+		}
+		json.NewEncoder(w).Encode(server.HealthResponse{Status: "ok"})
+	}))
+	defer ts.Close()
+
+	c, _ := newTestClient(t, ts.URL, func(cfg *Config) { cfg.RequestTimeout = 50 * time.Millisecond })
+	h, err := c.Health(context.Background())
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("Health = %+v, %v; want ok after deadline retry", h, err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestCallerContextStopsRetries pins that the caller's context overrides
+// the retry loop even mid-sleep.
+func TestCallerContextStopsRetries(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"degraded"}`)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c, err := New(Config{BaseURL: ts.URL, Sleep: func(ctx context.Context, d time.Duration) error {
+		cancel() // caller walks away during the backoff wait
+		return ctx.Err()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stats(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (no retry after cancel)", calls.Load())
+	}
+}
+
+// TestRegisterHashMismatch pins the trust check: a server echoing a wrong
+// content hash is an error, and not a retryable one.
+func TestRegisterHashMismatch(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		json.NewEncoder(w).Encode(server.RegisterResponse{Name: "a", Hash: "deadbeef"})
+	}))
+	defer ts.Close()
+
+	c, _ := newTestClient(t, ts.URL, nil)
+	_, err := c.Register(context.Background(), "a", testCSV(1, 60), true)
+	var hm *HashMismatchError
+	if !errors.As(err, &hm) || hm.Got != "deadbeef" {
+		t.Fatalf("err = %v, want HashMismatchError", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1", calls.Load())
+	}
+}
+
+// TestAgainstRealServer runs the client against the real handler stack:
+// register (twice — the retry-idempotence contract), explain raw twice
+// (byte-stable), stats, forget, health.
+func TestAgainstRealServer(t *testing.T) {
+	eng := server.NewEngine(server.EngineConfig{Workers: 2})
+	ts := httptest.NewServer(server.New(eng, server.Config{}).Handler())
+	defer ts.Close()
+
+	c, _ := newTestClient(t, ts.URL, nil)
+	ctx := context.Background()
+	csv := testCSV(1, 90)
+
+	reg, err := c.Register(ctx, "a", csv, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.N != 90 || reg.D != 3 || reg.Replaced {
+		t.Fatalf("register = %+v, want n=90 d=3 fresh", reg)
+	}
+	again, err := c.Register(ctx, "a", csv, true) // blind retry of a "lost ack"
+	if err != nil || again.Hash != reg.Hash || again.Replaced {
+		t.Fatalf("re-register = %+v, %v; want identical idempotent ack", again, err)
+	}
+
+	req := server.ExplainRequest{Dataset: "a", Points: []int{0}}
+	raw1, err := c.ExplainRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := c.ExplainRaw(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Error("repeated ExplainRaw not byte-identical")
+	}
+	var exp server.ExplainResponse
+	if err := json.Unmarshal(raw1, &exp); err != nil || len(exp.Points) != 1 {
+		t.Fatalf("explain response %s unmarshal err %v", raw1, err)
+	}
+	if exp.Hash != reg.Hash {
+		t.Errorf("explain hash %s != register hash %s", exp.Hash, reg.Hash)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil || stats.Datasets != 1 {
+		t.Fatalf("stats = %+v, %v; want 1 dataset", stats, err)
+	}
+	fr, err := c.Forget(ctx, "a")
+	if err != nil || !fr.Forgotten {
+		t.Fatalf("forget = %+v, %v; want forgotten", fr, err)
+	}
+	fr2, err := c.Forget(ctx, "a") // idempotent retry shape
+	if err != nil || fr2.Forgotten {
+		t.Fatalf("second forget = %+v, %v; want Forgotten=false without error", fr2, err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" || h.Degraded {
+		t.Fatalf("health = %+v, %v; want ok", h, err)
+	}
+}

@@ -16,6 +16,18 @@ import (
 	"syscall"
 )
 
+// EnvString returns the environment variable key's value when set and
+// non-empty, else def. Used as the flag-default expression — e.g.
+// flag.String("data-dir", clix.EnvString("ANEXD_DATA_DIR", ""), ...) —
+// so deployments configure via environment while explicit flags still
+// win.
+func EnvString(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
 // Context returns a root context cancelled by SIGINT or SIGTERM, and its
 // stop function. For CLIs that need custom teardown between cancellation
 // and exit (profile flushing, resume hints); most use Main.

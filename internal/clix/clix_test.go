@@ -1,0 +1,14 @@
+package clix
+
+import "testing"
+
+func TestEnvString(t *testing.T) {
+	t.Setenv("CLIX_TEST_VAR", "")
+	if got := EnvString("CLIX_TEST_VAR", "fallback"); got != "fallback" {
+		t.Errorf("unset/empty env = %q, want fallback", got)
+	}
+	t.Setenv("CLIX_TEST_VAR", "explicit")
+	if got := EnvString("CLIX_TEST_VAR", "fallback"); got != "explicit" {
+		t.Errorf("set env = %q, want explicit", got)
+	}
+}

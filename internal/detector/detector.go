@@ -19,6 +19,7 @@ import (
 
 	"anex/internal/core"
 	"anex/internal/dataset"
+	"anex/internal/failpoint"
 	"anex/internal/stats"
 )
 
@@ -33,6 +34,12 @@ const DefaultCacheBytes = 256 << 20 // 256 MiB
 // the byte budget on top of the score payload: the map cell, the LRU list
 // element, and the slice header.
 const cacheEntryOverhead = 96
+
+// SiteMemoPublish is the failpoint site guarding score-memo publication:
+// an armed error action makes the singleflight leader fail before any
+// detector work, releasing its waiters with the injected error through
+// the same path a real scoring failure takes.
+const SiteMemoPublish = "memo.publish"
 
 // Cached wraps a detector with a subspace-keyed memo. Pipelines score the
 // same subspaces repeatedly — e.g. Beam and LookOut both score every 2d
@@ -178,6 +185,15 @@ func (c *Cached) Scores(ctx context.Context, v *dataset.View) ([]float64, error)
 // waiters as an error; the panic itself continues up the leader's stack.
 func (c *Cached) lead(ctx context.Context, v *dataset.View, key string, call *inflightCall) ([]float64, error) {
 	completed := false
+	if ferr := failpoint.Eval(SiteMemoPublish); ferr != nil {
+		completed = true
+		call.err = ferr
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(call.done)
+		return nil, ferr
+	}
 	defer func() {
 		if !completed {
 			// inner.Scores panicked. Record an error for the waiters —

@@ -1,0 +1,163 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The WAL's on-disk unit is a checksummed frame:
+//
+//	frame   := length(uint32 LE) | crc32c(uint32 LE) | payload
+//	payload := op(1) | nameLen(uint16 LE) | name | body
+//	body    := header(1) | csvLen(uint32 LE) | csv   (OpRegister)
+//	         | ""                                     (OpForget)
+//
+// length counts payload bytes only; crc32c (Castagnoli) covers the
+// payload. The framing inherits the PR-2 journal contract: a reader
+// accepts the longest prefix of valid frames and truncates everything
+// after the first invalid one — a torn tail is the signature of a writer
+// killed mid-append, and with fsync-per-append the torn frame can only
+// ever be the unacknowledged last record.
+
+// Op is a WAL record's operation.
+type Op uint8
+
+const (
+	// OpRegister registers (or, for an existing name, replaces) a dataset.
+	OpRegister Op = 1
+	// OpForget is a tombstone: the named dataset is deregistered.
+	OpForget Op = 2
+)
+
+// Record is one decoded WAL operation. For OpRegister, Header and CSV
+// carry the registration payload; for OpForget only Name is meaningful.
+type Record struct {
+	Op     Op
+	Name   string
+	Header bool
+	CSV    []byte
+}
+
+const (
+	frameHeaderLen = 8
+	// MaxRecordBytes bounds one frame's payload (1 GiB). A length field
+	// past it is treated as corruption, so a flipped high bit cannot make
+	// recovery attempt a gigantic allocation.
+	MaxRecordBytes = 1 << 30
+	// maxNameBytes is the length limit the uint16 name framing imposes.
+	maxNameBytes = 1<<16 - 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendRecord appends rec's frame to buf and returns the extended slice.
+// It rejects records the framing cannot represent (empty or oversized
+// name, oversized CSV, register without payload).
+func AppendRecord(buf []byte, rec Record) ([]byte, error) {
+	if rec.Name == "" {
+		return nil, fmt.Errorf("durable: record with empty dataset name")
+	}
+	if len(rec.Name) > maxNameBytes {
+		return nil, fmt.Errorf("durable: dataset name %d bytes long (max %d)", len(rec.Name), maxNameBytes)
+	}
+	var payloadLen int
+	switch rec.Op {
+	case OpRegister:
+		if len(rec.CSV) == 0 {
+			return nil, fmt.Errorf("durable: register record %q with empty csv payload", rec.Name)
+		}
+		payloadLen = 1 + 2 + len(rec.Name) + 1 + 4 + len(rec.CSV)
+	case OpForget:
+		payloadLen = 1 + 2 + len(rec.Name)
+	default:
+		return nil, fmt.Errorf("durable: unknown op %d", rec.Op)
+	}
+	if payloadLen > MaxRecordBytes {
+		return nil, fmt.Errorf("durable: record %q payload %d bytes (max %d)", rec.Name, payloadLen, MaxRecordBytes)
+	}
+
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeaderLen)...)
+	buf = append(buf, byte(rec.Op))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rec.Name)))
+	buf = append(buf, rec.Name...)
+	if rec.Op == OpRegister {
+		var hdr byte
+		if rec.Header {
+			hdr = 1
+		}
+		buf = append(buf, hdr)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.CSV)))
+		buf = append(buf, rec.CSV...)
+	}
+	payload := buf[start+frameHeaderLen:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf, nil
+}
+
+// decodePayload parses one frame payload into a Record. The payload must
+// be exactly consumed — trailing bytes mean a corrupt frame, not slack.
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < 3 {
+		return Record{}, fmt.Errorf("durable: payload %d bytes, shorter than any record", len(p))
+	}
+	rec := Record{Op: Op(p[0])}
+	nameLen := int(binary.LittleEndian.Uint16(p[1:3]))
+	p = p[3:]
+	if nameLen == 0 || len(p) < nameLen {
+		return Record{}, fmt.Errorf("durable: name length %d exceeds payload", nameLen)
+	}
+	rec.Name = string(p[:nameLen])
+	p = p[nameLen:]
+	switch rec.Op {
+	case OpRegister:
+		if len(p) < 5 {
+			return Record{}, fmt.Errorf("durable: register record truncated before csv length")
+		}
+		rec.Header = p[0] != 0
+		if p[0] > 1 {
+			return Record{}, fmt.Errorf("durable: register record with header byte %d", p[0])
+		}
+		csvLen := int(binary.LittleEndian.Uint32(p[1:5]))
+		p = p[5:]
+		if csvLen == 0 || len(p) != csvLen {
+			return Record{}, fmt.Errorf("durable: csv length %d does not match payload remainder %d", csvLen, len(p))
+		}
+		rec.CSV = append([]byte(nil), p...)
+	case OpForget:
+		if len(p) != 0 {
+			return Record{}, fmt.Errorf("durable: forget record with %d trailing bytes", len(p))
+		}
+	default:
+		return Record{}, fmt.Errorf("durable: unknown op %d", rec.Op)
+	}
+	return rec, nil
+}
+
+// DecodeRecords decodes the longest valid prefix of frames in b. It
+// returns the decoded records and goodEnd, the byte offset just past the
+// last valid frame — everything from goodEnd on is the torn tail the
+// caller truncates away. It never panics, whatever b holds.
+func DecodeRecords(b []byte) (recs []Record, goodEnd int) {
+	offset := 0
+	for len(b)-offset >= frameHeaderLen {
+		length := int(binary.LittleEndian.Uint32(b[offset:]))
+		if length > MaxRecordBytes || len(b)-offset-frameHeaderLen < length {
+			break // corrupt length or incomplete frame: torn tail
+		}
+		payload := b[offset+frameHeaderLen : offset+frameHeaderLen+length]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(b[offset+4:]) {
+			break // checksum mismatch: torn or corrupt frame
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			break // framing intact but the record inside is malformed
+		}
+		recs = append(recs, rec)
+		offset += frameHeaderLen + length
+		goodEnd = offset
+	}
+	return recs, goodEnd
+}

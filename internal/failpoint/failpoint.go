@@ -1,0 +1,207 @@
+// Package failpoint is a deterministic fault-injection registry for crash
+// and degradation testing. Code under test declares named sites with
+// Eval("site"); tests (or an operator chasing a bug, via the anexd
+// -failpoints flag / ANEX_FAILPOINTS env var) arm actions against those
+// sites — return an error, panic, or delay — optionally only on the Nth
+// hit, which is what lets a crash-schedule test walk a fault through
+// every write of a scripted history.
+//
+// The registry is disarmed by default and costs one atomic load per Eval
+// call in that state — no map lookup, no lock, no allocation — so
+// production code can leave its sites compiled in.
+//
+// Spec grammar (Enable):
+//
+//	spec    := site "=" action *( ";" site "=" action )
+//	action  := ( "error" | "panic" | "delay:" duration ) [ "@" hit ]
+//
+// "error" makes Eval return ErrInjected wrapped with the site name;
+// "panic" panics with the site name; "delay:50ms" sleeps then returns
+// nil. A trailing "@N" fires the action only on the site's Nth hit
+// (1-based) and disarms it afterwards; without it the action fires on
+// every hit. Hits are counted per armed site from the moment Enable
+// arms it.
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel every "error" action returns (wrapped with
+// the site name). Code that must distinguish an injected fault from a
+// real one — the crash-schedule harness, degraded-mode plumbing tests —
+// checks errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("failpoint: injected fault")
+
+// Kind is an armed action's behaviour at its site.
+type Kind uint8
+
+const (
+	// KindError makes Eval return ErrInjected wrapped with the site name.
+	KindError Kind = iota + 1
+	// KindPanic makes Eval panic with the site name.
+	KindPanic
+	// KindDelay makes Eval sleep for the configured duration, then return
+	// nil — a latency fault, not a failure.
+	KindDelay
+)
+
+// action is one armed site.
+type action struct {
+	kind  Kind
+	delay time.Duration
+	onHit int // fire only on the Nth hit (1-based); 0 = every hit
+	hits  int // Eval calls observed since arming
+	fired bool
+}
+
+var (
+	// armed is the fast-path gate: false means Eval returns nil after one
+	// atomic load, with no site bookkeeping at all.
+	armed atomic.Bool
+
+	mu    sync.Mutex
+	sites map[string]*action
+)
+
+// Enable parses spec and arms its sites, replacing any previously armed
+// set. An empty spec is an error (use Disable to disarm).
+func Enable(spec string) error {
+	parsed, err := parse(spec)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	sites = parsed
+	mu.Unlock()
+	armed.Store(true)
+	return nil
+}
+
+// Disable disarms every site and restores the zero-overhead fast path.
+// Hit counters are discarded with the armed set.
+func Disable() {
+	armed.Store(false)
+	mu.Lock()
+	sites = nil
+	mu.Unlock()
+}
+
+// Enabled reports whether any sites are armed.
+func Enabled() bool { return armed.Load() }
+
+// Eval is the hook compiled into code under test: a no-op returning nil
+// while the registry is disarmed, otherwise the armed action for site (if
+// any) runs. Each call against an armed site increments its hit counter
+// whether or not the action fires.
+func Eval(site string) error {
+	if !armed.Load() {
+		return nil
+	}
+	return evalSlow(site)
+}
+
+func evalSlow(site string) error {
+	mu.Lock()
+	a, ok := sites[site]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	a.hits++
+	fire := !a.fired && (a.onHit == 0 || a.hits == a.onHit)
+	if fire && a.onHit > 0 {
+		a.fired = true // one-shot: "@N" actions disarm after firing
+	}
+	kind, delay := a.kind, a.delay
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch kind {
+	case KindPanic:
+		panic(fmt.Sprintf("failpoint: injected panic at %q", site))
+	case KindDelay:
+		time.Sleep(delay)
+		return nil
+	default:
+		return fmt.Errorf("site %q: %w", site, ErrInjected)
+	}
+}
+
+// Hits returns how many Eval calls the armed site has observed. Zero for
+// unarmed or unknown sites.
+func Hits(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if a, ok := sites[site]; ok {
+		return a.hits
+	}
+	return 0
+}
+
+// Armed returns the armed site names, sorted.
+func Armed() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(sites))
+	for s := range sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func parse(spec string) (map[string]*action, error) {
+	parsed := make(map[string]*action)
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		site, act, ok := strings.Cut(clause, "=")
+		site, act = strings.TrimSpace(site), strings.TrimSpace(act)
+		if !ok || site == "" || act == "" {
+			return nil, fmt.Errorf("failpoint: malformed clause %q (want site=action)", clause)
+		}
+		a := &action{}
+		if base, hit, ok := strings.Cut(act, "@"); ok {
+			n, err := strconv.Atoi(hit)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("failpoint: site %q: bad hit selector %q (want @N, N ≥ 1)", site, hit)
+			}
+			a.onHit = n
+			act = base
+		}
+		switch {
+		case act == "error":
+			a.kind = KindError
+		case act == "panic":
+			a.kind = KindPanic
+		case strings.HasPrefix(act, "delay:"):
+			d, err := time.ParseDuration(strings.TrimPrefix(act, "delay:"))
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("failpoint: site %q: bad delay %q", site, act)
+			}
+			a.kind = KindDelay
+			a.delay = d
+		default:
+			return nil, fmt.Errorf("failpoint: site %q: unknown action %q (want error, panic or delay:<dur>)", site, act)
+		}
+		if _, dup := parsed[site]; dup {
+			return nil, fmt.Errorf("failpoint: site %q armed twice in one spec", site)
+		}
+		parsed[site] = a
+	}
+	if len(parsed) == 0 {
+		return nil, fmt.Errorf("failpoint: empty spec")
+	}
+	return parsed, nil
+}

@@ -1,0 +1,133 @@
+package failpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedEvalIsNil(t *testing.T) {
+	Disable()
+	if err := Eval("anything"); err != nil {
+		t.Fatalf("disarmed Eval returned %v, want nil", err)
+	}
+	if Enabled() {
+		t.Error("Enabled() true after Disable")
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	if err := Enable("a.b=error"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	err := Eval("a.b")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Eval = %v, want ErrInjected", err)
+	}
+	if err := Eval("other.site"); err != nil {
+		t.Errorf("unarmed site returned %v, want nil", err)
+	}
+	// Every-hit action keeps firing.
+	if err := Eval("a.b"); !errors.Is(err, ErrInjected) {
+		t.Errorf("second Eval = %v, want ErrInjected", err)
+	}
+	if got := Hits("a.b"); got != 2 {
+		t.Errorf("Hits = %d, want 2", got)
+	}
+}
+
+func TestOnHitSelectorIsOneShot(t *testing.T) {
+	if err := Enable("s=error@3"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	for i := 1; i <= 5; i++ {
+		err := Eval("s")
+		if i == 3 && !errors.Is(err, ErrInjected) {
+			t.Errorf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+		if i != 3 && err != nil {
+			t.Errorf("hit %d: err = %v, want nil", i, err)
+		}
+	}
+	if got := Hits("s"); got != 5 {
+		t.Errorf("Hits = %d, want 5", got)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	if err := Enable("p=panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	defer func() {
+		if recover() == nil {
+			t.Error("panic action did not panic")
+		}
+	}()
+	Eval("p")
+}
+
+func TestDelayAction(t *testing.T) {
+	if err := Enable("d=delay:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	start := time.Now()
+	if err := Eval("d"); err != nil {
+		t.Fatalf("delay action returned %v, want nil", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("delay action returned after %v, want ≥ 30ms", elapsed)
+	}
+}
+
+func TestSpecParsing(t *testing.T) {
+	bad := []string{"", "=error", "s=", "s=explode", "s=error@0", "s=error@x",
+		"s=delay:nope", "s=error;s=panic"}
+	for _, spec := range bad {
+		if err := Enable(spec); err == nil {
+			Disable()
+			t.Errorf("Enable(%q) accepted, want error", spec)
+		}
+	}
+	if err := Enable(" a=error ; b=delay:1ms ; c=panic@2 "); err != nil {
+		t.Fatalf("whitespace spec rejected: %v", err)
+	}
+	defer Disable()
+	got := Armed()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Armed() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Armed() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEvalConcurrent pins that the registry is race-free under -race: many
+// goroutines hammering one armed site while another disarms it.
+func TestEvalConcurrent(t *testing.T) {
+	if err := Enable("hot=error@50"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				Eval("hot")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Hits("hot"); got != 800 {
+		t.Errorf("Hits = %d, want 800", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 
+	"anex/internal/failpoint"
 	"anex/internal/parallel"
 )
 
@@ -48,6 +49,12 @@ const DefaultPlaneBytes = 256 << 20
 // planeEntryOverhead approximates the per-entry bookkeeping charge (map
 // cell, LRU element, struct and key headers).
 const planeEntryOverhead = 96
+
+// SitePlanePublish is the failpoint site guarding plane publication: an
+// armed error action makes the computing leader fail before any kNN work,
+// so waiters observe the injected error through the plane's normal error
+// path (and, per its singleflight contract, the next query retries).
+const SitePlanePublish = "plane.publish"
 
 // Plane is the process-wide shared neighbourhood cache. The zero value is
 // not usable; construct with NewPlane or use the package-wide Shared
@@ -374,6 +381,9 @@ func (p *Plane) lead(ctx context.Context, src ColumnSource, key string, kq, work
 // through the standard index (AllKNNFlat over NewIndex) otherwise. Both
 // paths produce bit-identical values in the same layout.
 func (p *Plane) compute(ctx context.Context, src ColumnSource, kq, workers int) (*planeEntry, error) {
+	if err := failpoint.Eval(SitePlanePublish); err != nil {
+		return nil, err
+	}
 	idx, dist, m, ok, err := p.delta.AllKNN(ctx, src, kq, workers)
 	if err != nil {
 		return nil, err

@@ -62,6 +62,36 @@ func TestAdmissionTokenBucket(t *testing.T) {
 	}
 }
 
+// TestAdmissionRetryAfterSeconds unit-tests the Retry-After computation
+// directly (it was previously exercised only through the 429 smoke): the
+// hint is the whole-second ceiling of the time to the next token, never
+// below 1, and 1 when no rate limit is configured.
+func TestAdmissionRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		rate   float64
+		tokens float64
+		want   int
+	}{
+		{rate: 0, tokens: 0, want: 1},     // no limiter: constant hint
+		{rate: 1, tokens: 0, want: 1},     // 1 token/s, bucket empty → 1s
+		{rate: 0.5, tokens: 0, want: 2},   // half a token/s → 2s
+		{rate: 0.1, tokens: 0, want: 10},  // refill 10s away
+		{rate: 0.1, tokens: 0.5, want: 5}, // half a token already there
+		{rate: 2, tokens: 0.9, want: 1},   // sub-second rounds up to 1
+		{rate: 1, tokens: 3, want: 1},     // tokens available → minimum hint
+	}
+	for _, tc := range cases {
+		a := newAdmission(0, tc.rate, 4)
+		clock := time.Unix(0, 0)
+		a.now = func() time.Time { return clock }
+		a.tokens, a.last = tc.tokens, clock
+		if got := a.retryAfterSeconds(); got != tc.want {
+			t.Errorf("retryAfterSeconds(rate=%v, tokens=%v) = %d, want %d",
+				tc.rate, tc.tokens, got, tc.want)
+		}
+	}
+}
+
 // TestAdmissionSemaphoreRejectionRefundsToken pins that a request shed at
 // the semaphore does not also burn a rate token — otherwise saturation
 // bursts would starve the bucket for well-behaved clients.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"anex/internal/detector"
+	"anex/internal/durable"
 	"anex/internal/neighbors"
 )
 
@@ -97,11 +98,45 @@ type ExplainResponse struct {
 	Summary      []ScoredSubspaceJSON   `json:"summary,omitempty"`
 }
 
+// ForgetResponse is the body of DELETE /v1/datasets/{name}.
+type ForgetResponse struct {
+	Name string `json:"name"`
+	// Forgotten is true when the named dataset existed and was removed
+	// (and, on a durable server, its tombstone logged).
+	Forgotten bool `json:"forgotten"`
+}
+
+// HealthResponse is the body of GET /healthz. The endpoint answers 200 in
+// degraded mode too — a degraded anexd still serves explanations for
+// registered tenants, it only refuses new writes — so liveness probes
+// must not kill it; orchestration that cares about write availability
+// reads the Degraded flag.
+type HealthResponse struct {
+	// Status is "ok" or "degraded".
+	Status string `json:"status"`
+	// Degraded is true once a durable write has failed and the server is
+	// read-only; Reason carries the first failure.
+	Degraded bool   `json:"degraded"`
+	Reason   string `json:"reason,omitempty"`
+	// UptimeMS is the server's age in milliseconds.
+	UptimeMS int64 `json:"uptime_ms"`
+}
+
 // StatsResponse is the body of GET /v1/stats: the engine's cross-request
 // reuse counters plus the serving layer's admission and latency counters.
 type StatsResponse struct {
 	// Datasets is the number of registered datasets.
 	Datasets int `json:"datasets"`
+	// UptimeMS is the server's age in milliseconds.
+	UptimeMS int64 `json:"uptime_ms"`
+	// Degraded is true once a durable write has failed: the server is
+	// read-only (new registrations get 503 + Retry-After) until restart.
+	// DegradedReason carries the first failure's message.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Durable reports the write-ahead-logged dataset store's counters;
+	// absent on servers running without -data-dir.
+	Durable *durable.Stats `json:"durable,omitempty"`
 	// DedupFactor is the headline cross-request reuse metric: scoring-work
 	// requests across both cache layers (plane kNN queries + score-memo
 	// calls) per actual computation (plane builds + memo misses). A cold
@@ -164,4 +199,9 @@ func notFound(format string, args ...any) *StatusError {
 // conflict builds a 409 StatusError.
 func conflict(format string, args ...any) *StatusError {
 	return &StatusError{Code: 409, Msg: fmt.Sprintf(format, args...)}
+}
+
+// unavailable builds a 503 StatusError.
+func unavailable(format string, args ...any) *StatusError {
+	return &StatusError{Code: 503, Msg: fmt.Sprintf(format, args...)}
 }

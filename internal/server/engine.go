@@ -107,11 +107,46 @@ func (e *Engine) NewScoreMemo(d core.Detector) *detector.Cached {
 // entries are forgotten and its score memos dropped, so a tenant can never
 // be served explanations of data it no longer owns.
 func (e *Engine) RegisterCSV(name string, csv []byte, header bool) (RegisterResponse, error) {
+	pending, err := e.PrepareRegister(name, csv, header)
+	if err != nil {
+		return RegisterResponse{}, err
+	}
+	return pending.Commit(), nil
+}
+
+// PendingRegistration is a validated registration that has not yet been
+// applied to the registry. The split exists for the durable serving
+// layer: validate (parse the CSV, compute the hash), persist the record
+// to the write-ahead log, and only then Commit — so a registration the
+// engine serves is always one the log already holds, and a crash between
+// the two leaves the durable (post-write) state that recovery replays.
+type PendingRegistration struct {
+	e         *Engine
+	name      string
+	hash      string
+	ds        *dataset.Dataset // nil when Identical
+	identical bool
+	resp      RegisterResponse
+}
+
+// Identical reports that an identical payload (same name, same hash) was
+// already registered when the registration was prepared: Commit is a
+// cache-preserving no-op, and a durable layer can skip the log append
+// (the record is necessarily already durable).
+func (p *PendingRegistration) Identical() bool { return p.identical }
+
+// Hash returns the payload's SHA-256 — the idempotency key clients pin.
+func (p *PendingRegistration) Hash() string { return p.hash }
+
+// PrepareRegister validates a registration without applying it: the CSV
+// is fully parsed (NaN/Inf and ragged rows rejected) and the payload
+// hashed. The returned pending registration is applied with Commit.
+func (e *Engine) PrepareRegister(name string, csv []byte, header bool) (*PendingRegistration, error) {
 	if name == "" {
-		return RegisterResponse{}, badRequest("dataset name must be non-empty")
+		return nil, badRequest("dataset name must be non-empty")
 	}
 	if len(csv) == 0 {
-		return RegisterResponse{}, badRequest("dataset %q: empty csv payload", name)
+		return nil, badRequest("dataset %q: empty csv payload", name)
 	}
 	sum := sha256.Sum256(csv)
 	hash := hex.EncodeToString(sum[:])
@@ -120,7 +155,8 @@ func (e *Engine) RegisterCSV(name string, csv []byte, header bool) (RegisterResp
 	if t, ok := e.tenants[name]; ok && t.hash == hash {
 		ds := t.ds
 		e.mu.Unlock()
-		return RegisterResponse{Name: name, Hash: hash, N: ds.N(), D: ds.D()}, nil
+		return &PendingRegistration{e: e, name: name, hash: hash, identical: true,
+			resp: RegisterResponse{Name: name, Hash: hash, N: ds.N(), D: ds.D()}}, nil
 	}
 	e.mu.Unlock()
 
@@ -128,23 +164,34 @@ func (e *Engine) RegisterCSV(name string, csv []byte, header bool) (RegisterResp
 	// full validation pass (NaN/Inf and ragged rows rejected).
 	ds, err := dataset.ReadCSV(name, bytes.NewReader(csv), header)
 	if err != nil {
-		return RegisterResponse{}, badRequest("dataset %q: %v", name, err)
+		return nil, badRequest("dataset %q: %v", name, err)
 	}
+	return &PendingRegistration{e: e, name: name, hash: hash, ds: ds}, nil
+}
 
+// Commit applies a prepared registration to the registry and returns the
+// registration response. Identical registrations keep the incumbent
+// tenant's warm caches; replacements release the old dataset's plane
+// entries and drop its memos.
+func (p *PendingRegistration) Commit() RegisterResponse {
+	if p.identical {
+		return p.resp
+	}
+	e := p.e
 	e.mu.Lock()
-	old, replaced := e.tenants[name]
-	if replaced && old.hash == hash {
+	old, replaced := e.tenants[p.name]
+	if replaced && old.hash == p.hash {
 		// A concurrent identical registration won the race; keep its caches.
 		ds := old.ds
 		e.mu.Unlock()
-		return RegisterResponse{Name: name, Hash: hash, N: ds.N(), D: ds.D()}, nil
+		return RegisterResponse{Name: p.name, Hash: p.hash, N: ds.N(), D: ds.D()}
 	}
-	e.tenants[name] = &tenant{ds: ds, hash: hash, memos: make(map[string]*detector.Cached)}
+	e.tenants[p.name] = &tenant{ds: p.ds, hash: p.hash, memos: make(map[string]*detector.Cached)}
 	e.mu.Unlock()
 	if replaced {
 		e.plane.Forget(old.ds.SourceKey())
 	}
-	return RegisterResponse{Name: name, Hash: hash, N: ds.N(), D: ds.D(), Replaced: replaced}, nil
+	return RegisterResponse{Name: p.name, Hash: p.hash, N: p.ds.N(), D: p.ds.D(), Replaced: replaced}
 }
 
 // Forget deregisters a dataset and releases its plane entries. Unknown

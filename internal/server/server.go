@@ -8,7 +8,25 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"anex/internal/durable"
+	"anex/internal/failpoint"
+)
+
+// DegradedRetryAfterSeconds is the Retry-After hint attached to the 503 a
+// degraded server answers writes with. Degradation is sticky until an
+// operator fixes the disk and restarts, so the hint is deliberately
+// coarse — it spaces out well-behaved clients without promising recovery.
+const DegradedRetryAfterSeconds = 30
+
+// The serving layer's failpoint sites: an armed error action fails the
+// handler before it touches the engine, exercising the client's retry
+// path against real HTTP 5xx responses.
+const (
+	SiteHTTPRegister = "server.register"
+	SiteHTTPExplain  = "server.explain"
 )
 
 // Config tunes the serving layer around an Engine.
@@ -21,16 +39,31 @@ type Config struct {
 	// token bucket of capacity Burst (0 → ceil(Rate)).
 	Rate  float64
 	Burst int
+	// Durable, when set, write-ahead-logs every registration and forget
+	// before it is applied, so the registry survives restarts. A durable
+	// write failure flips the server into read-only degraded mode.
+	Durable *durable.Store
+	// OnDegrade, when set, is called once with the failure that flipped
+	// the server into degraded mode (the daemon's logging hook).
+	OnDegrade func(error)
 }
 
 // Server is the HTTP/JSON skin over an Engine: admission control, wire
-// codecs, per-endpoint latency counters. Mount Handler on any http.Server.
+// codecs, per-endpoint latency counters, and — when a durable store is
+// attached — write-ahead persistence with read-only degradation on
+// durable-write failure. Mount Handler on any http.Server.
 type Server struct {
-	engine *Engine
-	gate   *admission
+	engine    *Engine
+	gate      *admission
+	store     *durable.Store
+	onDegrade func(error)
+	start     time.Time
 
-	mu        sync.Mutex
-	endpoints map[string]*EndpointStats
+	degraded atomic.Bool
+
+	mu             sync.Mutex
+	degradedReason string
+	endpoints      map[string]*EndpointStats
 }
 
 // New builds a server over engine.
@@ -42,22 +75,63 @@ func New(engine *Engine, cfg Config) *Server {
 	return &Server{
 		engine:    engine,
 		gate:      newAdmission(maxInflight, cfg.Rate, cfg.Burst),
+		store:     cfg.Durable,
+		onDegrade: cfg.OnDegrade,
+		start:     time.Now(),
 		endpoints: make(map[string]*EndpointStats),
 	}
 }
 
+// degrade flips the server into read-only degraded mode: existing tenants
+// keep getting explanations, every later write is refused with 503 +
+// Retry-After. The first cause wins; degradation is sticky until restart
+// (the durable store fail-stopped, so there is nothing to probe).
+func (s *Server) degrade(err error) {
+	s.mu.Lock()
+	if s.degradedReason == "" {
+		s.degradedReason = err.Error()
+	}
+	s.mu.Unlock()
+	if s.degraded.CompareAndSwap(false, true) && s.onDegrade != nil {
+		s.onDegrade(err)
+	}
+}
+
+// Degraded reports whether the server is in read-only degraded mode.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+func (s *Server) degradedError() *StatusError {
+	s.mu.Lock()
+	reason := s.degradedReason
+	s.mu.Unlock()
+	return unavailable("durable store failed, registry is read-only (explanations of registered datasets still served): %s", reason)
+}
+
+// rejectDegraded answers a write request with 503 + Retry-After when the
+// server is degraded. Reports whether the request was rejected.
+func (s *Server) rejectDegraded(w http.ResponseWriter) bool {
+	if !s.degraded.Load() {
+		return false
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(DegradedRetryAfterSeconds))
+	writeError(w, s.degradedError())
+	return true
+}
+
 // Handler returns the service's route table:
 //
-//	POST /v1/datasets  register a CSV payload        (admission-gated)
-//	POST /v1/explain   explain points of a dataset   (admission-gated)
-//	GET  /v1/stats     reuse + admission counters    (always admitted)
-//	GET  /healthz      liveness                      (always admitted)
+//	POST   /v1/datasets         register a CSV payload        (admission-gated)
+//	DELETE /v1/datasets/{name}  forget a dataset              (admission-gated)
+//	POST   /v1/explain          explain points of a dataset   (admission-gated)
+//	GET    /v1/stats            reuse + admission counters    (always admitted)
+//	GET    /healthz             liveness                      (always admitted)
 //
 // The read-only endpoints bypass admission so health checks and
 // observability keep working while the service sheds load.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/datasets", s.instrument("POST /v1/datasets", true, s.handleRegister))
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.instrument("DELETE /v1/datasets/{name}", true, s.handleForget))
 	mux.HandleFunc("POST /v1/explain", s.instrument("POST /v1/explain", true, s.handleExplain))
 	mux.HandleFunc("GET /v1/stats", s.instrument("GET /v1/stats", false, s.handleStats))
 	mux.HandleFunc("GET /healthz", s.instrument("GET /healthz", false, s.handleHealthz))
@@ -124,21 +198,69 @@ func (w *codeWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// handleRegister is the durable write path: validate (parse + hash),
+// append the record to the write-ahead log, and only then commit to the
+// in-memory registry — so an acknowledged registration is always durable,
+// and a crash between append and commit leaves a record recovery replays.
+// A durable append failure degrades the server instead of crashing it.
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if err := failpoint.Eval(SiteHTTPRegister); err != nil {
+		writeError(w, err)
+		return
+	}
+	if s.rejectDegraded(w) {
+		return
+	}
 	var req RegisterRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
-	resp, err := s.engine.RegisterCSV(req.Name, []byte(req.CSV), req.Header)
+	pending, err := s.engine.PrepareRegister(req.Name, []byte(req.CSV), req.Header)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	// Identical re-registrations skip the log: every registration the
+	// engine holds went through it, so the record is already durable —
+	// which is what makes a client's blind retry of a lost ack free.
+	if s.store != nil && !pending.Identical() {
+		if err := s.store.AppendRegister(req.Name, req.Header, []byte(req.CSV)); err != nil {
+			s.degrade(err)
+			s.rejectDegraded(w)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, pending.Commit())
+}
+
+// handleForget deregisters a dataset, writing a durable tombstone first
+// (same WAL-before-registry ordering as registration).
+func (s *Server) handleForget(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDegraded(w) {
+		return
+	}
+	name := r.PathValue("name")
+	if _, _, ok := s.engine.Dataset(name); !ok {
+		writeError(w, notFound("unknown dataset %q", name))
+		return
+	}
+	if s.store != nil {
+		if err := s.store.AppendForget(name); err != nil {
+			s.degrade(err)
+			s.rejectDegraded(w)
+			return
+		}
+	}
+	s.engine.Forget(name)
+	writeJSON(w, http.StatusOK, ForgetResponse{Name: name, Forgotten: true})
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if err := failpoint.Eval(SiteHTTPExplain); err != nil {
+		writeError(w, err)
+		return
+	}
 	var req ExplainRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, err)
@@ -157,7 +279,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := HealthResponse{Status: "ok", UptimeMS: time.Since(s.start).Milliseconds()}
+	if s.degraded.Load() {
+		s.mu.Lock()
+		resp.Reason = s.degradedReason
+		s.mu.Unlock()
+		resp.Status = "degraded"
+		resp.Degraded = true
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // Stats snapshots the full service state: the engine's cross-request reuse
@@ -179,8 +309,10 @@ func (s *Server) Stats() StatsResponse {
 	if work > 0 {
 		dedup = float64(queries) / float64(work)
 	}
-	return StatsResponse{
+	resp := StatsResponse{
 		Datasets:         datasets,
+		UptimeMS:         time.Since(s.start).Milliseconds(),
+		Degraded:         s.degraded.Load(),
 		DedupFactor:      dedup,
 		Plane:            plane,
 		PlaneDedupFactor: plane.DedupFactor(),
@@ -189,6 +321,16 @@ func (s *Server) Stats() StatsResponse {
 		Admission:        s.gate.Stats(),
 		Endpoints:        endpoints,
 	}
+	if resp.Degraded {
+		s.mu.Lock()
+		resp.DegradedReason = s.degradedReason
+		s.mu.Unlock()
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Durable = &st
+	}
+	return resp
 }
 
 // decodeJSON strictly decodes a request body (unknown fields rejected, so

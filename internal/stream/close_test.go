@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"anex/internal/detector"
+	"anex/internal/durable"
+)
+
+// The durable store is the intended production tombstone sink.
+var _ Tombstones = (*durable.Store)(nil)
+
+// quietMonitor is a small fast monitor that never alerts (threshold far
+// beyond any z-score) — the rig for lifecycle tests.
+func quietMonitor(t *testing.T, mutate func(*Config)) *Monitor {
+	t.Helper()
+	cfg := Config{
+		WindowSize: MinWindowSize,
+		Stride:     4,
+		ZThreshold: Threshold(1000),
+		Detector:   detector.NewLOF(3),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func feed(t *testing.T, m *Monitor, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		if _, err := m.Push(context.Background(), inlier(rng)); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+}
+
+// TestMonitorCloseIdempotent pins the Close contract: double Close is a
+// no-op (not a double release), and a closed monitor refuses further
+// pushes instead of silently re-registering cache entries it just freed.
+func TestMonitorCloseIdempotent(t *testing.T) {
+	m := quietMonitor(t, nil)
+	feed(t, m, 2*MinWindowSize) // at least one evaluation → live prev window
+	m.Close()
+	m.Close() // must not panic or double-release
+	if _, err := m.Push(context.Background(), []float64{0, 0, 0, 0}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Push after Close = %v, want ErrClosed", err)
+	}
+	if _, err := m.Flush(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("Flush after Close = %v, want ErrClosed", err)
+	}
+}
+
+// recordingTombstones is a Tombstones sink capturing names, optionally
+// failing.
+type recordingTombstones struct {
+	names []string
+	err   error
+}
+
+func (r *recordingTombstones) AppendForget(name string) error {
+	if r.err != nil {
+		return r.err
+	}
+	r.names = append(r.names, name)
+	return nil
+}
+
+// TestMonitorTombstonesExpiredWindows pins the durable hook: every window
+// dataset the monitor expires — by a newer evaluation or by Close — is
+// reported to the tombstone sink exactly once, in death order.
+func TestMonitorTombstonesExpiredWindows(t *testing.T) {
+	sink := &recordingTombstones{}
+	m := quietMonitor(t, func(c *Config) { c.Tombstones = sink })
+	feed(t, m, MinWindowSize+3*4) // evaluations 1..4: windows 1-3 expire in flight
+	m.Close()                     // ...and window 4 dies with the monitor
+	m.Close()                     // idempotent: no duplicate tombstone
+	want := []string{"window-1", "window-2", "window-3", "window-4"}
+	if fmt.Sprint(sink.names) != fmt.Sprint(want) {
+		t.Errorf("tombstones = %v, want %v", sink.names, want)
+	}
+}
+
+// TestMonitorTombstoneFailureSurfaces pins that a failing sink turns into
+// an error on the Push that expired the window — not a silent drop.
+func TestMonitorTombstoneFailureSurfaces(t *testing.T) {
+	boom := errors.New("wal broken")
+	sink := &recordingTombstones{err: boom}
+	m := quietMonitor(t, func(c *Config) { c.Tombstones = sink })
+	rng := rand.New(rand.NewSource(1))
+	var sawErr error
+	for i := 0; i < MinWindowSize+2*4 && sawErr == nil; i++ {
+		_, sawErr = m.Push(context.Background(), inlier(rng))
+	}
+	if !errors.Is(sawErr, boom) {
+		t.Fatalf("pushes never surfaced the tombstone failure, got %v", sawErr)
+	}
+}

@@ -15,6 +15,7 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -23,6 +24,10 @@ import (
 	"anex/internal/neighbors"
 	"anex/internal/stats"
 )
+
+// ErrClosed is returned by Push and Flush after Close: a closed monitor
+// has released its cache entries and must not silently re-create them.
+var ErrClosed = errors.New("stream: monitor closed")
 
 // MinWindowSize is the smallest window a Monitor evaluates: below it the
 // Z-score standardisation of the window's detector scores is too noisy to
@@ -100,6 +105,19 @@ type Config struct {
 	// queried is a harmless no-op, so a mismatched Plane degrades to the
 	// old LRU-only behaviour rather than corrupting anything.
 	Plane *neighbors.Plane
+	// Tombstones, when set, receives a forget record for every expired
+	// window dataset — the hook that lets a durable deployment log the
+	// death of ephemeral stream windows the same way it logs dataset
+	// forgets (*durable.Store satisfies it). Append failures surface from
+	// the Push/Flush that triggered the expiry; Close ignores them (the
+	// store is typically already shut down at that point).
+	Tombstones Tombstones
+}
+
+// Tombstones records that a named dataset is dead and must not be
+// resurrected. *durable.Store implements it.
+type Tombstones interface {
+	AppendForget(name string) error
 }
 
 // SetDefaults resolves every unset knob to its documented default in
@@ -159,9 +177,10 @@ type Monitor struct {
 	sinceEval int
 	total     int
 
-	flagged map[int]bool      // live sequence numbers already alerted
-	prev    *dataset.Dataset  // previous evaluation's window, released next eval
+	flagged map[int]bool     // live sequence numbers already alerted
+	prev    *dataset.Dataset // previous evaluation's window, released next eval
 	evals   int
+	closed  bool
 }
 
 // NewMonitor builds a Monitor from the configuration (defaults applied to a
@@ -198,6 +217,9 @@ func (m *Monitor) FlaggedLive() int { return len(m.flagged) }
 // Cancelling ctx aborts a triggered evaluation with ctx's error; the pushed
 // point is retained either way.
 func (m *Monitor) Push(ctx context.Context, point []float64) ([]Alert, error) {
+	if m.closed {
+		return nil, ErrClosed
+	}
 	cp := make([]float64, len(point))
 	copy(cp, point)
 	if len(m.window) < m.cfg.WindowSize {
@@ -223,6 +245,9 @@ func (m *Monitor) Push(ctx context.Context, point []float64) ([]Alert, error) {
 // Flush forces an evaluation of the current window if it holds at least
 // MinWindowSize points, regardless of stride position.
 func (m *Monitor) Flush(ctx context.Context) ([]Alert, error) {
+	if m.closed {
+		return nil, ErrClosed
+	}
 	if len(m.window) < MinWindowSize {
 		return nil, nil
 	}
@@ -231,23 +256,38 @@ func (m *Monitor) Flush(ctx context.Context) ([]Alert, error) {
 }
 
 // Close releases the cache entries of the monitor's current and previous
-// window datasets. Optional: a monitor abandoned without Close leaks at
-// most those two windows' entries until LRU pressure reclaims them.
+// window datasets and marks the monitor closed: further Push/Flush calls
+// return ErrClosed, and repeated Close calls are no-ops. Optional: a
+// monitor abandoned without Close leaks at most those two windows' cache
+// entries until LRU pressure reclaims them. Tombstone-append failures are
+// ignored here — at Close time the durable store is often already gone.
 func (m *Monitor) Close() {
-	m.release(m.prev)
+	if m.closed {
+		return
+	}
+	m.closed = true
+	_ = m.release(m.prev)
 	m.prev = nil
 }
 
 // release forgets one dead window dataset from the neighbourhood plane and
-// from the detector's score memo (when the detector keeps one).
-func (m *Monitor) release(ds *dataset.Dataset) {
+// from the detector's score memo (when the detector keeps one), then logs
+// the death to the configured tombstone sink. Cache release runs even when
+// the tombstone append fails — a failed log must not pin memory.
+func (m *Monitor) release(ds *dataset.Dataset) error {
 	if ds == nil {
-		return
+		return nil
 	}
 	m.cfg.Plane.Forget(ds.SourceKey())
 	if f, ok := m.cfg.Detector.(cacheForgetter); ok {
 		f.Forget(ds.Name())
 	}
+	if m.cfg.Tombstones != nil {
+		if err := m.cfg.Tombstones.AppendForget(ds.Name()); err != nil {
+			return fmt.Errorf("stream: tombstone window %q: %w", ds.Name(), err)
+		}
+	}
+	return nil
 }
 
 // pruneFlagged drops alerted sequence numbers older than the oldest live
@@ -283,8 +323,11 @@ func (m *Monitor) evaluate(ctx context.Context) ([]Alert, error) {
 	// alert: release its plane and score-memo entries before the new
 	// window's are computed, so a long stream holds a bounded footprint of
 	// at most two windows (current + the one released here next round).
-	m.release(m.prev)
+	releaseErr := m.release(m.prev)
 	m.prev = ds
+	if releaseErr != nil {
+		return nil, releaseErr
+	}
 	scores, err := m.cfg.Detector.Scores(ctx, ds.FullView())
 	if err != nil {
 		return nil, fmt.Errorf("stream: score window %d: %w", m.evals, err)

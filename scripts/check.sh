@@ -16,6 +16,17 @@ go test -race ./...
 # gate; a reproducing input would land in internal/dataset/testdata/fuzz.
 go test ./internal/dataset -run FuzzReadCSV -fuzz=FuzzReadCSV -fuzztime=10s
 
+# WAL decoder fuzz smoke: recovery parses whatever bytes a crash left on
+# disk, so the decoder must never panic, must truncate at the longest
+# valid frame prefix, and must round-trip what it accepts bit-identically.
+go test ./internal/durable -run FuzzWALDecode -fuzz=FuzzWALDecode -fuzztime=10s
+
+# Crash drill: for every durable fault site and hit number, die there,
+# recover, and require the recovered registry to equal the pre- or
+# post-write state — run explicitly (and uncached) so the schedule cannot
+# be pruned out of the -race sweep above.
+go test -race -count=1 -run 'TestCrashSchedule|TestCrashDuringRecovery' ./internal/durable
+
 # Benchmark smoke: one iteration of the grid benchmark proves the bench
 # harness still compiles and runs end to end (full numbers come from
 # scripts/bench.sh, which this deliberately does not replicate).
@@ -107,5 +118,8 @@ go test -count=1 -run 'TestGridPlaneDedupFactor$' ./internal/pipeline
 # detector, register a dataset over HTTP, run concurrent explains, and pin
 # the service contract — warm-path dedup factor > 1 on a repeated request,
 # 429 + Retry-After under saturation, and a clean (exit-0) drain of
-# in-flight requests on a real SIGTERM.
+# in-flight requests on a real SIGTERM. TestAnexdChaosKill9Recovery is the
+# chaos smoke: a real anexd binary SIGKILLed mid-registration-loop must
+# come back from its -data-dir serving every acked dataset byte-
+# identically to the retrying client.
 go test -race -count=1 -run 'TestAnexd' ./cmd/anexd
