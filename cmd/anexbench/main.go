@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	anexbench [-scale small|paper] [-seed N] [-exp all|table1|figure8|figure9|figure10|figure11|table2|ablation|conformance] [-csv dir] [-quiet] [-workers N] [-cache-mb 256] [-plane-mb 256] [-stats]
+//	anexbench [-scale small|paper] [-seed N] [-exp all|table1|figure8|figure9|figure10|figure11|table2|ablation|conformance] [-csv dir] [-quiet] [-workers N] [-cache-mb 256] [-plane-mb 256] [-landmarks N] [-no-prune] [-stats]
 //
 // At the default small scale the full run finishes in minutes on a laptop;
 // paper scale matches the dataset shapes of the paper's Table 1 and can
@@ -27,6 +27,7 @@ import (
 
 	"anex/internal/clix"
 	"anex/internal/experiments"
+	"anex/internal/neighbors"
 	"anex/internal/pipeline"
 	"anex/internal/synth"
 )
@@ -46,11 +47,17 @@ func main() {
 		workers   = flag.Int("workers", 0, "inner-loop workers per pipeline cell (0 = GOMAXPROCS); results are identical at any count")
 		cacheMB   = flag.Int("cache-mb", 0, "byte budget (MiB) of each detector's shared score memo; LRU-evicts past it (0 = default 256)")
 		planeMB   = flag.Int("plane-mb", 0, "byte budget (MiB) of the session's shared neighbourhood plane (0 = default 256)")
-		stats     = flag.Bool("stats", false, "print neighbourhood-plane cache statistics (hits, dedup factor, residency) to stderr when the run ends")
+		landmarks = flag.Int("landmarks", 0, "landmark count of the pruned candidate tier on wide views (0 = automatic); results are bit-identical at any value")
+		noPrune   = flag.Bool("no-prune", false, "disable the landmark-pruned candidate tier (wide views fall back to the plain exhaustive scan)")
+		stats     = flag.Bool("stats", false, "print neighbourhood-plane and landmark-prune statistics (hits, dedup factor, scan fraction) to stderr when the run ends")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a post-GC heap profile to this file when the run ends")
 	)
 	flag.Parse()
+
+	// The landmark tier is process-wide state (every index NewIndex builds
+	// consults it), so it is configured once, before any session exists.
+	neighbors.SetPruneConfig(neighbors.PruneConfig{Landmarks: *landmarks, Disabled: *noPrune})
 
 	// anexbench keeps the raw clix primitives instead of clix.Main: profiles
 	// must flush on every exit path (os.Exit skips defers) and the resume
@@ -236,6 +243,12 @@ func run(ctx context.Context, scaleFlag string, seed int64, exp, csvDir string, 
 	}
 	if stats {
 		fmt.Fprintf(os.Stderr, "neighbourhood plane: %s\n", session.PlaneStats())
+		if pt := neighbors.PruneTotals(); pt.Indexes > 0 {
+			fmt.Fprintf(os.Stderr, "landmark prune: %d indexes (%d landmarks, build %v), scanned %d of %d candidates (scan fraction %.3f, %d skipped)\n",
+				pt.Indexes, pt.Landmarks, pt.BuildTime, pt.Scanned, pt.Candidates, pt.ScanFraction(), pt.Skipped)
+		} else {
+			fmt.Fprintln(os.Stderr, "landmark prune: no wide views routed through the tier")
+		}
 	}
 	return nil
 }

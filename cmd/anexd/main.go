@@ -7,7 +7,7 @@
 //
 //	anexd [-addr :8347] [-data-dir DIR] [-max-inflight N] [-rate R]
 //	      [-burst B] [-plane-mb 256] [-cache-mb 256] [-workers N]
-//	      [-grace 15s] [-failpoints SPEC]
+//	      [-landmarks N] [-no-prune] [-grace 15s] [-failpoints SPEC]
 //
 // Endpoints:
 //
@@ -48,6 +48,7 @@ import (
 	"anex/internal/clix"
 	"anex/internal/durable"
 	"anex/internal/failpoint"
+	"anex/internal/neighbors"
 	"anex/internal/server"
 )
 
@@ -62,9 +63,15 @@ func main() {
 		planeMB     = flag.Int("plane-mb", 0, "byte budget (MiB) of the shared neighbourhood plane (0 = default 256)")
 		cacheMB     = flag.Int("cache-mb", 0, "byte budget (MiB) of each dataset's per-detector score memo (0 = default 256)")
 		workers     = flag.Int("workers", 0, "scoring workers per request (0 = GOMAXPROCS); results are identical at any count")
+		landmarks   = flag.Int("landmarks", 0, "landmark count of the pruned candidate tier on wide views (0 = automatic); results are bit-identical at any value")
+		noPrune     = flag.Bool("no-prune", false, "disable the landmark-pruned candidate tier (wide views fall back to the plain exhaustive scan)")
 		grace       = flag.Duration("grace", 15*time.Second, "shutdown drain deadline before in-flight requests are hard-cancelled")
 	)
 	flag.Parse()
+
+	// The landmark tier is process-wide state consulted by every index the
+	// engine's plane builds, so it is configured before the engine exists.
+	neighbors.SetPruneConfig(neighbors.PruneConfig{Landmarks: *landmarks, Disabled: *noPrune})
 
 	// Unlike the one-shot CLIs (internal/clix: interrupt → exit 130), a
 	// signal to the daemon means "drain and exit cleanly".

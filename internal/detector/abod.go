@@ -75,17 +75,9 @@ func (a *FastABOD) Scores(ctx context.Context, v *dataset.View) ([]float64, erro
 		// No angle pairs exist; everything is equally (non-)outlying.
 		return scores, nil
 	}
-	nnIdx, _, m, stride, ok, err := a.Neighbors.AllKNN(ctx, v, k, a.Workers)
+	nnIdx, _, m, stride, err := neighbors.AllKNNOrIndex(ctx, a.Neighbors, v, k, a.Workers)
 	if err != nil {
 		return nil, err
-	}
-	if !ok {
-		ix := neighbors.NewIndex(v.Points())
-		nnIdx, _, m, err = neighbors.AllKNNFlat(ctx, ix, k, a.Workers)
-		if err != nil {
-			return nil, err
-		}
-		stride = m
 	}
 
 	dim := v.Dim()

@@ -69,17 +69,9 @@ func (d *KNNDist) Scores(ctx context.Context, v *dataset.View) ([]float64, error
 	if k < 1 {
 		return scores, nil
 	}
-	_, dist, m, stride, ok, err := d.Neighbors.AllKNN(ctx, v, k, d.Workers)
+	_, dist, m, stride, err := neighbors.AllKNNOrIndex(ctx, d.Neighbors, v, k, d.Workers)
 	if err != nil {
 		return nil, err
-	}
-	if !ok {
-		ix := neighbors.NewIndex(v.Points())
-		_, dist, m, err = neighbors.AllKNNFlat(ctx, ix, k, d.Workers)
-		if err != nil {
-			return nil, err
-		}
-		stride = m
 	}
 	for i := range scores {
 		var sum float64

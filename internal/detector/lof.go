@@ -73,17 +73,9 @@ func (l *LOF) Scores(ctx context.Context, v *dataset.View) ([]float64, error) {
 		// A single point has no neighbours; call it a perfect inlier.
 		return []float64{1}, nil
 	}
-	nnIdx, nnDist, m, stride, ok, err := l.Neighbors.AllKNN(ctx, v, k, l.Workers)
+	nnIdx, nnDist, m, stride, err := neighbors.AllKNNOrIndex(ctx, l.Neighbors, v, k, l.Workers)
 	if err != nil {
 		return nil, err
-	}
-	if !ok {
-		ix := neighbors.NewIndex(v.Points())
-		nnIdx, nnDist, m, err = neighbors.AllKNNFlat(ctx, ix, k, l.Workers)
-		if err != nil {
-			return nil, err
-		}
-		stride = m
 	}
 
 	// k-distance of each point = distance to its k-th nearest neighbour.

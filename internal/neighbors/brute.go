@@ -49,7 +49,10 @@ func (b bruteForce) KNNInto(i, k int, s *Scratch) ([]int, []float64) {
 
 // Scratch holds the reusable per-worker state of KNNInto queries: the
 // k-bounded heap and the result buffers. The zero value is ready to use;
-// one scratch must not be shared between concurrent queries.
+// one scratch must not be shared between concurrent queries. Every buffer
+// is sized by k — never by view width — and is fully rewritten before it
+// is read, so one scratch serves indexes of any dimensionality back to
+// back (pinned by TestScratchReuseAcrossWidths).
 type Scratch struct {
 	h    boundedHeap
 	idx  []int

@@ -549,21 +549,16 @@ func (e *DeltaEngine) fullSpaceKNN(ctx context.Context, ds *deltaSource, src Col
 	for i := range rows {
 		rows[i] = flat[i*fd : (i+1)*fd : (i+1)*fd]
 	}
+	// The flat builder hands back the packed int32 layout knnEntry wants
+	// directly, and NewIndex routes wide full spaces through the landmark
+	// tier — so the seed structure both skips the per-row slice headers
+	// and inherits the pruned scan. Indices are bit-identical either way.
 	ix := NewIndex(rows)
-	idx, _, err := AllKNNParallel(ctx, ix, k, workers)
+	idx, _, m, err := AllKNNFlat(ctx, ix, k, workers)
 	if err != nil {
 		return nil, err
 	}
-	m := k
-	if m > n-1 {
-		m = n - 1
-	}
-	en := &knnEntry{m: m, idx: make([]int32, n*m)}
-	for i, nb := range idx {
-		for t, j := range nb {
-			en.idx[i*m+t] = int32(j)
-		}
-	}
+	en := &knnEntry{m: m, idx: idx}
 	ds.fullKNN[k] = en
 	return en, nil
 }

@@ -1,0 +1,166 @@
+package neighbors
+
+import "math"
+
+// The query kernels under the landmark tier. A query visits its
+// lbNearClusters nearest clusters first, then the rest; each visited
+// cluster passes through two pruning stages before any member reaches the
+// exact distance kernel:
+//
+//   - WHOLESALE REJECTION — for cluster c and any landmark L, every member
+//     x has stored d(x,L) inside the cluster's interval [lo, hi], so the
+//     query's distance-to-interval |d(q,L) − clamp(d(q,L), lo, hi)|
+//     lower-bounds d(q,x) for the whole segment. Two landmarks are probed —
+//     the cluster's own (narrowest interval; decides most rejections) and
+//     the query's own (its probe is one sequential row of the transposed
+//     interval matrix) — so a rejected segment costs at most two compares.
+//   - BAND SCAN — a surviving cluster is scanned only inside the band its
+//     own-landmark bound cannot reject (see scanCluster): members are
+//     stored sorted by own-landmark distance, so the skippable members
+//     form a prefix and a suffix found by inward linear walks of the
+//     sorted key, one compare per rejected member.
+//   - EXACT SCAN — everything left goes through squaredEuclideanWithin,
+//     the same 4-wide-unrolled accumulation in the same grouping order
+//     against the same live radius as the brute-force scan, so kept
+//     distances are bit-identical to the unpruned index.
+//
+// There is deliberately NO all-landmarks per-member bound pass: with the
+// early-exit exact kernel a rejected candidate already costs only ~a
+// quarter of a full distance, and measurement showed per-member tests of
+// every landmark (≈ nl compares each, unpredictable branches) cost more
+// than they save on every workload tried. Pruning leverage comes from
+// cluster granularity (more landmarks → tighter segments and bands)
+// instead, which the automatic landmark count reflects.
+//
+// The nearest-first visit prefix pays twice: the query's own and nearby
+// clusters hold its true neighbours, so the heap radius is near-final
+// after the first segments — later, farther clusters then (a) get
+// wholesale-rejected against that tight radius and (b) when scanned, hit
+// the exact kernel's early exit after fewer dimensions.
+//
+// Why a skipped candidate can never change the result: the skip fires only
+// when lbAdj² · (1 − landmarkEps) > limit, where limit is the heap radius
+// AT THAT MOMENT and lbAdj subtracts landmarkSlack·(d(q,L) + d(x,L)) from
+// the computed bound. The stored landmark distances carry relative error
+// ≤ ~(d/2+2)·ε from the exact values, so lbAdj is ≤ the TRUE lower bound,
+// and the computed d²(q,x) the exact pass would have produced exceeds the
+// true square by at most a factor (1 ± d·ε) — landmarkEps over-covers both
+// by five orders of magnitude. Hence the skipped candidate's computed
+// distance strictly exceeds the radius at skip time; the radius only
+// shrinks as the scan proceeds, so it also exceeds the FINAL k-th
+// distance, and the kept k-set — the unique lexicographic minimum under
+// (distance bits, index), independent of visit order — is exactly the
+// brute-force set. Boundary ties are safe for the same reason: a tie at
+// the final radius is not a strict excess, so it is never skipped, and
+// tie-breaking happens inside the shared heap push. The wholesale form
+// inherits the argument because the adjusted bound (dq − dx) − slack·(dq +
+// dx) is monotone in dx on either side of dq: evaluating lbClears at the
+// near interval endpoint minorises every member's adjusted bound.
+//
+// On data where distances concentrate (uniform high-d noise) the intervals
+// are wide and overlapping, so clusters are never rejected and the bands
+// never shrink: the tier degrades to the brute-force scan in clustered
+// visit order plus a handful of compares per cluster — low single-digit
+// percent overhead, with no order-dependent sampling heuristics.
+
+const (
+	// landmarkSlack is the relative-to-magnitude slack subtracted from each
+	// lower bound: computed Euclidean distances carry relative error
+	// ≤ ~(d/2+2)·ε ≈ 1e-13 at d=1000, and the subtraction |d(q,L) − d(x,L)|
+	// turns that into an ABSOLUTE error proportional to the distances
+	// themselves — a purely relative margin on the bound would not cover a
+	// near-zero bound built from two large distances. 1e-12 over-covers.
+	landmarkSlack = 1e-12
+
+	// landmarkEps is the multiplicative slack on the squared bound,
+	// covering the accumulation error of the exact kernel's d²(q,x)
+	// (relative ≤ ~d·ε ≈ 4e-15 at d=20). 1e-9 over-covers by five orders
+	// of magnitude while loosening the radius immeasurably.
+	landmarkEps = 1e-9
+)
+
+// pruneCounters is one query's running pruning state.
+type pruneCounters struct {
+	candidates int64 // candidate rows considered
+	skipped    int64 // rejected wholesale by a cluster lower bound
+}
+
+// lbNearClusters is how many nearest clusters a query visits before the
+// rest: enough to pull the heap radius near its final value (tens of
+// candidates at the automatic cluster size), cheap enough that the
+// selection stays O(lbNearClusters·nl) instead of a full O(nl²) sort.
+const lbNearClusters = 4
+
+// lbIntervalClears evaluates one landmark's segment bound — the query's
+// distance to the near endpoint of the cluster's stored-distance interval —
+// against the squared radius. A query inside the interval has a zero
+// bound and can never clear.
+func lbIntervalClears(dq, lo, hi, limit float64) bool {
+	near := lo
+	if dq > hi {
+		near = hi
+	} else if dq >= lo {
+		return false
+	}
+	return lbClears(dq, near, limit)
+}
+
+// scanCluster scans cluster c's members for query qi — but only the BAND
+// the own-landmark bound cannot reject. Members are stored sorted by their
+// own-landmark distance dx, and the skip predicate lbClears(dq, dx, limit)
+// is monotone in dx on either side of dq (the adjusted bound (|dq − dx|) −
+// slack·(dq + dx) strictly decreases approaching dq from below and
+// strictly increases moving away above it), so the skippable members form
+// a prefix (dx far below dq) and a suffix (dx far above dq) of the
+// segment. Two inward linear scans USING THE PREDICATE ITSELF find the
+// exact boundary — member-level pruning precision, each rejected member
+// costing one compare instead of a distance computation, with no new
+// float expressions beyond the ones the safety argument already covers.
+// (Linear beats binary search here: segments are ~a dozen members and the
+// closure calls of sort.Search cost more than the walk.) The limit is the
+// radius at cluster entry; the live radius only shrinks during the band
+// scan, so the band is merely conservative. pc.skipped counts the
+// rejected prefix and suffix.
+func (lx *landmarkIndex) scanCluster(c, qi int, q []float64, dq float64, s *Scratch, pc *pruneCounters) {
+	d := lx.d
+	lo, hi := int(lx.seg[c]), int(lx.seg[c+1])
+	members := lx.order[lo:hi]
+	own := lx.ownDist[lo:hi]
+	limit := s.h.top()
+	start, end := 0, len(members)
+	if !math.IsInf(limit, 1) {
+		for start < end && own[start] < dq && lbClears(dq, own[start], limit) {
+			start++
+		}
+		for end > start && own[end-1] > dq && lbClears(dq, own[end-1], limit) {
+			end--
+		}
+		pc.skipped += int64(start + (len(members) - end))
+	}
+	for _, j := range members[start:end] {
+		if int(j) == qi {
+			continue
+		}
+		row := lx.flat[int(j)*d : (int(j)+1)*d]
+		// The same exact kernel, grouping order, and live-radius early
+		// exit as bruteForce.KNNInto — kept values are bit-identical.
+		d2, within := squaredEuclideanWithin(q, row, s.h.top())
+		if !within {
+			continue
+		}
+		s.h.push(int(j), d2)
+	}
+}
+
+// lbClears evaluates one landmark's safe lower bound against the squared
+// radius. The margins make the test conservative: false negatives cost a
+// distance computation, false positives are impossible (see the safety
+// argument above), so bit-identicality survives.
+func lbClears(dq, dx, limit float64) bool {
+	diff := dq - dx
+	if diff < 0 {
+		diff = -diff
+	}
+	diff -= (dq + dx) * landmarkSlack
+	return diff > 0 && diff*diff*(1-landmarkEps) > limit
+}

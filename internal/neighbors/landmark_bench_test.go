@@ -1,0 +1,34 @@
+package neighbors_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"anex/internal/neighbors"
+)
+
+// BenchmarkPruneTune sweeps the landmark count on the Figure-9 reference
+// workload (20d, n=1000, k=15) against the unpruned scan — the tuning
+// harness behind the automatic landmark pick and the check.sh prune gate.
+// Indexes are built outside the timer: the plane builds each index once
+// per (dataset, subspace) and serves every detector and request from it,
+// so steady-state per-sweep query cost is the number that matters.
+func BenchmarkPruneTune(b *testing.B) {
+	points := figure9Points(b)
+	run := func(b *testing.B, ix neighbors.Index) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := neighbors.AllKNNFlat(context.Background(), ix, 15, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("brute", func(b *testing.B) { run(b, neighbors.NewBruteForce(points)) })
+	b.Run("auto", func(b *testing.B) { run(b, neighbors.NewLandmarkIndex(points, 0)) })
+	for _, nl := range []int{32, 64, 96, 128, 192} {
+		b.Run(fmt.Sprintf("nl%d", nl), func(b *testing.B) {
+			run(b, neighbors.NewLandmarkIndex(points, nl))
+		})
+	}
+}

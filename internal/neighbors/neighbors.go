@@ -39,15 +39,21 @@ type ScratchQuerier interface {
 // exhaustive scan with tight inner loops wins.
 const kdTreeMaxDim = 10
 
-// NewIndex builds the appropriate index for the given points: a KD-tree for
-// low-dimensional data (subspace views), brute force otherwise. The points
-// are not copied; callers must not mutate them while the index is in use.
+// NewIndex builds the appropriate index for the given points: a KD-tree
+// for low-dimensional data (subspace views), the landmark-pruned tier for
+// wide views large enough to amortise its build (unless PruneConfig
+// disables it), plain brute force otherwise. All three return bit-identical
+// neighbour sets; the choice only affects speed. The points are not
+// mutated; callers must not mutate them while the index is in use.
 func NewIndex(points [][]float64) Index {
 	if len(points) == 0 {
 		return bruteForce{}
 	}
 	if len(points[0]) <= kdTreeMaxDim && len(points) >= 64 {
 		return NewKDTree(points)
+	}
+	if c := GetPruneConfig(); !c.Disabled && len(points) >= landmarkMinPoints && len(points[0]) > kdTreeMaxDim {
+		return NewLandmarkIndex(points, c.Landmarks)
 	}
 	return NewBruteForce(points)
 }

@@ -73,12 +73,16 @@ type Plane struct {
 }
 
 // planeEntry is one resident neighbourhood structure, computed at
-// neighbourhood size k (m = min(k, n−1) actual neighbours per point).
+// neighbourhood size k (m = min(k, n−1) actual neighbours per point). When
+// the computation went through the landmark tier, prune records that
+// build's candidate/skip activity — the point→landmark matrix is built
+// exactly once per entry, so this is also the tier's per-entry ledger.
 type planeEntry struct {
-	key  string
-	k, m int
-	idx  []int32   // n×m row-major neighbour indices
-	dist []float64 // n×m Euclidean distances, ascending, index tie-broken
+	key   string
+	k, m  int
+	idx   []int32   // n×m row-major neighbour indices
+	dist  []float64 // n×m Euclidean distances, ascending, index tie-broken
+	prune PruneStats
 }
 
 func (en *planeEntry) bytes() int64 {
@@ -123,6 +127,10 @@ type PlaneStats struct {
 	// Delta is the embedded delta engine's activity (the plane's compute
 	// path for low-dimensional views).
 	Delta DeltaStats
+	// Prune aggregates the landmark tier's activity across this plane's
+	// computations (wide views routed through the pruned standard index):
+	// matrix builds, build time, and the candidate-scan/skip split.
+	Prune PruneStats
 }
 
 // DedupFactor reports how many queries each actual computation served:
@@ -359,6 +367,7 @@ func (p *Plane) lead(ctx context.Context, src ColumnSource, key string, kq, work
 		p.mu.Lock()
 		if call.err == nil {
 			p.stats.Computations++
+			p.stats.Prune = p.stats.Prune.add(call.ent.prune)
 			p.storeLocked(call.ent)
 		}
 		delete(p.inflight, key)
@@ -388,14 +397,35 @@ func (p *Plane) compute(ctx context.Context, src ColumnSource, kq, workers int) 
 	if err != nil {
 		return nil, err
 	}
+	var prune PruneStats
 	if !ok {
 		ix := NewIndex(sourceRows(src))
 		idx, dist, m, err = AllKNNFlat(ctx, ix, kq, workers)
 		if err != nil {
 			return nil, err
 		}
+		if lx, pruned := ix.(*landmarkIndex); pruned {
+			// The landmark matrix was built, and every query answered, for
+			// exactly this entry: its counters ARE the entry's ledger.
+			prune = lx.PruneStats()
+		}
 	}
-	return &planeEntry{k: kq, m: m, idx: idx, dist: dist}, nil
+	return &planeEntry{k: kq, m: m, idx: idx, dist: dist, prune: prune}, nil
+}
+
+// AllKNNOrIndex answers src's all-points kNN through the plane when the
+// plane accepts the query, falling back to a private standard index (with
+// the same landmark tier NewIndex applies everywhere) otherwise — the one
+// shared neighbourhood phase behind all three kNN detectors. The returned
+// arrays follow Plane.AllKNN's stride contract and must not be mutated.
+func AllKNNOrIndex(ctx context.Context, p *Plane, src ColumnSource, k, workers int) (idx []int32, dist []float64, m, stride int, err error) {
+	idx, dist, m, stride, ok, err := p.AllKNN(ctx, src, k, workers)
+	if err != nil || ok {
+		return idx, dist, m, stride, err
+	}
+	ix := NewIndex(sourceRows(src))
+	idx, dist, m, err = AllKNNFlat(ctx, ix, k, workers)
+	return idx, dist, m, m, err
 }
 
 // RowSource is the optional row-major access a ColumnSource may provide;

@@ -149,6 +149,13 @@ type StatsResponse struct {
 	// detectors).
 	Plane            neighbors.PlaneStats `json:"plane"`
 	PlaneDedupFactor float64              `json:"plane_dedup_factor"`
+	// Prune is the landmark-pruned candidate tier's process-wide ledger
+	// (covering plane builds and fallback indexes alike);
+	// PruneScanFraction is the share of candidate rows the tier let
+	// through to the exact distance kernel — 1.0 when the tier never
+	// engaged, ≤ 0.6 on the Figure-9 reference workload per check.sh.
+	Prune             neighbors.PruneStats `json:"prune"`
+	PruneScanFraction float64              `json:"prune_scan_fraction"`
 	// ScoreMemo aggregates the per-dataset cached detectors' score memos;
 	// ScoreMemoHits is its hit total (a warm request's subspace scores come
 	// from here without any detector work).

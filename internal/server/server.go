@@ -13,6 +13,7 @@ import (
 
 	"anex/internal/durable"
 	"anex/internal/failpoint"
+	"anex/internal/neighbors"
 )
 
 // DegradedRetryAfterSeconds is the Retry-After hint attached to the 503 a
@@ -309,17 +310,20 @@ func (s *Server) Stats() StatsResponse {
 	if work > 0 {
 		dedup = float64(queries) / float64(work)
 	}
+	prune := neighbors.PruneTotals()
 	resp := StatsResponse{
-		Datasets:         datasets,
-		UptimeMS:         time.Since(s.start).Milliseconds(),
-		Degraded:         s.degraded.Load(),
-		DedupFactor:      dedup,
-		Plane:            plane,
-		PlaneDedupFactor: plane.DedupFactor(),
-		ScoreMemo:        memo,
-		ScoreMemoHits:    memo.Hits,
-		Admission:        s.gate.Stats(),
-		Endpoints:        endpoints,
+		Datasets:          datasets,
+		UptimeMS:          time.Since(s.start).Milliseconds(),
+		Degraded:          s.degraded.Load(),
+		DedupFactor:       dedup,
+		Plane:             plane,
+		PlaneDedupFactor:  plane.DedupFactor(),
+		Prune:             prune,
+		PruneScanFraction: prune.ScanFraction(),
+		ScoreMemo:         memo,
+		ScoreMemoHits:     memo.Hits,
+		Admission:         s.gate.Stats(),
+		Endpoints:         endpoints,
 	}
 	if resp.Degraded {
 		s.mu.Lock()

@@ -3,24 +3,28 @@
 # machine-readable JSON snapshot (ns/op, B/op, allocs/op per benchmark),
 # the perf trajectory artefact the PR acceptance criteria compare against.
 #
-# Usage: scripts/bench.sh [output.json]    (default results/BENCH_5.json)
+# Usage: scripts/bench.sh [output.json]    (default results/BENCH_8.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-results/BENCH_5.json}"
+out="${1:-results/BENCH_8.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 # Key benchmarks, lowest layer first: kNN substrate (heap drain + the flat
 # builder the plane serves), per-subspace detector scoring + the cache-hit
 # path, the parallel grid plus the shared-vs-unshared plane mini-grid
-# (BenchmarkRunGridKNN, the PR-5 acceptance workload), and the Beam/LOF
-# pipeline cell (the paper's Figure 9 hot spot and the acceptance metric).
+# (BenchmarkRunGridKNN, the PR-5 acceptance workload), the landmark-pruned
+# versus exhaustive kNN arms on the Figure-9 reference workload
+# (BenchmarkFigure9KNNPrune, the PR-8 acceptance workload), and the
+# Beam/LOF pipeline cell (the paper's Figure 9 hot spot and the
+# acceptance metric).
 go test -run '^$' -bench 'BenchmarkAllKNN' -benchmem -benchtime=20x ./internal/neighbors >>"$raw"
 go test -run '^$' -bench 'BenchmarkDetectors1000x3|BenchmarkCachedDetectorHit' -benchmem -benchtime=10x ./internal/detector >>"$raw"
 go test -run '^$' -bench 'BenchmarkRunGrid$' -benchmem -benchtime=2x ./internal/pipeline >>"$raw"
 go test -run '^$' -bench 'BenchmarkRunGridKNN$' -benchmem -benchtime=2x ./internal/pipeline >>"$raw"
+go test -run '^$' -bench 'BenchmarkFigure9KNNPrune$' -benchmem -benchtime=30x . >>"$raw"
 go test -run '^$' -bench 'BenchmarkFigure9/(Beam|RefOut)/LOF' -benchmem -benchtime=20x . >>"$raw"
 
 awk '

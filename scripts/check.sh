@@ -33,10 +33,14 @@ go test -race -count=1 -run 'TestCrashSchedule|TestCrashDuringRecovery' ./intern
 go test -run '^$' -bench 'BenchmarkRunGrid/workers=4' -benchtime=1x ./internal/pipeline
 
 # Figure-9 Beam/LOF perf gate: fail if the acceptance metric regresses >10%
-# versus the committed baseline (results/BENCH_5.json — rebased from
-# BENCH_4 because PR 5 rewired serial AllKNN through the flat scratch
-# path, structurally speeding up the brute-force reference workload and
-# therefore shifting the healthy ratio). The recording box is
+# versus the committed baseline (results/BENCH_8.json — rebased from
+# BENCH_5 because the box's RELATIVE speeds drifted between recordings:
+# the brute-force 2d reference loop now runs ~25-30% faster relative to
+# Beam/LOF than when BENCH_5 was taken, with both code paths untouched —
+# measured on the pre-PR-8 tree, which failed the BENCH_5-based gate at
+# ratio 2.88 vs allowed 2.33. The ratio methodology cancels uniform
+# host-load swings, not microarchitectural shifts that move a pure
+# distance loop and a GC-heavy pipeline differently). The recording box is
 # a shared single-core VM whose effective speed swings ±20-40% with host
 # load (see results/BENCH_NOTES.md), so raw ns/op from different moments are
 # not comparable. Interference slows all code about equally, so each round
@@ -49,7 +53,7 @@ go test -run '^$' -bench 'BenchmarkRunGrid/workers=4' -benchtime=1x ./internal/p
 getbase() {
     awk -v pat="\"$1\"" '$0 ~ pat {
         if (match($0, /"ns_per_op": [0-9.]+/)) print substr($0, RSTART+13, RLENGTH-13)
-    }' results/BENCH_5.json
+    }' results/BENCH_8.json
 }
 getns() {
     awk -v pat="$1" '$1 ~ pat { for (i = 2; i <= NF; i++) if ($i == "ns/op") print $(i-1) }'
@@ -107,6 +111,42 @@ awk -v ratio="$bestgrid" 'BEGIN {
     }
     printf("grid kNN plane: shared/unshared ratio %.4f (gate 0.75)\n", ratio)
 }'
+
+# Landmark-prune perf gate: BenchmarkFigure9KNNPrune builds the complete
+# k=15 neighbourhood structure of the Figure-9 reference workload (20d,
+# n=1000 — the widest views the kNN detectors score) twice in the same
+# process, once through the landmark-pruned tier and once with the plain
+# exhaustive scan. Both arms are warm-index (the plane builds each index
+# once and serves every request from it), and the pruned/unpruned ratio is
+# self-normalising against host load, same as the grid gate above. Gate on
+# pruned ≤ 0.75× unpruned — the ≥25% speedup the PR-8 acceptance criteria
+# demand. Best of three rounds: noise only ever shrinks the measured gap.
+bestprune=""
+for i in 1 2 3; do
+    pruneout="$(go test -run '^$' -bench 'BenchmarkFigure9KNNPrune$' -benchtime=30x .)"
+    pruned="$(echo "$pruneout" | getns '^BenchmarkFigure9KNNPrune/pruned')"
+    unpruned="$(echo "$pruneout" | getns '^BenchmarkFigure9KNNPrune/unpruned')"
+    [ -n "$pruned" ] && [ -n "$unpruned" ]
+    pruneratio="$(awk -v p="$pruned" -v u="$unpruned" 'BEGIN { printf("%.6f", p / u) }')"
+    echo "round $i: pruned ${pruned} ns/op, unpruned ${unpruned} ns/op, ratio ${pruneratio}"
+    if [ -z "$bestprune" ] || awk -v a="$pruneratio" -v b="$bestprune" 'BEGIN { exit !(a < b) }'; then
+        bestprune="$pruneratio"
+    fi
+done
+awk -v ratio="$bestprune" 'BEGIN {
+    if (ratio > 0.75) {
+        printf("FAIL: landmark tier saves <25%% on Figure-9 kNN: pruned/unpruned ratio %.4f > 0.75\n", ratio)
+        exit 1
+    }
+    printf("landmark prune: pruned/unpruned ratio %.4f (gate 0.75)\n", ratio)
+}'
+
+# Prune-effectiveness gate: independent of timing, the landmark bound must
+# reject enough of the candidate stream that at most 60% reaches the exact
+# distance kernel on the same reference workload. A deterministic property
+# of the data and the seeded selection — cannot flake with host load — so
+# a bound weakened by a refactor fails even if the box happens to be fast.
+go test -count=1 -run 'TestPruneEffectivenessFigure9$' ./internal/neighbors
 
 # Dedup-factor gate: the plane must collapse the grid's repeated (dataset,
 # subspace) kNN queries at least 1.5×. TestGridPlaneDedupFactor asserts
