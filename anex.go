@@ -139,6 +139,9 @@ type (
 	StreamConfig = stream.Config
 	// StreamAlert is one flagged, explained stream point.
 	StreamAlert = stream.Alert
+	// StreamStats counts a StreamMonitor's evaluations and the work its
+	// incremental engine saved (repairs, rescans, dirty rescores).
+	StreamStats = stream.StreamStats
 )
 
 // Explanation algorithms.
@@ -218,6 +221,10 @@ func NewStreamMonitor(cfg StreamConfig) (*StreamMonitor, error) { return stream.
 // StreamThreshold returns a pointer to z for StreamConfig.ZThreshold,
 // distinguishing a deliberate zero threshold from "unset, use the default".
 func StreamThreshold(z float64) *float64 { return stream.Threshold(z) }
+
+// StreamSlack returns a pointer to s for StreamConfig.Slack,
+// distinguishing a deliberate zero slack from "unset, use the default".
+func StreamSlack(s int) *int { return stream.Slack(s) }
 
 // CachedDetector wraps a detector with a per-subspace score memo, sound
 // whenever the detector is deterministic per subspace (all three built-in

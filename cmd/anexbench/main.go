@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	anexbench [-scale small|paper] [-seed N] [-exp all|table1|figure8|figure9|figure10|figure11|table2|ablation|conformance] [-csv dir] [-quiet] [-workers N] [-cache-mb 256] [-plane-mb 256] [-landmarks N] [-no-prune] [-stats]
+//	anexbench [-scale small|paper] [-seed N] [-exp all|table1|figure8|figure9|figure10|figure11|table2|ablation|conformance|stream] [-csv dir] [-quiet] [-workers N] [-cache-mb 256] [-plane-mb 256] [-landmarks N] [-no-prune] [-stats]
+//
+// The stream experiment (-exp stream; not part of -exp all) benchmarks the
+// sliding-window monitor on a synthetic Gaussian stream, running the same
+// points through the incremental neighbourhood engine and through a cold
+// rebuild per evaluation, verifying the two alert streams are identical,
+// and reporting the wall-clock ratio. Its shape is set by the -stream-*
+// flags (defaults: the reference workload W=256, stride=64, 20d).
 //
 // At the default small scale the full run finishes in minutes on a laptop;
 // paper scale matches the dataset shapes of the paper's Table 1 and can
@@ -36,7 +43,7 @@ func main() {
 	var (
 		scaleFlag = flag.String("scale", "small", "testbed scale: small or paper")
 		seed      = flag.Int64("seed", 42, "random seed for data generation and stochastic algorithms")
-		exp       = flag.String("exp", "all", "experiment to run: all, table1, figure8, figure9, figure10, figure11, table2, ablation, conformance")
+		exp       = flag.String("exp", "all", "experiment to run: all, table1, figure8, figure9, figure10, figure11, table2, ablation, conformance, or stream (not part of all)")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 		only      = flag.String("only", "", "comma-separated dataset names to restrict the testbed to (e.g. hics-14d)")
@@ -52,6 +59,12 @@ func main() {
 		stats     = flag.Bool("stats", false, "print neighbourhood-plane and landmark-prune statistics (hits, dedup factor, scan fraction) to stderr when the run ends")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a post-GC heap profile to this file when the run ends")
+
+		streamWindow = flag.Int("stream-window", 256, "stream experiment: sliding window size")
+		streamStride = flag.Int("stream-stride", 64, "stream experiment: points between evaluations")
+		streamDim    = flag.Int("stream-dim", 20, "stream experiment: feature count of the synthetic stream")
+		streamPoints = flag.Int("stream-points", 0, "stream experiment: total points to push (0 = window + 50 strides)")
+		streamSlack  = flag.Int("stream-slack", -1, "stream experiment: engine reservoir slack (-1 = default)")
 	)
 	flag.Parse()
 
@@ -70,7 +83,11 @@ func main() {
 		os.Exit(clix.Report("anexbench", err))
 	}
 
-	err = run(ctx, *scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric, *workers, *cacheMB, *planeMB, *stats)
+	if strings.EqualFold(*exp, "stream") {
+		err = runStream(ctx, *seed, *streamWindow, *streamStride, *streamDim, *streamPoints, *streamSlack, *workers, *stats)
+	} else {
+		err = run(ctx, *scaleFlag, *seed, *exp, *csvDir, *quiet, *only, *mdPath, *journal, *detectors, *metric, *workers, *cacheMB, *planeMB, *stats)
+	}
 	// An interrupted run still yields a usable CPU profile.
 	stopProfiles()
 	code := clix.Report("anexbench", err)

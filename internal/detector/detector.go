@@ -128,6 +128,12 @@ func NewCachedBudget(d core.Detector, maxBytes int64) *Cached {
 // Name returns the wrapped detector's name.
 func (c *Cached) Name() string { return c.inner.Name() }
 
+// Inner returns the wrapped detector. The stream monitor uses it to reach
+// a WindowScorer through the memo wrapper: window datasets carry fresh
+// process-unique names, so the memo never hits on them anyway, and the
+// incremental path's own score reuse subsumes it.
+func (c *Cached) Inner() core.Detector { return c.inner }
+
 // Scores returns memoised scores for the view's subspace, computing them on
 // first access. The returned slice is shared; callers must not mutate it.
 // When several goroutines miss on the same key simultaneously, exactly one

@@ -1,0 +1,324 @@
+package detector
+
+import "math"
+
+// window.go — the dirty-aware scoring path of the incremental stream engine.
+//
+// The sliding-window monitor maintains neighbourhoods incrementally
+// (neighbors.WindowEngine) and knows, per stride, exactly which window slots'
+// exported k-prefixes changed. A detector that can exploit that re-scores
+// only the points whose score inputs could have changed and re-serves the
+// previous evaluation's value — bit-identical, because the inputs are
+// bit-identical — for everything else. What "could have changed" means is
+// per-detector:
+//
+//   - kNN-dist reads only a point's own neighbour distances: dirty(i) alone.
+//   - LOF is a 2-hop function: lrd(i) reads i's distances and its
+//     neighbours' k-distances (their row tails), so lrd is dirty when i or
+//     any neighbour is; the score reads neighbours' lrds, so it is dirty
+//     when lrd-dirty(i) or any neighbour is lrd-dirty. k-distances are
+//     always read live from the current rows — O(n) — rather than tracked.
+//   - FastABOD reads neighbour COORDINATES, not just distances. A
+//     neighbour's coordinates change only when its slot was re-occupied,
+//     and the engine marks every arrival slot dirty, so dirty(i) or any
+//     dirty neighbour again covers it. The final -Inf sentinel substitution
+//     is a global pass (it needs the minimum finite score across ALL
+//     points), so raw scores are memoised and the substitution re-runs over
+//     the full window each evaluation.
+//
+// Dirtiness is conservative by construction — the engine marks the
+// maintained winK-prefix, a superset of any detector's own k-prefix — which
+// costs spurious rescores, never a stale score. Every arithmetic loop below
+// replicates its Scores sibling operation for operation, in the same order,
+// so a full rescore and an incremental one emit identical bit patterns
+// (pinned by TestScoresWindowBitIdentical).
+
+// WindowScorer is implemented by detectors that can score a sliding window
+// incrementally from a maintained neighbourhood export. The monitor feeds
+// it the window rows (slot-ordered, matching the export's row indices), the
+// flat row-major neighbour arrays (m valid entries per stride-spaced row,
+// ascending (distance, index)), the per-slot dirty marks of the last
+// stride, and the detector's private memo. It returns the full window's
+// scores — a fresh slice each call — plus how many points were actually
+// re-scored. Passing an invalid memo (zero value, or sized for a different
+// window) degrades to a full rescore; results are bit-identical to Scores
+// over the same rows either way.
+type WindowScorer interface {
+	// WindowK returns the neighbourhood depth the engine must maintain for
+	// this detector — its effective k.
+	WindowK() int
+	// ScoresWindow scores the window incrementally. dirty must have one
+	// mark per row; memo must be this detector's own (one memo may not be
+	// shared between detectors, nor between monitors).
+	ScoresWindow(points [][]float64, idx []int32, dist []float64, m, stride int, dirty []bool, memo *WindowMemo) (scores []float64, rescored int)
+}
+
+// WindowMemo carries one detector's per-window scoring state between
+// evaluations. The zero value is ready to use (the first evaluation is a
+// full rescore). The monitor owns one memo per detector and discards it
+// whenever the engine is rebuilt cold.
+type WindowMemo struct {
+	n, m   int       // window size and neighbourhood depth the state is for
+	scores []float64 // previous scores (FastABOD: raw, -Inf sentinels kept)
+	lrd    []float64 // LOF only: previous local reachability densities
+}
+
+// valid reports whether the memo's state matches a window of n points
+// scored at depth m.
+func (mm *WindowMemo) valid(n, m int) bool {
+	return mm.n == n && mm.m == m && len(mm.scores) == n
+}
+
+// reset sizes the memo for a window of n points at depth m, invalidating
+// previous state.
+func (mm *WindowMemo) reset(n, m int) {
+	mm.n, mm.m = n, m
+	if cap(mm.scores) < n {
+		mm.scores = make([]float64, n)
+	}
+	mm.scores = mm.scores[:n]
+}
+
+// WindowK returns the engine depth LOF needs: its neighbourhood size.
+func (l *LOF) WindowK() int { return l.k() }
+
+// ScoresWindow is the incremental sibling of LOF.Scores: identical
+// arithmetic, restricted to the lrd-dirty and score-dirty sets.
+func (l *LOF) ScoresWindow(points [][]float64, idx []int32, dist []float64, m, stride int, dirty []bool, memo *WindowMemo) ([]float64, int) {
+	n := len(points)
+	md := l.k()
+	if md > m {
+		md = m
+	}
+	out := make([]float64, n)
+	if md < 1 {
+		// No neighbours exist; every point is a perfect inlier (the n=1
+		// degenerate of Scores).
+		for i := range out {
+			out[i] = 1
+		}
+		return out, 0
+	}
+	full := !memo.valid(n, md)
+	if full {
+		memo.reset(n, md)
+	}
+	if cap(memo.lrd) < n {
+		memo.lrd = make([]float64, n)
+	}
+	memo.lrd = memo.lrd[:n]
+
+	// k-distance of each point — read live from the current rows, O(n), so
+	// no staleness tracking is ever needed for it.
+	kdist := make([]float64, n)
+	for i := range kdist {
+		kdist[i] = dist[i*stride+md-1]
+	}
+
+	// Hop 1: lrd(i) reads i's row and its neighbours' k-distances.
+	lrdDirty := make([]bool, n)
+	if full {
+		for i := range lrdDirty {
+			lrdDirty[i] = true
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			ld := dirty[i]
+			if !ld {
+				row := i * stride
+				for _, o := range idx[row : row+md] {
+					if dirty[o] {
+						ld = true
+						break
+					}
+				}
+			}
+			lrdDirty[i] = ld
+		}
+	}
+	lrd := memo.lrd
+	for i := 0; i < n; i++ {
+		if !lrdDirty[i] {
+			continue
+		}
+		var sum float64
+		row := i * stride
+		for j, o := range idx[row : row+md] {
+			reach := dist[row+j]
+			if kdist[o] > reach {
+				reach = kdist[o]
+			}
+			sum += reach
+		}
+		mean := sum / float64(md)
+		if mean == 0 {
+			lrd[i] = maxDensity
+		} else {
+			lrd[i] = 1 / mean
+		}
+	}
+
+	// Hop 2: the score reads i's lrd and its neighbours' lrds.
+	rescored := 0
+	for i := 0; i < n; i++ {
+		sd := lrdDirty[i]
+		if !sd {
+			row := i * stride
+			for _, o := range idx[row : row+md] {
+				if lrdDirty[o] {
+					sd = true
+					break
+				}
+			}
+		}
+		if !sd {
+			out[i] = memo.scores[i]
+			continue
+		}
+		var sum float64
+		for _, o := range idx[i*stride : i*stride+md] {
+			sum += lrd[o]
+		}
+		out[i] = sum / (float64(md) * lrd[i])
+		memo.scores[i] = out[i]
+		rescored++
+	}
+	return out, rescored
+}
+
+// WindowK returns the engine depth kNN-dist needs: its neighbourhood size.
+func (d *KNNDist) WindowK() int { return d.k() }
+
+// ScoresWindow is the incremental sibling of KNNDist.Scores. The score
+// reads only the point's own neighbour distances, so dirty(i) alone decides.
+func (d *KNNDist) ScoresWindow(points [][]float64, idx []int32, dist []float64, m, stride int, dirty []bool, memo *WindowMemo) ([]float64, int) {
+	n := len(points)
+	md := d.k()
+	if md > m {
+		md = m
+	}
+	out := make([]float64, n)
+	if md < 1 {
+		return out, 0
+	}
+	full := !memo.valid(n, md)
+	if full {
+		memo.reset(n, md)
+	}
+	rescored := 0
+	for i := 0; i < n; i++ {
+		if !full && !dirty[i] {
+			out[i] = memo.scores[i]
+			continue
+		}
+		var sum float64
+		for _, dd := range dist[i*stride : i*stride+md] {
+			sum += dd
+		}
+		out[i] = sum / float64(md)
+		memo.scores[i] = out[i]
+		rescored++
+	}
+	return out, rescored
+}
+
+// WindowK returns the engine depth FastABOD needs: its neighbourhood size.
+func (a *FastABOD) WindowK() int { return a.k() }
+
+// ScoresWindow is the incremental sibling of FastABOD.Scores. The angle
+// spectrum reads neighbour coordinates; slot re-occupations are always
+// marked dirty by the engine, so one hop of dirty propagation covers both
+// neighbour-set and neighbour-coordinate changes. Raw scores (with the
+// duplicate-point -Inf sentinels) are memoised and the global
+// minimum-finite substitution re-runs over the whole window every call.
+func (a *FastABOD) ScoresWindow(points [][]float64, idx []int32, dist []float64, m, stride int, dirty []bool, memo *WindowMemo) ([]float64, int) {
+	n := len(points)
+	md := a.k()
+	if md > m {
+		md = m
+	}
+	out := make([]float64, n)
+	if md < 2 {
+		// No angle pairs exist (the k<2 degenerate of Scores).
+		return out, 0
+	}
+	full := !memo.valid(n, md)
+	if full {
+		memo.reset(n, md)
+	}
+	dim := len(points[0])
+	da := make([]float64, dim)
+	db := make([]float64, dim)
+	raw := memo.scores
+	rescored := 0
+	for i := 0; i < n; i++ {
+		recompute := full || dirty[i]
+		if !recompute {
+			row := i * stride
+			for _, o := range idx[row : row+md] {
+				if dirty[o] {
+					recompute = true
+					break
+				}
+			}
+		}
+		if !recompute {
+			continue
+		}
+		p := points[i]
+		nbrs := idx[i*stride : i*stride+md]
+		var mean, m2 float64
+		var count int
+		for s := 0; s < len(nbrs); s++ {
+			ps := points[int(nbrs[s])]
+			var na float64
+			for d := 0; d < dim; d++ {
+				da[d] = ps[d] - p[d]
+				na += da[d] * da[d]
+			}
+			if na == 0 {
+				continue
+			}
+			for t := s + 1; t < len(nbrs); t++ {
+				pt := points[int(nbrs[t])]
+				var nb, dot float64
+				for d := 0; d < dim; d++ {
+					db[d] = pt[d] - p[d]
+					nb += db[d] * db[d]
+					dot += da[d] * db[d]
+				}
+				if nb == 0 {
+					continue
+				}
+				val := dot / (na * nb)
+				count++
+				delta := val - mean
+				mean += delta / float64(count)
+				m2 += delta * (val - mean)
+			}
+		}
+		if count < 2 {
+			raw[i] = math.Inf(-1)
+		} else {
+			raw[i] = -(m2 / float64(count))
+		}
+		rescored++
+	}
+	minFinite := math.Inf(1)
+	for _, s := range raw {
+		if !math.IsInf(s, -1) && s < minFinite {
+			minFinite = s
+		}
+	}
+	if math.IsInf(minFinite, 1) {
+		minFinite = 0
+	}
+	for i, s := range raw {
+		if math.IsInf(s, -1) {
+			out[i] = minFinite
+		} else {
+			out[i] = s
+		}
+	}
+	return out, rescored
+}

@@ -1,0 +1,176 @@
+package detector
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"anex/internal/dataset"
+	"anex/internal/neighbors"
+)
+
+// windowScorerCase drives one detector pair — the WindowScorer and a plain
+// Scores sibling — over a sliding stream backed by a real WindowEngine, and
+// requires the incremental scores to equal the full recompute bit for bit
+// at every evaluation, while actually reusing memoised values.
+func windowScorerCase(t *testing.T, name string, ws WindowScorer, full interface {
+	Scores(context.Context, *dataset.View) ([]float64, error)
+}, shape string) {
+	t.Helper()
+	t.Run(name+"/"+shape, func(t *testing.T) {
+		// Small stride relative to W: LOF's 2-hop dirty ball covers
+		// ~(1+k+k²) slots per dirty arrival, and the reuse assertion below
+		// needs some points to stay outside every ball.
+		const (
+			W      = 60
+			stride = 2
+			d      = 5
+			total  = 6 * W
+		)
+		rng := rand.New(rand.NewSource(11))
+		gen := func() []float64 {
+			p := make([]float64, d)
+			switch shape {
+			case "random":
+				for j := range p {
+					p[j] = rng.NormFloat64()
+				}
+			case "duplicates":
+				if rng.Intn(2) == 0 {
+					v := float64(rng.Intn(3))
+					for j := range p {
+						p[j] = v
+					}
+				} else {
+					for j := range p {
+						p[j] = rng.NormFloat64()
+					}
+				}
+			}
+			return p
+		}
+		eng := neighbors.NewWindowEngine(ws.WindowK(), 4, 2)
+		window := make([][]float64, 0, W)
+		next := 0
+		var batch []neighbors.WindowArrival
+		memo := &WindowMemo{}
+		evals, reuses := 0, 0
+		for i := 0; i < total; i++ {
+			p := gen()
+			slot := len(window)
+			if slot < W {
+				window = append(window, p)
+			} else {
+				slot = next
+				window[next] = p
+				next = (next + 1) % W
+			}
+			replaced := false
+			for bi := range batch {
+				if batch[bi].Slot == slot {
+					batch[bi].Point = p
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				batch = append(batch, neighbors.WindowArrival{Slot: slot, Point: p})
+			}
+			if len(window) < 4 || (i+1)%stride != 0 {
+				continue
+			}
+			if err := eng.Apply(context.Background(), batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+			idx, dist, m, str := eng.Neighborhood()
+			dirty := eng.TakeDirty()
+			got, rescored := ws.ScoresWindow(window, idx, dist, m, str, dirty, memo)
+			ds, err := dataset.FromRows("win-cmp", window, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := full.Scores(context.Background(), ds.FullView())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("eval %d: %d scores, want %d", evals, len(got), len(want))
+			}
+			for j := range want {
+				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("eval %d: score[%d] = %v (%x), want %v (%x); rescored %d/%d",
+						evals, j, got[j], math.Float64bits(got[j]), want[j], math.Float64bits(want[j]), rescored, len(window))
+				}
+			}
+			if rescored < len(window) {
+				reuses++
+			}
+			evals++
+		}
+		if evals < 10 {
+			t.Fatalf("only %d evaluations", evals)
+		}
+		if reuses == 0 {
+			t.Error("incremental path never reused a memoised score")
+		}
+	})
+}
+
+// TestScoresWindowBitIdentical pins every WindowScorer's incremental output
+// to the full Scores recompute, bitwise, over random and duplicate-heavy
+// streams (duplicates exercise LOF's maxDensity clamp and FastABOD's -Inf
+// sentinel path — the global substitution must stay global).
+func TestScoresWindowBitIdentical(t *testing.T) {
+	for _, shape := range []string{"random", "duplicates"} {
+		windowScorerCase(t, "LOF", &LOF{K: 5}, &LOF{K: 5}, shape)
+		windowScorerCase(t, "KNNDist", &KNNDist{K: 5}, &KNNDist{K: 5}, shape)
+		windowScorerCase(t, "FastABOD", &FastABOD{K: 5}, &FastABOD{K: 5}, shape)
+	}
+}
+
+// TestScoresWindowMemoInvalidation pins the degrade path: a memo sized for
+// a different window triggers a full rescore instead of an index fault.
+func TestScoresWindowMemoInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func(n int) [][]float64 {
+		pts := make([][]float64, n)
+		for i := range pts {
+			p := make([]float64, 3)
+			for j := range p {
+				p[j] = rng.NormFloat64()
+			}
+			pts[i] = p
+		}
+		return pts
+	}
+	score := func(pts [][]float64, memo *WindowMemo) ([]float64, int) {
+		l := &LOF{K: 4}
+		idx, dist, m, err := neighbors.AllKNNFlat(context.Background(), neighbors.NewIndex(pts), l.WindowK(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirty := make([]bool, len(pts)) // all clean: only memo validity forces work
+		return l.ScoresWindow(pts, idx, dist, m, m, dirty, memo)
+	}
+	memo := &WindowMemo{}
+	a := mk(20)
+	got, rescored := score(a, memo)
+	if rescored != 20 {
+		t.Fatalf("first call rescored %d, want all 20", rescored)
+	}
+	got2, rescored2 := score(a, memo)
+	if rescored2 != 0 {
+		t.Fatalf("clean repeat rescored %d, want 0", rescored2)
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(got2[i]) {
+			t.Fatalf("clean repeat changed score %d", i)
+		}
+	}
+	b := mk(31)
+	if _, rescored = score(b, memo); rescored != 31 {
+		t.Fatalf("resized window rescored %d, want all 31", rescored)
+	}
+}

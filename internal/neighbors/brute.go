@@ -75,14 +75,9 @@ func (s *Scratch) drain() ([]int, []float64) {
 	}
 	idx, dist := s.idx[:n], s.dist[:n]
 	for m := n - 1; m >= 0; m-- {
-		idx[m] = s.h.idx[0]
-		dist[m] = math.Sqrt(s.h.dist[0])
-		last := s.h.len() - 1
-		s.h.idx[0], s.h.dist[0] = s.h.idx[last], s.h.dist[last]
-		s.h.idx, s.h.dist = s.h.idx[:last], s.h.dist[:last]
-		if last > 0 {
-			s.h.down(0)
-		}
+		i, d2 := s.h.popMax()
+		idx[m] = i
+		dist[m] = math.Sqrt(d2)
 	}
 	return idx, dist
 }
@@ -144,6 +139,22 @@ func (h *boundedHeap) push(i int, d float64) {
 	}
 	h.idx[0], h.dist[0] = i, d
 	h.down(0)
+}
+
+// popMax removes and returns the heap's current lexicographic maximum
+// (squared distance, index). Repeated popMax into the back of a buffer is
+// the one ascending-order drain shared by the scratch query path and the
+// window engine's list rebuilds, so both emit the identical
+// (distance, index) total order. Caller guarantees a non-empty heap.
+func (h *boundedHeap) popMax() (i int, d2 float64) {
+	i, d2 = h.idx[0], h.dist[0]
+	last := h.len() - 1
+	h.idx[0], h.dist[0] = h.idx[last], h.dist[last]
+	h.idx, h.dist = h.idx[:last], h.dist[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return i, d2
 }
 
 func (h *boundedHeap) up(i int) {

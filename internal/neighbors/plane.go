@@ -115,6 +115,10 @@ type PlaneStats struct {
 	// Forgets counts entries dropped by Forget calls (a dataset's owner
 	// declaring its cache entries dead, e.g. an expired stream window).
 	Forgets int
+	// Publishes counts entries installed ready-made by Publish (the stream
+	// monitor's incrementally maintained windows): queries they absorb are
+	// hits that cost no computation at all.
+	Publishes int
 	// Entries is the number of resident neighbourhood structures.
 	Entries int
 	// ResidentBytes is the budget charge of the resident entries; it
@@ -265,6 +269,42 @@ func (p *Plane) Forget(sourceKey string) {
 	}
 	p.mu.Unlock()
 	p.delta.Forget(sourceKey)
+}
+
+// Publish installs a ready-made neighbourhood entry for src, computed at
+// neighbourhood size k with m valid neighbours per row (row stride m, the
+// layout Plane.AllKNN serves). The caller asserts the arrays are
+// bit-identical to what the plane would compute for the same view — the
+// WindowEngine's contract — and transfers their ownership: the plane keeps
+// them unmutated and serves them to every consumer with k' ≤ k by prefix
+// slicing. A resident or deeper entry under the same key wins per the
+// upgrade rules; queries deeper than k trigger the normal upgrade
+// recompute, so a too-shallow publish degrades to the cold path instead of
+// corrupting anything. Safe (a no-op) on a nil plane and degenerate input.
+func (p *Plane) Publish(src ColumnSource, k, m int, idx []int32, dist []float64) {
+	if p == nil || k < 1 || m < 1 || src.N() < 2 {
+		return
+	}
+	n := src.N()
+	if len(idx) != n*m || len(dist) != n*m {
+		return
+	}
+	en := &planeEntry{
+		key:  src.SourceKey() + "|" + src.SubspaceKey(),
+		k:    k,
+		m:    m,
+		idx:  idx,
+		dist: dist,
+	}
+	p.mu.Lock()
+	if k > p.kmax {
+		// A published entry is as good as a registration: later queries at
+		// any k' ≤ k must not trigger an upgrade recompute of this entry.
+		p.kmax = k
+	}
+	p.stats.Publishes++
+	p.storeLocked(en)
+	p.mu.Unlock()
 }
 
 // AllKNN answers the all-points k-nearest-neighbour query for the view

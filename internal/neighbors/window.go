@@ -1,0 +1,483 @@
+package neighbors
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"anex/internal/parallel"
+)
+
+// window.go — the incremental sliding-window neighbourhood engine.
+//
+// A stream monitor evaluating a window of W points every stride of s throws
+// away a neighbourhood structure that is (W−s)/W identical to the next
+// window's: with the default stride W/4, three quarters of every all-kNN
+// computation re-derives lists that could not have changed much. The
+// WindowEngine amortises that work across overlapping windows. It keeps one
+// reservoir of the k+slack nearest live points per window slot, totally
+// ordered by (squared-distance bit pattern, slot) — the same strict order
+// the bounded-heap drain and the delta engine emit, the order that makes
+// the plane's prefix slicing legal — and repairs it under point arrival
+// and expiry:
+//
+//   - An ARRIVAL occupies the slot its expired predecessor vacated (the
+//     monitor's ring layout), so slot identity is stable and the engine's
+//     slot-indexed lists line up bit-for-bit with a cold rebuild over the
+//     ring-ordered window rows. Each arrival's own reservoir is built by
+//     one fresh scan through the same early-exit kernel the brute-force
+//     index uses.
+//   - A SURVIVOR's reservoir drops entries whose slot was re-occupied.
+//     What remains is still a prefix of the survivor's true neighbour
+//     order restricted to surviving points — any untracked survivor was
+//     farther than everything kept — so the slack absorbs expiries without
+//     any rescan until fewer than k trusted entries remain.
+//   - The s arrivals are then merged into every survivor's reservoir
+//     (early-exited against the reservoir's current worst entry). Entries
+//     that sort beyond the last surviving pre-merge entry are SUSPECT — an
+//     untracked old point could outrank them — and are truncated; a
+//     reservoir still holding ≥ k trusted entries needs no further work,
+//     anything shorter is repaired by one full rescan at k+slack.
+//
+// The repair invariant — every reservoir is a bit-exact prefix of the
+// slot's true (squared distance, slot) neighbour order, at least k long
+// whenever k other points exist — makes Neighborhood()'s export
+// bit-identical to NewIndex + AllKNNFlat over the same rows at any stride,
+// slack, and worker count (pinned by TestWindowEngineBitIdenticalCold).
+// Distances are computed by the same kernels in the same accumulation
+// order on every path, and (x−y)² is bit-symmetric in IEEE arithmetic, so
+// an arrival's scan and a survivor's merge agree on the shared pair.
+
+// DefaultWindowSlack is the reservoir slack applied when a consumer passes
+// a negative slack to NewWindowEngine. Expected expiries per reservoir per
+// stride are k·s/W (hypergeometric thinning); 8 absorbs several strides of
+// the reference workload (k=15, s=W/4 → 3.75 expected) before a rescan.
+const DefaultWindowSlack = 8
+
+// WindowArrival is one point entering the engine: Point replaces the
+// current occupant of Slot, or is appended when Slot equals the current
+// point count (the growing phase before the monitor's window fills). The
+// point slice is shared, not copied; the caller must not mutate it while
+// the engine is alive.
+type WindowArrival struct {
+	Slot  int
+	Point []float64
+}
+
+// WindowStats counts the engine's activity since construction.
+type WindowStats struct {
+	// Batches counts Apply calls that carried at least one arrival;
+	// Arrivals the points they delivered (each costing one fresh scan).
+	Batches, Arrivals int
+	// SurvivorLists counts reservoirs examined for repair (the per-batch
+	// survivor count, summed); Rescans of those lost too many trusted
+	// entries and were rebuilt by a full scan — the expensive event the
+	// slack exists to avoid. RepairFraction is their ratio.
+	SurvivorLists, Rescans int
+	// DirtyMarks counts k-prefix changes recorded (arrival slots included):
+	// the upper bound on what a dirty-aware scorer must re-score.
+	DirtyMarks int
+}
+
+// RepairFraction reports the fraction of survivor reservoirs that needed a
+// full rescan: Rescans ÷ SurvivorLists, 0 when nothing was examined. The
+// deterministic ceiling gate in internal/stream pins it on the reference
+// workload.
+func (s WindowStats) RepairFraction() float64 {
+	if s.SurvivorLists == 0 {
+		return 0
+	}
+	return float64(s.Rescans) / float64(s.SurvivorLists)
+}
+
+func (s WindowStats) String() string {
+	return fmt.Sprintf("batches %d, arrivals %d, survivor lists %d, rescans %d (repair fraction %.3f), dirty marks %d",
+		s.Batches, s.Arrivals, s.SurvivorLists, s.Rescans, s.RepairFraction(), s.DirtyMarks)
+}
+
+// windowEntry is one reservoir member: the squared distance to the owning
+// slot's point (squared, so selection happens in exactly the space the
+// bounded heap selects in; the export square-roots) and the member's slot.
+type windowEntry struct {
+	d2   float64
+	slot int32
+}
+
+// entryLess orders reservoir entries by (squared distance, slot) — the
+// strict total order shared with the bounded-heap drain. Non-negative
+// distances make numeric order and bit-pattern order coincide.
+func entryLess(a, b windowEntry) bool {
+	if a.d2 != b.d2 {
+		return a.d2 < b.d2
+	}
+	return a.slot < b.slot
+}
+
+// WindowEngine maintains per-slot neighbour reservoirs under sliding-window
+// point arrival and expiry. Not safe for concurrent use; internal repair
+// work is parallelised over the configured worker budget with bit-identical
+// results at any count.
+type WindowEngine struct {
+	k, slack, workers int
+	d                 int // fixed by the first arrival
+	points            [][]float64
+	lists             [][]windowEntry
+	dirty             []bool // k-prefix changed since the last TakeDirty
+	stats             WindowStats
+
+	// Per-batch scratch, reused across Apply calls so steady-state strides
+	// allocate only the export arrays.
+	newSlot  []bool
+	replaced []bool
+	arrSlots []int32
+	scratch  []windowScratch
+}
+
+// windowScratch is the per-worker repair scratch: the bounded heap of full
+// rescans and the saved old k-prefix used for dirty detection.
+type windowScratch struct {
+	h      boundedHeap
+	prefix []windowEntry
+}
+
+// NewWindowEngine returns an engine maintaining reservoirs of k+slack
+// entries (k ≥ 1; slack < 0 → DefaultWindowSlack, slack 0 is a legitimate
+// "no reservoir" setting that rescans on every prefix expiry). workers
+// bounds the goroutines of scan and repair phases; ≤ 1 stays serial.
+func NewWindowEngine(k, slack, workers int) *WindowEngine {
+	checkK(k)
+	if slack < 0 {
+		slack = DefaultWindowSlack
+	}
+	return &WindowEngine{k: k, slack: slack, workers: workers}
+}
+
+// K returns the neighbourhood depth the engine maintains.
+func (e *WindowEngine) K() int { return e.k }
+
+// Len returns the number of live slots.
+func (e *WindowEngine) Len() int { return len(e.points) }
+
+// Stats returns the engine's cumulative activity counters.
+func (e *WindowEngine) Stats() WindowStats { return e.stats }
+
+// cap returns the reservoir capacity.
+func (e *WindowEngine) cap() int { return e.k + e.slack }
+
+// Apply delivers one batch of arrivals — the stride's worth of points that
+// entered since the last evaluation, in push order, at most one per slot
+// (the caller keeps only a slot's final occupant when a stride laps the
+// window). Expiry is implicit: replacing a slot expires its previous
+// occupant everywhere. An error (context cancellation, a malformed batch)
+// leaves the engine in an undefined state; the caller must discard it and
+// rebuild cold.
+func (e *WindowEngine) Apply(ctx context.Context, batch []WindowArrival) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	n0 := len(e.points)
+	for _, a := range batch {
+		if e.d == 0 {
+			if len(a.Point) == 0 {
+				return fmt.Errorf("neighbors: window arrival at slot %d has no features", a.Slot)
+			}
+			e.d = len(a.Point)
+		}
+		if len(a.Point) != e.d {
+			return fmt.Errorf("neighbors: window arrival at slot %d has %d features, want %d", a.Slot, len(a.Point), e.d)
+		}
+		switch {
+		case a.Slot == len(e.points):
+			e.points = append(e.points, a.Point)
+			e.lists = append(e.lists, make([]windowEntry, 0, e.cap()))
+			e.dirty = append(e.dirty, false)
+		case a.Slot >= 0 && a.Slot < len(e.points):
+			e.points[a.Slot] = a.Point
+		default:
+			return fmt.Errorf("neighbors: window arrival slot %d out of range (have %d slots)", a.Slot, len(e.points))
+		}
+	}
+	n := len(e.points)
+
+	// newSlot marks slots whose occupant changed this batch (arrivals);
+	// replaced marks the pre-existing slots among them, whose OLD occupant
+	// every survivor reservoir must drop.
+	e.newSlot = growBool(e.newSlot, n)
+	e.replaced = growBool(e.replaced, n)
+	e.arrSlots = e.arrSlots[:0]
+	for _, a := range batch {
+		if !e.newSlot[a.Slot] {
+			e.newSlot[a.Slot] = true
+			e.arrSlots = append(e.arrSlots, int32(a.Slot))
+			if a.Slot < n0 {
+				e.replaced[a.Slot] = true
+			}
+		}
+	}
+	e.stats.Batches++
+	e.stats.Arrivals += len(e.arrSlots)
+	replacedCount := 0
+	for _, s := range e.arrSlots {
+		if int(s) < n0 {
+			replacedCount++
+		}
+	}
+	// Other surviving old points any incomplete survivor reservoir may be
+	// blind to: everything pre-existing minus the replaced slots minus the
+	// owner itself.
+	survivorOthers := n0 - replacedCount - 1
+	nBefore := n0
+
+	shards := parallel.ShardCount(e.workers, n)
+	if cap(e.scratch) < shards {
+		e.scratch = make([]windowScratch, shards)
+	}
+	e.scratch = e.scratch[:shards]
+	rescans := make([]int, shards)
+	dirtyMarks := make([]int, shards)
+
+	err := parallel.ForEachShard(ctx, e.workers, n, func(shard, i int) {
+		sc := &e.scratch[shard]
+		if e.newSlot[i] {
+			// Arrival: one fresh scan builds the reservoir.
+			e.lists[i] = e.scanSlot(i, &sc.h, e.lists[i])
+			e.dirty[i] = true
+			dirtyMarks[shard]++
+			return
+		}
+		if e.repairSlot(i, nBefore, survivorOthers, sc) {
+			rescans[shard]++
+		}
+		if e.dirty[i] {
+			dirtyMarks[shard]++
+		}
+	})
+	for s := 0; s < shards; s++ {
+		e.stats.Rescans += rescans[s]
+		e.stats.DirtyMarks += dirtyMarks[s]
+	}
+	e.stats.SurvivorLists += n - len(e.arrSlots)
+	// Reset per-batch marks for the next Apply (cheaper than reallocating,
+	// and keeps steady-state strides allocation-free).
+	for _, s := range e.arrSlots {
+		e.newSlot[s] = false
+		e.replaced[s] = false
+	}
+	return err
+}
+
+// repairSlot repairs one survivor reservoir under the batch currently being
+// applied (nBefore is the pre-batch live count), reporting whether a full
+// rescan was needed. Caller guarantees slot i is not an arrival.
+func (e *WindowEngine) repairSlot(i, nBefore, survivorOthers int, sc *windowScratch) (rescanned bool) {
+	list := e.lists[i]
+	n := len(e.points)
+	// complete ⇔ the reservoir held EVERY other pre-batch point, in which
+	// case nothing it ever reports can be outranked by an untracked one.
+	complete := len(list) == nBefore-1
+
+	// Save the old k-prefix — (slot, d2) pairs, not just slots: a replaced
+	// slot can re-enter the prefix at its old position with a new distance,
+	// which is a change a slot-only compare would miss.
+	kOld := len(list)
+	if kOld > e.k {
+		kOld = e.k
+	}
+	if cap(sc.prefix) < e.k {
+		sc.prefix = make([]windowEntry, e.k)
+	}
+	prefix := sc.prefix[:kOld]
+	copy(prefix, list[:kOld])
+
+	// 1) Drop entries whose slot was re-occupied. What survives is exactly
+	// the nearest surviving old points among the tracked ones: anything
+	// untracked was farther than every kept entry.
+	w := 0
+	for _, en := range list {
+		if e.replaced[en.slot] {
+			continue
+		}
+		list[w] = en
+		w++
+	}
+	list = list[:w]
+	// The knowledge boundary: entries ordering beyond the farthest kept
+	// pre-merge entry might be outranked by an untracked old survivor.
+	var boundary windowEntry
+	haveBoundary := w > 0
+	if haveBoundary {
+		boundary = list[w-1]
+	}
+
+	// 2) Merge the arrivals, early-exited against the reservoir's current
+	// worst entry once it is full.
+	q := e.points[i]
+	for _, r := range e.arrSlots {
+		if int(r) == i {
+			continue
+		}
+		limit := math.Inf(1)
+		if len(list) == e.cap() {
+			limit = list[len(list)-1].d2
+		}
+		d2, within := squaredEuclideanWithin(q, e.points[r], limit)
+		if !within {
+			continue
+		}
+		list = insertWindowEntry(list, windowEntry{d2: d2, slot: r}, e.cap())
+	}
+
+	// 3) Truncate suspect tail entries (arrivals beyond the boundary),
+	// unless the reservoir's knowledge is complete: it held every old
+	// point, or no unknown survivor exists to outrank anything.
+	if !complete && survivorOthers > 0 {
+		t := len(list)
+		if !haveBoundary {
+			t = 0
+		} else {
+			for t > 0 && entryLess(boundary, list[t-1]) {
+				t--
+			}
+		}
+		list = list[:t]
+	}
+
+	// 4) A reservoir short of k trusted entries is repaired by one full
+	// rescan at k+slack — the expensive event the slack bounds.
+	need := e.k
+	if need > n-1 {
+		need = n - 1
+	}
+	if len(list) < need {
+		list = e.scanSlot(i, &sc.h, list)
+		rescanned = true
+	}
+	e.lists[i] = list
+
+	// Dirty iff the exported k-prefix changed.
+	kNew := len(list)
+	if kNew > e.k {
+		kNew = e.k
+	}
+	if kNew != kOld {
+		e.dirty[i] = true
+		return rescanned
+	}
+	for t := 0; t < kNew; t++ {
+		if list[t] != prefix[t] {
+			e.dirty[i] = true
+			return rescanned
+		}
+	}
+	return rescanned
+}
+
+// scanSlot rebuilds slot i's reservoir with one exhaustive scan through the
+// same early-exit kernel and bounded heap as the brute-force index, draining
+// in the shared (squared distance, slot) order. The result reuses out's
+// backing array when large enough.
+func (e *WindowEngine) scanSlot(i int, h *boundedHeap, out []windowEntry) []windowEntry {
+	q := e.points[i]
+	size := e.cap()
+	if size > len(e.points)-1 {
+		size = len(e.points) - 1
+	}
+	if size <= 0 {
+		return out[:0]
+	}
+	h.reset(size)
+	for j, p := range e.points {
+		if j == i {
+			continue
+		}
+		d2, within := squaredEuclideanWithin(q, p, h.top())
+		if !within {
+			continue
+		}
+		h.push(j, d2)
+	}
+	m := h.len()
+	if cap(out) < m {
+		out = make([]windowEntry, m, e.cap())
+	}
+	out = out[:m]
+	for t := m - 1; t >= 0; t-- {
+		j, d2 := h.popMax()
+		out[t] = windowEntry{d2: d2, slot: int32(j)}
+	}
+	return out
+}
+
+// insertWindowEntry inserts en into the (squared distance, slot)-sorted
+// list, dropping the tail entry past the capacity. An entry ordering at or
+// beyond a full list's end is discarded.
+func insertWindowEntry(list []windowEntry, en windowEntry, capacity int) []windowEntry {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entryLess(list[mid], en) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= capacity {
+		return list
+	}
+	if len(list) < capacity {
+		list = append(list, windowEntry{})
+	}
+	copy(list[lo+1:], list[lo:])
+	list[lo] = en
+	return list
+}
+
+// TakeDirty returns which slots' exported k-prefixes changed since the last
+// TakeDirty (arrival slots always count) and resets the marks. The returned
+// slice is valid until the next Apply.
+func (e *WindowEngine) TakeDirty() []bool {
+	out := make([]bool, len(e.dirty))
+	copy(out, e.dirty)
+	for i := range e.dirty {
+		e.dirty[i] = false
+	}
+	return out
+}
+
+// Neighborhood exports the maintained structure in the plane's flat layout:
+// row-major n×m arrays, m = min(k, n−1), point i's neighbours at
+// idx[i*m : (i+1)*m] with Euclidean distances ascending, slot tie-broken —
+// bit-identical to AllKNNFlat over a fresh index of the same rows. The
+// arrays are freshly allocated: the caller may hand them to the plane
+// (Plane.Publish) without copying, and the engine's next Apply cannot
+// corrupt them.
+func (e *WindowEngine) Neighborhood() (idx []int32, dist []float64, m, stride int) {
+	n := len(e.points)
+	m = e.k
+	if m > n-1 {
+		m = n - 1
+	}
+	if m <= 0 {
+		return nil, nil, 0, 0
+	}
+	idx = make([]int32, n*m)
+	dist = make([]float64, n*m)
+	for i, list := range e.lists {
+		row := i * m
+		for t := 0; t < m; t++ {
+			idx[row+t] = list[t].slot
+			dist[row+t] = math.Sqrt(list[t].d2)
+		}
+	}
+	return idx, dist, m, m
+}
+
+func growBool(b []bool, n int) []bool {
+	if cap(b) < n {
+		nb := make([]bool, n)
+		copy(nb, b)
+		return nb
+	}
+	b = b[:n]
+	return b
+}

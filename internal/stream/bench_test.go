@@ -1,0 +1,51 @@
+package stream
+
+import (
+	"context"
+	"testing"
+)
+
+// benchmarkStreamWindow measures steady-state evaluation cost on the
+// reference stream workload (W=256, stride=64, 20d, LOF k=15): each
+// iteration pushes exactly one stride of points, triggering exactly one
+// window evaluation. The incremental/rebuild pair shares everything but
+// Config.NoIncremental, so their same-process ns/op ratio is the
+// self-normalising speedup check.sh gates (host noise cancels).
+func benchmarkStreamWindow(b *testing.B, noInc bool) {
+	const (
+		window = 256
+		stride = 64
+	)
+	m, _ := referenceStreamMonitor(b, noInc, 4)
+	defer m.Close()
+	pts := referencePoints(window + stride*64)
+	next := 0
+	push := func() {
+		if _, err := m.Push(context.Background(), pts[next]); err != nil {
+			b.Fatal(err)
+		}
+		next++
+		if next == len(pts) {
+			next = window // keep cycling fresh-ish points, never reusing the warmup prefix in place
+		}
+	}
+	for i := 0; i < window; i++ {
+		push() // fill + first evaluation (the cold build both arms share)
+	}
+	evalsBefore := m.Evaluations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < stride; s++ {
+			push()
+		}
+	}
+	b.StopTimer()
+	if got, want := m.Evaluations()-evalsBefore, b.N; got != want {
+		b.Fatalf("%d evaluations over %d iterations", got, want)
+	}
+}
+
+func BenchmarkStreamWindow(b *testing.B) {
+	b.Run("incremental", func(b *testing.B) { benchmarkStreamWindow(b, false) })
+	b.Run("rebuild", func(b *testing.B) { benchmarkStreamWindow(b, true) })
+}

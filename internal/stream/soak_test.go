@@ -87,7 +87,18 @@ func TestMonitorLongStreamBoundedFootprint(t *testing.T) {
 	if ps.Evictions != 0 {
 		t.Errorf("plane fell back to LRU eviction (%d) despite eager release", ps.Evictions)
 	}
-	t.Logf("soak: %d evals, %d alerts, plane %s", m.Evaluations(), len(alertCount), ps)
+	// The incremental engine must have engaged under the memoised LOF
+	// (windowScorerOf unwraps Cached) and survived every wraparound on the
+	// one engine seeded at the first full window — rebuilding per stride
+	// would silently defeat the amortisation this soak wraps around.
+	st := m.Stats()
+	if !st.Incremental {
+		t.Error("incremental engine never engaged under the Cached LOF")
+	}
+	if st.EngineRebuilds != 1 {
+		t.Errorf("engine rebuilt %d times across %d evaluations, want the single initial seed", st.EngineRebuilds, st.Evaluations)
+	}
+	t.Logf("soak: %d evals, %d alerts, plane %s, stream %s", m.Evaluations(), len(alertCount), ps, st)
 }
 
 // TestMonitorCloseReleasesLastWindow pins that Close forgets the final

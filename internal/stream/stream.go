@@ -21,6 +21,7 @@ import (
 
 	"anex/internal/core"
 	"anex/internal/dataset"
+	"anex/internal/detector"
 	"anex/internal/neighbors"
 	"anex/internal/stats"
 )
@@ -112,7 +113,27 @@ type Config struct {
 	// the Push/Flush that triggered the expiry; Close ignores them (the
 	// store is typically already shut down at that point).
 	Tombstones Tombstones
+	// NoIncremental disables the incremental neighbourhood engine: every
+	// evaluation rebuilds the window's kNN structure and re-scores every
+	// point cold, the pre-engine behaviour. Alerts are bit-identical either
+	// way (the engine's contract); the knob exists for A/B benchmarking and
+	// as an escape hatch.
+	NoIncremental bool
+	// Slack is the incremental engine's per-point reservoir headroom: each
+	// maintained neighbour list holds k+slack entries so that expiries can
+	// be absorbed without a rescan. Nil means neighbors.DefaultWindowSlack;
+	// use Slack(0) for a deliberate zero (rescan on every prefix expiry).
+	Slack *int
+	// Workers bounds the goroutines of the engine's scan and repair
+	// phases; values ≤ 1 (including zero) stay serial. Results are
+	// identical at any worker count.
+	Workers int
 }
+
+// Slack returns a pointer to s, for Config.Slack. The pointer distinguishes
+// "unset, use neighbors.DefaultWindowSlack" (nil) from a deliberate zero
+// reservoir.
+func Slack(s int) *int { return &s }
 
 // Tombstones records that a named dataset is dead and must not be
 // resurrected. *durable.Store implements it.
@@ -153,6 +174,9 @@ func (c *Config) validate() error {
 	if c.Stride < 0 {
 		return fmt.Errorf("stream: negative stride")
 	}
+	if c.Slack != nil && *c.Slack < 0 {
+		return fmt.Errorf("stream: negative slack")
+	}
 	return nil
 }
 
@@ -176,11 +200,32 @@ type Monitor struct {
 	filled    bool
 	sinceEval int
 	total     int
+	dim       int // fixed by the first pushed point (or FeatureNames)
 
 	flagged map[int]bool     // live sequence numbers already alerted
 	prev    *dataset.Dataset // previous evaluation's window, released next eval
 	evals   int
 	closed  bool
+
+	// Incremental engine state. ws is the detector's window-scoring face
+	// (nil when the detector has none, or Config.NoIncremental is set);
+	// pending accumulates the arrivals since the last engine application,
+	// deduplicated by slot so a stride that laps the window delivers only
+	// each slot's final occupant.
+	ws      detector.WindowScorer
+	eng     *neighbors.WindowEngine
+	winK    int // depth the live engine maintains
+	memo    *detector.WindowMemo
+	pending []neighbors.WindowArrival
+
+	// Fast-Flush memo: the previous successful evaluation's scores (a
+	// private copy) and the stream position they were computed at. A Flush
+	// that arrives with no new points re-serves these instead of rebuilding
+	// an identical window.
+	lastScores []float64
+	lastTotal  int
+
+	stats StreamStats
 }
 
 // NewMonitor builds a Monitor from the configuration (defaults applied to a
@@ -190,7 +235,7 @@ func NewMonitor(cfg Config) (*Monitor, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Monitor{
+	m := &Monitor{
 		cfg:       cfg,
 		stride:    cfg.Stride,
 		threshold: *cfg.ZThreshold,
@@ -198,7 +243,28 @@ func NewMonitor(cfg Config) (*Monitor, error) {
 		window:    make([][]float64, 0, cfg.WindowSize),
 		seq:       make([]int, 0, cfg.WindowSize),
 		flagged:   make(map[int]bool),
-	}, nil
+		lastTotal: -1,
+	}
+	if !cfg.NoIncremental {
+		m.ws = windowScorerOf(cfg.Detector)
+	}
+	return m, nil
+}
+
+// windowScorerOf resolves the detector's incremental scoring face, reaching
+// through a detector.Cached wrapper: window datasets carry fresh
+// process-unique names, so the score memo never hits on them, and the
+// incremental path's own reuse subsumes it.
+func windowScorerOf(d core.Detector) detector.WindowScorer {
+	if ws, ok := d.(detector.WindowScorer); ok {
+		return ws
+	}
+	if c, ok := d.(*detector.Cached); ok {
+		if ws, ok := c.Inner().(detector.WindowScorer); ok {
+			return ws
+		}
+	}
+	return nil
 }
 
 // Evaluations returns how many window evaluations have run.
@@ -216,21 +282,32 @@ func (m *Monitor) FlaggedLive() int { return len(m.flagged) }
 // it may trigger. The point is copied; the caller may reuse the slice.
 // Cancelling ctx aborts a triggered evaluation with ctx's error; the pushed
 // point is retained either way.
+//
+// The first pushed point (or a configured FeatureNames) fixes the stream's
+// dimensionality; a later point of a different width is rejected here — by
+// an error naming its stream sequence, before the point is retained —
+// instead of failing deep inside the next evaluation's dataset build.
 func (m *Monitor) Push(ctx context.Context, point []float64) ([]Alert, error) {
 	if m.closed {
 		return nil, ErrClosed
 	}
+	if err := m.checkDim(point); err != nil {
+		return nil, err
+	}
 	cp := make([]float64, len(point))
 	copy(cp, point)
-	if len(m.window) < m.cfg.WindowSize {
+	slot := len(m.window)
+	if slot < m.cfg.WindowSize {
 		m.window = append(m.window, cp)
 		m.seq = append(m.seq, m.total)
 	} else {
 		m.filled = true
+		slot = m.next
 		m.window[m.next] = cp
 		m.seq[m.next] = m.total
 		m.next = (m.next + 1) % m.cfg.WindowSize
 	}
+	m.recordArrival(slot, cp)
 	m.total++
 	m.sinceEval++
 
@@ -242,8 +319,48 @@ func (m *Monitor) Push(ctx context.Context, point []float64) ([]Alert, error) {
 	return m.evaluate(ctx)
 }
 
+// checkDim validates one incoming point's width against the stream's fixed
+// dimensionality, establishing it from the first point (cross-checked
+// against FeatureNames when configured).
+func (m *Monitor) checkDim(point []float64) error {
+	if m.dim == 0 {
+		if len(point) == 0 {
+			return fmt.Errorf("stream: point at sequence %d has no features", m.total)
+		}
+		if n := len(m.cfg.FeatureNames); n > 0 && n != len(point) {
+			return fmt.Errorf("stream: point at sequence %d has %d features, want %d (FeatureNames)", m.total, len(point), n)
+		}
+		m.dim = len(point)
+		return nil
+	}
+	if len(point) != m.dim {
+		return fmt.Errorf("stream: point at sequence %d has %d features, want %d", m.total, len(point), m.dim)
+	}
+	return nil
+}
+
+// recordArrival remembers the slot's newest occupant for the incremental
+// engine, keeping only the final occupant when one stride laps the slot
+// twice. A no-op when no engine will consume it.
+func (m *Monitor) recordArrival(slot int, p []float64) {
+	if m.ws == nil {
+		return
+	}
+	for i := range m.pending {
+		if m.pending[i].Slot == slot {
+			m.pending[i].Point = p
+			return
+		}
+	}
+	m.pending = append(m.pending, neighbors.WindowArrival{Slot: slot, Point: p})
+}
+
 // Flush forces an evaluation of the current window if it holds at least
-// MinWindowSize points, regardless of stride position.
+// MinWindowSize points, regardless of stride position. A Flush with no new
+// points since the last evaluation does not rebuild the (identical) window:
+// it re-serves the previous evaluation's scores and re-runs only the
+// flagging stage — exactly what a full re-evaluation of the same rows would
+// compute, without a fresh dataset identity, plane entry, or score pass.
 func (m *Monitor) Flush(ctx context.Context) ([]Alert, error) {
 	if m.closed {
 		return nil, ErrClosed
@@ -252,6 +369,13 @@ func (m *Monitor) Flush(ctx context.Context) ([]Alert, error) {
 		return nil, nil
 	}
 	m.sinceEval = 0
+	if m.prev != nil && m.lastScores != nil && m.total == m.lastTotal {
+		m.evals++
+		m.stats.Evaluations++
+		m.stats.FastFlushes++
+		m.pruneFlagged()
+		return m.flag(ctx, m.prev, m.lastScores)
+	}
 	return m.evaluate(ctx)
 }
 
@@ -268,6 +392,9 @@ func (m *Monitor) Close() {
 	m.closed = true
 	_ = m.release(m.prev)
 	m.prev = nil
+	m.dropEngine()
+	m.lastScores = nil
+	m.pending = nil
 }
 
 // release forgets one dead window dataset from the neighbourhood plane and
@@ -314,6 +441,7 @@ func (m *Monitor) pruneFlagged() {
 
 func (m *Monitor) evaluate(ctx context.Context) ([]Alert, error) {
 	m.evals++
+	m.stats.Evaluations++
 	m.pruneFlagged()
 	ds, err := dataset.FromRows(fmt.Sprintf("window-%d", m.evals), m.window, m.featureNames())
 	if err != nil {
@@ -328,10 +456,125 @@ func (m *Monitor) evaluate(ctx context.Context) ([]Alert, error) {
 	if releaseErr != nil {
 		return nil, releaseErr
 	}
-	scores, err := m.cfg.Detector.Scores(ctx, ds.FullView())
+	scores, err := m.score(ctx, ds)
 	if err != nil {
 		return nil, fmt.Errorf("stream: score window %d: %w", m.evals, err)
 	}
+	m.lastScores = append(m.lastScores[:0], scores...)
+	m.lastTotal = m.total
+	return m.flag(ctx, ds, scores)
+}
+
+// score produces the window's detector scores, through the incremental
+// engine when the detector supports it and cold otherwise. Z-
+// standardisation and flagging always run over the full window either way,
+// so alert semantics do not depend on the path taken.
+func (m *Monitor) score(ctx context.Context, ds *dataset.Dataset) ([]float64, error) {
+	n := len(m.window)
+	if m.ws != nil {
+		scores, ok, err := m.scoreIncremental(ctx, ds)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return scores, nil
+		}
+	}
+	m.pending = m.pending[:0]
+	scores, err := m.cfg.Detector.Scores(ctx, ds.FullView())
+	if err == nil {
+		m.stats.Scored += n
+		m.stats.Rescored += n
+	}
+	return scores, err
+}
+
+// scoreIncremental advances the window engine by the pending arrivals,
+// publishes the maintained neighbourhood to the plane under the fresh
+// window dataset's key (so explainers and co-resident consumers reuse it
+// instead of recomputing), and re-scores only the dirty slots. ok=false
+// (without error) means the degenerate fallback: score cold.
+func (m *Monitor) scoreIncremental(ctx context.Context, ds *dataset.Dataset) ([]float64, bool, error) {
+	if err := m.ensureEngine(ctx); err != nil {
+		return nil, false, err
+	}
+	if len(m.pending) > 0 {
+		if err := m.eng.Apply(ctx, m.pending); err != nil {
+			// The engine is undefined after a failed Apply; discard it so
+			// the next evaluation rebuilds cold.
+			m.dropEngine()
+			return nil, false, err
+		}
+		m.pending = m.pending[:0]
+	}
+	idx, dist, mk, stride := m.eng.Neighborhood()
+	if mk < 1 {
+		return nil, false, nil
+	}
+	dirty := m.eng.TakeDirty()
+	m.cfg.Plane.Publish(ds.FullView(), m.eng.K(), mk, idx, dist)
+	m.stats.Publishes++
+	scores, rescored := m.ws.ScoresWindow(m.window, idx, dist, mk, stride, dirty, m.memo)
+	m.stats.Scored += len(scores)
+	m.stats.Rescored += rescored
+	return scores, true, nil
+}
+
+// ensureEngine makes the window engine live at the right depth, seeding it
+// from the full current window (one cold build) on first use or when the
+// required depth grew — the plane's kmax can rise as consumers register.
+func (m *Monitor) ensureEngine(ctx context.Context) error {
+	winK := m.ws.WindowK()
+	if pk := m.cfg.Plane.KMax(); pk > winK {
+		// Maintain at the plane's depth so the published entry satisfies
+		// every co-resident consumer without an upgrade recompute.
+		winK = pk
+	}
+	if m.eng != nil && m.winK == winK {
+		return nil
+	}
+	m.dropEngine()
+	slack := neighbors.DefaultWindowSlack
+	if m.cfg.Slack != nil {
+		slack = *m.cfg.Slack
+	}
+	eng := neighbors.NewWindowEngine(winK, slack, m.cfg.Workers)
+	seed := make([]neighbors.WindowArrival, len(m.window))
+	for i, p := range m.window {
+		seed[i] = neighbors.WindowArrival{Slot: i, Point: p}
+	}
+	if err := eng.Apply(ctx, seed); err != nil {
+		return err
+	}
+	m.eng = eng
+	m.winK = winK
+	m.memo = &detector.WindowMemo{}
+	m.pending = m.pending[:0]
+	m.stats.EngineRebuilds++
+	return nil
+}
+
+// dropEngine discards the live engine (folding its counters into the
+// monitor's running stats) and the scoring memo that depended on it.
+func (m *Monitor) dropEngine() {
+	if m.eng != nil {
+		m.foldEngineStats(m.eng.Stats())
+		m.eng = nil
+	}
+	m.winK = 0
+	m.memo = nil
+}
+
+func (m *Monitor) foldEngineStats(ws neighbors.WindowStats) {
+	m.stats.Arrivals += ws.Arrivals
+	m.stats.SurvivorLists += ws.SurvivorLists
+	m.stats.KListRepairs += ws.Rescans
+}
+
+// flag is the evaluation's decision stage: Z-standardise the window scores,
+// flag the not-yet-alerted points above threshold (highest first, capped by
+// MaxFlagsPerWindow), and explain each flagged point within ds.
+func (m *Monitor) flag(ctx context.Context, ds *dataset.Dataset, scores []float64) ([]Alert, error) {
 	z := stats.ZScores(scores)
 	candidates := make([]int, 0, 4)
 	for i, zi := range z {
@@ -371,4 +614,73 @@ func (m *Monitor) featureNames() []string {
 	names := make([]string, len(m.cfg.FeatureNames))
 	copy(names, m.cfg.FeatureNames)
 	return names
+}
+
+// StreamStats is a point-in-time snapshot of a Monitor's activity: how much
+// of the incremental machinery actually engaged, and how much work it saved.
+// anexbench -stats prints it after the stream benchmark arm.
+type StreamStats struct {
+	// Evaluations counts window evaluations (fast Flush re-serves
+	// included); FastFlushes of those re-served the previous evaluation's
+	// scores without rebuilding the window.
+	Evaluations, FastFlushes int
+	// Incremental reports whether the incremental engine is live.
+	Incremental bool
+	// EngineRebuilds counts cold engine builds (first use, or a depth
+	// change when a deeper consumer registered with the plane).
+	EngineRebuilds int
+	// Arrivals counts points delivered to the engine (each one fresh
+	// scan); SurvivorLists reservoirs examined for repair; KListRepairs of
+	// those needed a full rescan — the expensive event the reservoir slack
+	// exists to avoid.
+	Arrivals, SurvivorLists, KListRepairs int
+	// Scored counts points scored across all evaluations; Rescored how
+	// many of them were actually recomputed (the rest re-served memoised
+	// values bit-identically).
+	Scored, Rescored int
+	// Publishes counts maintained neighbourhoods installed into the plane
+	// for explainer/consumer reuse.
+	Publishes int
+}
+
+// RepairFraction reports the fraction of survivor k-lists that needed a
+// full rescan per stride: KListRepairs ÷ SurvivorLists, 0 when nothing was
+// examined. The deterministic ceiling gate pins it on the reference
+// workload.
+func (s StreamStats) RepairFraction() float64 {
+	if s.SurvivorLists == 0 {
+		return 0
+	}
+	return float64(s.KListRepairs) / float64(s.SurvivorLists)
+}
+
+// DirtyRescoreFraction reports the fraction of scored points that were
+// actually recomputed: Rescored ÷ Scored, 1 when nothing was scored yet.
+func (s StreamStats) DirtyRescoreFraction() float64 {
+	if s.Scored == 0 {
+		return 1
+	}
+	return float64(s.Rescored) / float64(s.Scored)
+}
+
+func (s StreamStats) String() string {
+	return fmt.Sprintf(
+		"evaluations %d (fast flushes %d), incremental %v (rebuilds %d), arrivals %d, survivor lists %d, k-list repairs %d (repair fraction %.3f), rescored %d/%d (dirty rescore fraction %.3f), publishes %d",
+		s.Evaluations, s.FastFlushes, s.Incremental, s.EngineRebuilds,
+		s.Arrivals, s.SurvivorLists, s.KListRepairs, s.RepairFraction(),
+		s.Rescored, s.Scored, s.DirtyRescoreFraction(), s.Publishes)
+}
+
+// Stats returns the monitor's activity counters, including the live
+// engine's.
+func (m *Monitor) Stats() StreamStats {
+	st := m.stats
+	if m.eng != nil {
+		ws := m.eng.Stats()
+		st.Arrivals += ws.Arrivals
+		st.SurvivorLists += ws.SurvivorLists
+		st.KListRepairs += ws.Rescans
+		st.Incremental = true
+	}
+	return st
 }

@@ -3,12 +3,12 @@
 # machine-readable JSON snapshot (ns/op, B/op, allocs/op per benchmark),
 # the perf trajectory artefact the PR acceptance criteria compare against.
 #
-# Usage: scripts/bench.sh [output.json]    (default results/BENCH_8.json)
+# Usage: scripts/bench.sh [output.json]    (default results/BENCH_9.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-results/BENCH_8.json}"
+out="${1:-results/BENCH_9.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -26,6 +26,10 @@ go test -run '^$' -bench 'BenchmarkRunGrid$' -benchmem -benchtime=2x ./internal/
 go test -run '^$' -bench 'BenchmarkRunGridKNN$' -benchmem -benchtime=2x ./internal/pipeline >>"$raw"
 go test -run '^$' -bench 'BenchmarkFigure9KNNPrune$' -benchmem -benchtime=30x . >>"$raw"
 go test -run '^$' -bench 'BenchmarkFigure9/(Beam|RefOut)/LOF' -benchmem -benchtime=20x . >>"$raw"
+# Stream arm: steady-state sliding-window evaluation on the reference
+# workload (W=256, stride=64, 20d, LOF k=15), incremental engine vs cold
+# rebuild — the PR-9 acceptance pair whose ratio check.sh gates at ≤ 0.6.
+go test -run '^$' -bench 'BenchmarkStreamWindow' -benchmem -benchtime=100x ./internal/stream >>"$raw"
 
 awk '
 /^Benchmark/ {
