@@ -8,6 +8,7 @@ package anex_test
 import (
 	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"anex"
@@ -389,10 +390,37 @@ func BenchmarkKNNBruteVsKDTree(b *testing.B) {
 // tier actually changes; a cold arm would mostly measure the one-off
 // landmark selection the plane amortises away. scripts/check.sh gates on
 // the pruned/unpruned ratio of this benchmark (≤ 0.75), which
-// self-normalises against host-load swings.
+// self-normalises against host-load swings. The worker budget follows the
+// live GOMAXPROCS so a `go test -cpu 1,2,4` sweep measures real scaling;
+// the default run is the same single-worker loop the gate times.
 func BenchmarkFigure9KNNPrune(b *testing.B) {
 	ds, _ := benchDataset(b, 1000, 20)
 	points := ds.FullView().Points()
+	workers := runtime.GOMAXPROCS(0)
+	run := func(b *testing.B, ix neighbors.Index) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := neighbors.AllKNNFlat(bctx, ix, 15, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("pruned", func(b *testing.B) { run(b, neighbors.NewLandmarkIndex(points, 0)) })
+	b.Run("unpruned", func(b *testing.B) { run(b, neighbors.NewBruteForce(points)) })
+}
+
+// BenchmarkFigure9KNNQuant is the quantized prefilter's acceptance
+// workload: the same warm-index Figure-9 neighbourhood structure as
+// BenchmarkFigure9KNNPrune, but both arms run the LANDMARK tier — one with
+// the code-bound tile pass under the band scan, one going straight to the
+// exact kernel — so the ratio isolates exactly what the prefilter adds on
+// top of the tier it composes with. scripts/check.sh gates on the
+// quant/noquant ratio (≤ 0.85, best of three same-process rounds).
+func BenchmarkFigure9KNNQuant(b *testing.B) {
+	ds, _ := benchDataset(b, 1000, 20)
+	points := ds.FullView().Points()
+	defer neighbors.SetPruneConfig(neighbors.PruneConfig{})
 	run := func(b *testing.B, ix neighbors.Index) {
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -402,8 +430,14 @@ func BenchmarkFigure9KNNPrune(b *testing.B) {
 			}
 		}
 	}
-	b.Run("pruned", func(b *testing.B) { run(b, neighbors.NewLandmarkIndex(points, 0)) })
-	b.Run("unpruned", func(b *testing.B) { run(b, neighbors.NewBruteForce(points)) })
+	b.Run("quant", func(b *testing.B) {
+		neighbors.SetPruneConfig(neighbors.PruneConfig{})
+		run(b, neighbors.NewLandmarkIndex(points, 0))
+	})
+	b.Run("noquant", func(b *testing.B) {
+		neighbors.SetPruneConfig(neighbors.PruneConfig{NoQuant: true})
+		run(b, neighbors.NewLandmarkIndex(points, 0))
+	})
 }
 
 // BenchmarkAblationHiCSTest compares the Welch and Kolmogorov–Smirnov

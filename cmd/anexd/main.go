@@ -7,7 +7,8 @@
 //
 //	anexd [-addr :8347] [-data-dir DIR] [-max-inflight N] [-rate R]
 //	      [-burst B] [-plane-mb 256] [-cache-mb 256] [-workers N]
-//	      [-landmarks N] [-no-prune] [-grace 15s] [-failpoints SPEC]
+//	      [-landmarks N] [-no-prune] [-quant N] [-no-quant]
+//	      [-grace 15s] [-failpoints SPEC]
 //
 // Endpoints:
 //
@@ -65,13 +66,20 @@ func main() {
 		workers     = flag.Int("workers", 0, "scoring workers per request (0 = GOMAXPROCS); results are identical at any count")
 		landmarks   = flag.Int("landmarks", 0, "landmark count of the pruned candidate tier on wide views (0 = automatic); results are bit-identical at any value")
 		noPrune     = flag.Bool("no-prune", false, "disable the landmark-pruned candidate tier (wide views fall back to the plain exhaustive scan)")
+		quantTile   = flag.Int("quant", 0, "candidate tile size of the quantized prefilter under the kNN tiers (0 = default 64); results are bit-identical at any value")
+		noQuant     = flag.Bool("no-quant", false, "disable the quantized prefilter (candidates go straight to the exact distance kernel)")
 		grace       = flag.Duration("grace", 15*time.Second, "shutdown drain deadline before in-flight requests are hard-cancelled")
 	)
 	flag.Parse()
 
 	// The landmark tier is process-wide state consulted by every index the
 	// engine's plane builds, so it is configured before the engine exists.
-	neighbors.SetPruneConfig(neighbors.PruneConfig{Landmarks: *landmarks, Disabled: *noPrune})
+	neighbors.SetPruneConfig(neighbors.PruneConfig{
+		Landmarks: *landmarks,
+		Disabled:  *noPrune,
+		QuantTile: *quantTile,
+		NoQuant:   *noQuant,
+	})
 
 	// Unlike the one-shot CLIs (internal/clix: interrupt → exit 130), a
 	// signal to the daemon means "drain and exit cleanly".

@@ -2,7 +2,9 @@ package neighbors
 
 import (
 	"context"
+	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -32,8 +34,15 @@ func BenchmarkKDTreeBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkAllKNN queries with the worker budget set to the live
+// GOMAXPROCS, so a `go test -cpu 1,2,4` sweep measures the parallel
+// substrate's actual scaling (at the default single-proc run it is the
+// same serial query loop as always — the check.sh reference workload
+// stays comparable across rounds).
 func BenchmarkAllKNN(b *testing.B) {
 	b.ReportAllocs()
+	ctx := context.Background()
+	workers := runtime.GOMAXPROCS(0)
 	for _, d := range []int{2, 5, 20} {
 		points := benchPoints(1000, d)
 		b.Run("kdtree/"+itoa(d)+"d", func(b *testing.B) {
@@ -42,16 +51,53 @@ func BenchmarkAllKNN(b *testing.B) {
 				b.Skip("kd-tree not selected at this dimensionality")
 			}
 			for i := 0; i < b.N; i++ {
-				AllKNN(NewKDTree(points), 15)
+				if _, _, _, err := AllKNNFlat(ctx, NewKDTree(points), 15, workers); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 		b.Run("brute/"+itoa(d)+"d", func(b *testing.B) {
 			b.ReportAllocs()
 			ix := NewBruteForce(points)
 			for i := 0; i < b.N; i++ {
-				AllKNN(ix, 15)
+				if _, _, _, err := AllKNNFlat(ctx, ix, 15, workers); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
+	}
+}
+
+// BenchmarkSquaredEuclideanWithin sweeps the exact distance kernel alone —
+// the innermost loop every tier above funnels into — so kernel-level
+// regressions show up in the trajectory independent of index structure.
+// The no-limit arm measures the full accumulation; the tight-limit arm
+// measures the early-exit path the pruning tiers lean on (limit set to a
+// quarter of the pair's distance, so the exit fires at the first check).
+func BenchmarkSquaredEuclideanWithin(b *testing.B) {
+	var sink float64
+	for _, d := range []int{4, 8, 20, 64} {
+		rows := benchPoints(2, d)
+		a, c := rows[0], rows[1]
+		full := SquaredEuclidean(a, c)
+		b.Run("full/"+itoa(d)+"d", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v, _ := squaredEuclideanWithin(a, c, math.Inf(1))
+				sink += v
+			}
+		})
+		b.Run("earlyexit/"+itoa(d)+"d", func(b *testing.B) {
+			b.ReportAllocs()
+			limit := full / 4
+			for i := 0; i < b.N; i++ {
+				v, _ := squaredEuclideanWithin(a, c, limit)
+				sink += v
+			}
+		})
+	}
+	if math.IsNaN(sink) {
+		b.Fatal("kernel produced NaN")
 	}
 }
 

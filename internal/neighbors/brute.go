@@ -57,6 +57,11 @@ type Scratch struct {
 	h    boundedHeap
 	idx  []int
 	dist []float64
+	// Tile scratch of the quantized prefilter (see quant.go): fixed cells
+	// sized by quantTileMax, living here so the per-cluster scan pays no
+	// per-call zeroing and the query path stays allocation-free.
+	qbound [quantTileMax]int64
+	qsurv  [quantTileMax]int32
 }
 
 // NewScratch returns an empty query scratch.

@@ -83,6 +83,8 @@ const (
 type pruneCounters struct {
 	candidates int64 // candidate rows considered
 	skipped    int64 // rejected wholesale by a cluster lower bound
+	qcand      int64 // candidates whose 8-bit code bound was evaluated
+	qrej       int64 // rejected by the code bound alone (see quant.go)
 }
 
 // lbNearClusters is how many nearest clusters a query visits before the
@@ -137,6 +139,10 @@ func (lx *landmarkIndex) scanCluster(c, qi int, q []float64, dq float64, s *Scra
 		}
 		pc.skipped += int64(start + (len(members) - end))
 	}
+	if lx.qp != nil {
+		lx.scanBandQuant(lo+start, lo+end, qi, q, s, pc)
+		return
+	}
 	for _, j := range members[start:end] {
 		if int(j) == qi {
 			continue
@@ -149,6 +155,74 @@ func (lx *landmarkIndex) scanCluster(c, qi int, q []float64, dq float64, s *Scra
 			continue
 		}
 		s.h.push(int(j), d2)
+	}
+}
+
+// scanBandQuant is the band scan behind the quantized prefilter: code-row
+// positions [p0, p1) of the cluster order are walked in tiles, each tile
+// running the branch-free SAD pass over its sequential padded byte rows,
+// then the weighted refinement and the exact kernel over the survivor list
+// only (see quant.go for both bounds and their safety argument). Survivors
+// meet the SAME live radius, in the SAME member order, as the plain band
+// scan — the bound passes remove only candidates the kernel's own early
+// exit would have discarded, so kept values are bit-identical at any tile
+// size. The tile's radius snapshot is taken at tile entry; pushes within
+// the tile only shrink the live radius, so the snapshot merely
+// under-rejects. Tiles met before the heap fills (infinite radius) skip
+// the bound passes outright — nothing can be rejected. The bound and
+// survivor scratches are fixed cells in the query Scratch (quantTileMax
+// caps the tile), keeping the query path allocation-free with no per-call
+// zeroing.
+func (lx *landmarkIndex) scanBandQuant(p0, p1, qi int, q []float64, s *Scratch, pc *pruneCounters) {
+	d := lx.d
+	qp := lx.qp
+	st := qp.stride
+	qc := lx.qcodes[int(lx.qpos[qi])*st : int(lx.qpos[qi])*st+st]
+	bounds, surv := &s.qbound, &s.qsurv
+	for base := p0; base < p1; base += lx.qtile {
+		t := lx.qtile
+		if base+t > p1 {
+			t = p1 - base
+		}
+		limit := s.h.top()
+		if math.IsInf(limit, 1) {
+			for p := base; p < base+t; p++ {
+				j := int(lx.order[p])
+				if j == qi {
+					continue
+				}
+				row := lx.flat[j*d : (j+1)*d]
+				d2, within := squaredEuclideanWithin(q, row, s.h.top())
+				if within {
+					s.h.push(j, d2)
+				}
+			}
+			continue
+		}
+		// Bound pass over the whole tile's padded byte rows, then the
+		// survivor filter.
+		quantSqSumTile(qc, lx.qcodes[base*st:(base+t)*st], t, bounds[:])
+		ns := 0
+		for r := 0; r < t; r++ {
+			if qp.sumClears(bounds[r], limit) {
+				continue
+			}
+			surv[ns] = lx.order[base+r]
+			ns++
+		}
+		pc.qcand += int64(t)
+		pc.qrej += int64(t - ns)
+		for _, j32 := range surv[:ns] {
+			j := int(j32)
+			if j == qi {
+				continue
+			}
+			row := lx.flat[j*d : (j+1)*d]
+			d2, within := squaredEuclideanWithin(q, row, s.h.top())
+			if within {
+				s.h.push(j, d2)
+			}
+		}
 	}
 }
 

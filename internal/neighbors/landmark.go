@@ -76,6 +76,14 @@ type PruneConfig struct {
 	// Disabled turns the tier off; NewIndex falls back to the plain
 	// brute-force scan for wide views.
 	Disabled bool
+	// NoQuant turns the quantized prefilter off (the -no-quant knob):
+	// landmark band scans and window arrival scans go straight to the
+	// exact kernel without the code-bound pass.
+	NoQuant bool
+	// QuantTile overrides the candidate tile size of the quantized
+	// prefilter's filter/verify pipeline; 0 picks quantTileDefault,
+	// values above quantTileMax are clamped.
+	QuantTile int
 }
 
 var pruneConfig atomic.Value // of PruneConfig
@@ -108,6 +116,13 @@ type PruneStats struct {
 	// Scanned of those reached the exact distance kernel, Skipped were
 	// rejected by the triangle-inequality lower bound alone.
 	Candidates, Scanned, Skipped int64
+	// CodeBytes is the storage charged to quantized code rows and their
+	// per-dimension tables across all builds.
+	CodeBytes int64
+	// QuantCandidates counts candidates whose 8-bit code bound was
+	// evaluated in a tile pass; QuantRejected of those were rejected from
+	// codes alone, without touching their float rows.
+	QuantCandidates, QuantRejected int64
 }
 
 // ScanFraction reports Scanned / Candidates — the fraction of the
@@ -121,6 +136,18 @@ func (s PruneStats) ScanFraction() float64 {
 	return float64(s.Scanned) / float64(s.Candidates)
 }
 
+// SurvivorFraction reports the fraction of code-bound evaluations the
+// quantized prefilter could NOT reject — the candidates that went on to
+// pay an exact kernel call. 1 means the prefilter never fired (or never
+// engaged); the Figure-9 reference workload is gated by
+// TestQuantSurvivorFractionFigure9.
+func (s PruneStats) SurvivorFraction() float64 {
+	if s.QuantCandidates == 0 {
+		return 1
+	}
+	return float64(s.QuantCandidates-s.QuantRejected) / float64(s.QuantCandidates)
+}
+
 func (s PruneStats) add(o PruneStats) PruneStats {
 	s.Indexes += o.Indexes
 	s.Landmarks += o.Landmarks
@@ -128,6 +155,9 @@ func (s PruneStats) add(o PruneStats) PruneStats {
 	s.Candidates += o.Candidates
 	s.Scanned += o.Scanned
 	s.Skipped += o.Skipped
+	s.CodeBytes += o.CodeBytes
+	s.QuantCandidates += o.QuantCandidates
+	s.QuantRejected += o.QuantRejected
 	return s
 }
 
@@ -142,17 +172,23 @@ var (
 	pruneCandidates atomic.Int64
 	pruneScanned    atomic.Int64
 	pruneSkipped    atomic.Int64
+	pruneCodeBytes  atomic.Int64
+	pruneQuantCand  atomic.Int64
+	pruneQuantRej   atomic.Int64
 )
 
 // PruneTotals returns the process-wide landmark-tier counters.
 func PruneTotals() PruneStats {
 	return PruneStats{
-		Indexes:    int(pruneIndexes.Load()),
-		Landmarks:  int(pruneLandmarks.Load()),
-		BuildTime:  time.Duration(pruneBuildNanos.Load()),
-		Candidates: pruneCandidates.Load(),
-		Scanned:    pruneScanned.Load(),
-		Skipped:    pruneSkipped.Load(),
+		Indexes:         int(pruneIndexes.Load()),
+		Landmarks:       int(pruneLandmarks.Load()),
+		BuildTime:       time.Duration(pruneBuildNanos.Load()),
+		Candidates:      pruneCandidates.Load(),
+		Scanned:         pruneScanned.Load(),
+		Skipped:         pruneSkipped.Load(),
+		CodeBytes:       pruneCodeBytes.Load(),
+		QuantCandidates: pruneQuantCand.Load(),
+		QuantRejected:   pruneQuantRej.Load(),
 	}
 }
 
@@ -165,6 +201,9 @@ func ResetPruneTotals() {
 	pruneCandidates.Store(0)
 	pruneScanned.Store(0)
 	pruneSkipped.Store(0)
+	pruneCodeBytes.Store(0)
+	pruneQuantCand.Store(0)
+	pruneQuantRej.Store(0)
 }
 
 // landmarkIndex is the pruned-candidate index: a brute-force scan behind an
@@ -202,11 +241,24 @@ type landmarkIndex struct {
 	segLoT, segHiT []float64
 	diagLo, diagHi []float64
 
+	// Quantized prefilter state (nil qp when disabled or unusable, see
+	// quant.go): qcodes holds the n padded code rows (stride bytes each,
+	// see quantStride) in CLUSTER order — row r
+	// codes point order[r] — so the band scan's tile pass reads sequential
+	// bytes; qpos is the inverse permutation (point → code row), which is
+	// how a query finds its own code.
+	qp        *quantParams
+	qcodes    []uint8
+	qpos      []int32
+	qtile     int
+	codeBytes int64
+
 	buildTime time.Duration
 
 	// Per-index activity, mirrored into the package totals; the plane folds
 	// these into the owning entry's PruneStats after each computation.
 	candidates, scanned, skipped atomic.Int64
+	qcand, qrej                  atomic.Int64
 }
 
 // NewLandmarkIndex builds a pruned-candidate index over the points with the
@@ -244,6 +296,9 @@ func NewLandmarkIndex(points [][]float64, landmarks int) Index {
 	lx.lm = make([]float64, n*nl)
 	lx.selectLandmarks()
 	lx.buildClusters()
+	if cfg := GetPruneConfig(); !cfg.NoQuant && n >= quantMinPoints {
+		lx.buildQuant(cfg.QuantTile)
+	}
 	lx.buildTime = time.Since(start)
 
 	pruneIndexes.Add(1)
@@ -371,6 +426,33 @@ func (lx *landmarkIndex) buildClusters() {
 	}
 }
 
+// buildQuant lays the quantized prefilter over the clustered order: one
+// code book for the view, code rows stored in cluster order so the band
+// scan's tile pass streams sequential bytes. Views the book refuses
+// (non-finite values, ranges too wide to square) leave qp nil and the
+// scans take the plain exact path.
+func (lx *landmarkIndex) buildQuant(tile int) {
+	lx.qtile = quantTileSize(tile)
+	qp := newQuantParams(lx.points, lx.d)
+	if !qp.usable {
+		return
+	}
+	st := qp.stride
+	codes := make([]uint8, lx.n*st)
+	pos := make([]int32, lx.n)
+	for r, j := range lx.order {
+		pos[j] = int32(r)
+		if !qp.encode(lx.points[j], codes[r*st:(r+1)*st]) {
+			// Build rows always encode; if one somehow does not, the
+			// bound's premise is void — drop the prefilter for this view.
+			return
+		}
+	}
+	lx.qp, lx.qcodes, lx.qpos = qp, codes, pos
+	lx.codeBytes = qp.codeBytes(lx.n)
+	pruneCodeBytes.Add(lx.codeBytes)
+}
+
 func (lx *landmarkIndex) Len() int { return lx.n }
 
 // Landmarks returns the selected landmark point indices (diagnostics).
@@ -381,12 +463,15 @@ func (lx *landmarkIndex) Landmarks() []int32 {
 // PruneStats returns this index's own activity counters.
 func (lx *landmarkIndex) PruneStats() PruneStats {
 	return PruneStats{
-		Indexes:    1,
-		Landmarks:  lx.nl,
-		BuildTime:  lx.buildTime,
-		Candidates: lx.candidates.Load(),
-		Scanned:    lx.scanned.Load(),
-		Skipped:    lx.skipped.Load(),
+		Indexes:         1,
+		Landmarks:       lx.nl,
+		BuildTime:       lx.buildTime,
+		Candidates:      lx.candidates.Load(),
+		Scanned:         lx.scanned.Load(),
+		Skipped:         lx.skipped.Load(),
+		CodeBytes:       lx.codeBytes,
+		QuantCandidates: lx.qcand.Load(),
+		QuantRejected:   lx.qrej.Load(),
 	}
 }
 
@@ -474,13 +559,20 @@ func (lx *landmarkIndex) KNNInto(i, k int, s *Scratch) ([]int, []float64) {
 		}
 	}
 	// The query's own row rides through the scan (rejected by the qi check,
-	// never by the bound — its bound is zero); don't count it a candidate.
+	// never by a bound — both its bounds are zero); don't count it a
+	// candidate. Scanned = candidates the exact kernel actually saw, after
+	// both the wholesale/band skips and the code-bound rejections.
 	pc.candidates--
+	scanned := pc.candidates - pc.skipped - pc.qrej
 	lx.candidates.Add(pc.candidates)
-	lx.scanned.Add(pc.candidates - pc.skipped)
+	lx.scanned.Add(scanned)
 	lx.skipped.Add(pc.skipped)
+	lx.qcand.Add(pc.qcand)
+	lx.qrej.Add(pc.qrej)
 	pruneCandidates.Add(pc.candidates)
-	pruneScanned.Add(pc.candidates - pc.skipped)
+	pruneScanned.Add(scanned)
 	pruneSkipped.Add(pc.skipped)
+	pruneQuantCand.Add(pc.qcand)
+	pruneQuantRej.Add(pc.qrej)
 	return s.drain()
 }

@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package neighbors
+
+// quantSqSum computes the code-bound sum Σ_j max(0, |a_j − b_j| − 1)² over
+// two padded code rows. Platforms without the SSE2 kernel take the
+// portable branch-free loop.
+func quantSqSum(a, b []uint8) int64 {
+	return quantSqSumRef(a, b)
+}
+
+// quantSqSumTile computes the bound sums of count consecutive padded code
+// rows against the query row q into out[0:count].
+func quantSqSumTile(q, rows []uint8, count int, out []int64) {
+	st := len(q)
+	for r := 0; r < count; r++ {
+		out[r] = quantSqSumRef(q, rows[r*st:(r+1)*st])
+	}
+}

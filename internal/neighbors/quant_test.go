@@ -1,0 +1,120 @@
+package neighbors_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"anex/internal/neighbors"
+)
+
+// TestQuantPrunedBitIdentical pins the quantized prefilter's core contract,
+// mirroring TestLandmarkPrunedBitIdentical one tier down: for every
+// degenerate dataset, tile size (including the degenerate one-candidate
+// tile and an over-max value that must clamp), neighbourhood size
+// (including k ≥ n), and worker count, the landmark index WITH the code
+// bound answers bit-identically to the plain brute-force scan — indices
+// and distance bit patterns both. The duplicate/lattice/identical shapes
+// are where a lower bound classically goes wrong: distances sit exactly on
+// the radius, and a bound that is not strictly conservative flips a
+// boundary tie.
+func TestQuantPrunedBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	defer neighbors.SetPruneConfig(neighbors.PruneConfig{})
+	for name, points := range landmarkCases() {
+		t.Run(name, func(t *testing.T) {
+			n := len(points)
+			brute := neighbors.NewBruteForce(points)
+			for _, tile := range []int{1, 2, 7, 64, 1 << 20} {
+				neighbors.SetPruneConfig(neighbors.PruneConfig{QuantTile: tile})
+				pruned := neighbors.NewLandmarkIndex(points, 0)
+				for _, k := range []int{1, 5, 15, n - 1, n + 10} {
+					wantIdx, wantDist, wantM, err := neighbors.AllKNNFlat(ctx, brute, k, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, workers := range []int{1, 4} {
+						gotIdx, gotDist, gotM, err := neighbors.AllKNNFlat(ctx, pruned, k, workers)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if gotM != wantM || len(gotIdx) != len(wantIdx) {
+							t.Fatalf("tile=%d k=%d w=%d: shape m=%d len=%d, want m=%d len=%d",
+								tile, k, workers, gotM, len(gotIdx), wantM, len(wantIdx))
+						}
+						for i := range wantIdx {
+							if gotIdx[i] != wantIdx[i] {
+								t.Fatalf("tile=%d k=%d w=%d: idx[%d]=%d, want %d (point %d slot %d)",
+									tile, k, workers, i, gotIdx[i], wantIdx[i], i/wantM, i%wantM)
+							}
+							if math.Float64bits(gotDist[i]) != math.Float64bits(wantDist[i]) {
+								t.Fatalf("tile=%d k=%d w=%d: dist[%d] bits %x, want %x",
+									tile, k, workers, i, math.Float64bits(gotDist[i]), math.Float64bits(wantDist[i]))
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQuantSurvivorFractionFigure9 is the check.sh quant-effectiveness
+// gate: on the Figure-9 reference workload (20d, n=1000, k=15), the code
+// bound must reject enough of the band-scan stream that at most 15% of the
+// bound-tested candidates still reach the exact kernel (measured: 3.5%,
+// and overall scan fraction falls 0.544 → 0.041). Like the landmark
+// scan-fraction gate, this is a deterministic property of the data, the
+// seeded selection, and the code book — not a timing assertion — so it
+// cannot flake with host load.
+func TestQuantSurvivorFractionFigure9(t *testing.T) {
+	points := figure9Points(t)
+	ix := neighbors.NewLandmarkIndex(points, 0)
+	if _, _, _, err := neighbors.AllKNNFlat(context.Background(), ix, 15, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.(interface{ PruneStats() neighbors.PruneStats }).PruneStats()
+	if st.QuantCandidates == 0 || st.QuantRejected == 0 {
+		t.Fatalf("quantized prefilter did not engage: %+v", st)
+	}
+	if st.CodeBytes == 0 {
+		t.Fatalf("code storage not charged: %+v", st)
+	}
+	frac := st.SurvivorFraction()
+	t.Logf("figure-9 reference workload: %d bound-tested, %d rejected, survivor fraction %.3f (code bytes %d, scan fraction %.3f)",
+		st.QuantCandidates, st.QuantRejected, frac, st.CodeBytes, st.ScanFraction())
+	if frac > 0.15 {
+		t.Fatalf("quant survivor fraction %.3f > 0.15 on the Figure-9 reference workload", frac)
+	}
+}
+
+// TestQuantDisabledMatchesEnabled pins the -no-quant knob's contract:
+// results are bit-identical with the prefilter on and off — configuration
+// only moves work, never answers.
+func TestQuantDisabledMatchesEnabled(t *testing.T) {
+	ctx := context.Background()
+	defer neighbors.SetPruneConfig(neighbors.PruneConfig{})
+	points := figure9Points(t)
+	neighbors.SetPruneConfig(neighbors.PruneConfig{NoQuant: true})
+	off := neighbors.NewLandmarkIndex(points, 0)
+	neighbors.SetPruneConfig(neighbors.PruneConfig{})
+	on := neighbors.NewLandmarkIndex(points, 0)
+	offIdx, offDist, _, err := neighbors.AllKNNFlat(ctx, off, 15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onIdx, onDist, _, err := neighbors.AllKNNFlat(ctx, on, 15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range offIdx {
+		if onIdx[i] != offIdx[i] || math.Float64bits(onDist[i]) != math.Float64bits(offDist[i]) {
+			t.Fatalf("quant on/off disagree at %d: idx %d/%d dist %x/%x",
+				i, onIdx[i], offIdx[i], math.Float64bits(onDist[i]), math.Float64bits(offDist[i]))
+		}
+	}
+	offStats := off.(interface{ PruneStats() neighbors.PruneStats }).PruneStats()
+	if offStats.QuantCandidates != 0 || offStats.CodeBytes != 0 {
+		t.Fatalf("disabled index built quant state: %+v", offStats)
+	}
+}

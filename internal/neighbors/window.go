@@ -131,13 +131,31 @@ type WindowEngine struct {
 	replaced []bool
 	arrSlots []int32
 	scratch  []windowScratch
+
+	// Quantized prefilter state (see quant.go): slot-major code rows,
+	// maintained incrementally — arrivals re-encode only their own slot
+	// against the frozen code book. An arrival outside the book's range is
+	// marked uncodeable (qok false) and is simply never rejected by the
+	// bound; when uncodeable slots exceed a quarter of the window the book
+	// is rebuilt from the live points. qp nil means the prefilter is off
+	// (config, window too small, or uncodeable data).
+	qp      *quantParams
+	qcodes  []uint8
+	qok     []bool
+	quncode int
+	qtile   int
 }
 
 // windowScratch is the per-worker repair scratch: the bounded heap of full
-// rescans and the saved old k-prefix used for dirty detection.
+// rescans, the saved old k-prefix used for dirty detection, and the
+// worker's code-bound counters (flushed to the package prune totals once
+// per batch).
 type windowScratch struct {
-	h      boundedHeap
-	prefix []windowEntry
+	h           boundedHeap
+	prefix      []windowEntry
+	qcand, qrej int64
+	qbound      [quantTileMax]int64
+	qsurv       [quantTileMax]int32
 }
 
 // NewWindowEngine returns an engine maintaining reservoirs of k+slack
@@ -228,6 +246,10 @@ func (e *WindowEngine) Apply(ctx context.Context, batch []WindowArrival) error {
 	survivorOthers := n0 - replacedCount - 1
 	nBefore := n0
 
+	// Refresh the quantized code rows before the parallel phase: arrivals
+	// encode serially here so every worker sees a consistent code table.
+	e.refreshCodes()
+
 	shards := parallel.ShardCount(e.workers, n)
 	if cap(e.scratch) < shards {
 		e.scratch = make([]windowScratch, shards)
@@ -240,7 +262,7 @@ func (e *WindowEngine) Apply(ctx context.Context, batch []WindowArrival) error {
 		sc := &e.scratch[shard]
 		if e.newSlot[i] {
 			// Arrival: one fresh scan builds the reservoir.
-			e.lists[i] = e.scanSlot(i, &sc.h, e.lists[i])
+			e.lists[i] = e.scanSlot(i, sc, e.lists[i])
 			e.dirty[i] = true
 			dirtyMarks[shard]++
 			return
@@ -255,6 +277,11 @@ func (e *WindowEngine) Apply(ctx context.Context, batch []WindowArrival) error {
 	for s := 0; s < shards; s++ {
 		e.stats.Rescans += rescans[s]
 		e.stats.DirtyMarks += dirtyMarks[s]
+		if sc := &e.scratch[s]; sc.qcand != 0 {
+			pruneQuantCand.Add(sc.qcand)
+			pruneQuantRej.Add(sc.qrej)
+			sc.qcand, sc.qrej = 0, 0
+		}
 	}
 	e.stats.SurvivorLists += n - len(e.arrSlots)
 	// Reset per-batch marks for the next Apply (cheaper than reallocating,
@@ -349,7 +376,7 @@ func (e *WindowEngine) repairSlot(i, nBefore, survivorOthers int, sc *windowScra
 		need = n - 1
 	}
 	if len(list) < need {
-		list = e.scanSlot(i, &sc.h, list)
+		list = e.scanSlot(i, sc, list)
 		rescanned = true
 	}
 	e.lists[i] = list
@@ -374,10 +401,14 @@ func (e *WindowEngine) repairSlot(i, nBefore, survivorOthers int, sc *windowScra
 
 // scanSlot rebuilds slot i's reservoir with one exhaustive scan through the
 // same early-exit kernel and bounded heap as the brute-force index, draining
-// in the shared (squared distance, slot) order. The result reuses out's
-// backing array when large enough.
-func (e *WindowEngine) scanSlot(i int, h *boundedHeap, out []windowEntry) []windowEntry {
+// in the shared (squared distance, slot) order. When the quantized
+// prefilter is live and the owner's own code is valid, the scan runs behind
+// the code-bound tile pass (scanPointsQuant) — survivors meet the same live
+// radius, so the reservoir is bit-identical either way. The result reuses
+// out's backing array when large enough.
+func (e *WindowEngine) scanSlot(i int, sc *windowScratch, out []windowEntry) []windowEntry {
 	q := e.points[i]
+	h := &sc.h
 	size := e.cap()
 	if size > len(e.points)-1 {
 		size = len(e.points) - 1
@@ -386,15 +417,19 @@ func (e *WindowEngine) scanSlot(i int, h *boundedHeap, out []windowEntry) []wind
 		return out[:0]
 	}
 	h.reset(size)
-	for j, p := range e.points {
-		if j == i {
-			continue
+	if e.qp != nil && e.qok[i] {
+		e.scanPointsQuant(i, q, sc)
+	} else {
+		for j, p := range e.points {
+			if j == i {
+				continue
+			}
+			d2, within := squaredEuclideanWithin(q, p, h.top())
+			if !within {
+				continue
+			}
+			h.push(j, d2)
 		}
-		d2, within := squaredEuclideanWithin(q, p, h.top())
-		if !within {
-			continue
-		}
-		h.push(j, d2)
 	}
 	m := h.len()
 	if cap(out) < m {
@@ -406,6 +441,126 @@ func (e *WindowEngine) scanSlot(i int, h *boundedHeap, out []windowEntry) []wind
 		out[t] = windowEntry{d2: d2, slot: int32(j)}
 	}
 	return out
+}
+
+// scanPointsQuant is scanSlot's candidate loop behind the quantized
+// prefilter: slots are walked in tiles, each tile running the branch-free
+// code-bound pass over sequential byte rows before the exact kernel sees
+// the survivors (see quant.go for the bound and its safety argument). A
+// slot whose code is invalid (qok false — an arrival outside the frozen
+// book's range) always survives the bound pass; tiles met before the heap
+// fills skip the pass outright since nothing can be rejected.
+func (e *WindowEngine) scanPointsQuant(i int, q []float64, sc *windowScratch) {
+	h := &sc.h
+	qp := e.qp
+	st := qp.stride
+	qc := e.qcodes[i*st : i*st+st]
+	n := len(e.points)
+	bounds, surv := &sc.qbound, &sc.qsurv
+	for base := 0; base < n; base += e.qtile {
+		t := e.qtile
+		if base+t > n {
+			t = n - base
+		}
+		limit := h.top()
+		if math.IsInf(limit, 1) {
+			for j := base; j < base+t; j++ {
+				if j == i {
+					continue
+				}
+				d2, within := squaredEuclideanWithin(q, e.points[j], h.top())
+				if within {
+					h.push(j, d2)
+				}
+			}
+			continue
+		}
+		quantSqSumTile(qc, e.qcodes[base*st:(base+t)*st], t, bounds[:])
+		ns := 0
+		for r := 0; r < t; r++ {
+			j := base + r
+			if e.qok[j] && qp.sumClears(bounds[r], limit) {
+				continue
+			}
+			surv[ns] = int32(j)
+			ns++
+		}
+		sc.qcand += int64(t)
+		sc.qrej += int64(t - ns)
+		for _, j32 := range surv[:ns] {
+			j := int(j32)
+			if j == i {
+				continue
+			}
+			d2, within := squaredEuclideanWithin(q, e.points[j], h.top())
+			if within {
+				h.push(j, d2)
+			}
+		}
+	}
+}
+
+// refreshCodes maintains the quantized code table across a batch: arrivals
+// re-encode their own slot against the frozen code book, and the book is
+// rebuilt from the live points when the window grew past the gate, the
+// configuration changed, or too many arrivals fell outside the coded range.
+// Runs serially in Apply before the parallel repair phase.
+func (e *WindowEngine) refreshCodes() {
+	n := len(e.points)
+	cfg := GetPruneConfig()
+	if cfg.NoQuant || n < quantMinPoints {
+		e.qp = nil
+		return
+	}
+	e.qtile = quantTileSize(cfg.QuantTile)
+	if e.qp == nil || len(e.qok) != n {
+		e.rebuildCodes()
+		return
+	}
+	st := e.qp.stride
+	for _, s := range e.arrSlots {
+		j := int(s)
+		if !e.qok[j] {
+			e.quncode--
+		}
+		e.qok[j] = e.qp.encode(e.points[j], e.qcodes[j*st:(j+1)*st])
+		if !e.qok[j] {
+			e.quncode++
+		}
+	}
+	if e.quncode*4 > n {
+		e.rebuildCodes()
+	}
+}
+
+// rebuildCodes derives a fresh code book from the live window and encodes
+// every slot. A window the book refuses (non-finite values, ranges too wide
+// to square) turns the prefilter off until a later batch changes the data.
+func (e *WindowEngine) rebuildCodes() {
+	n := len(e.points)
+	qp := newQuantParams(e.points, e.d)
+	if !qp.usable {
+		e.qp = nil
+		return
+	}
+	st := qp.stride
+	if cap(e.qcodes) < n*st {
+		e.qcodes = make([]uint8, n*st)
+	}
+	e.qcodes = e.qcodes[:n*st]
+	if cap(e.qok) < n {
+		e.qok = make([]bool, n)
+	}
+	e.qok = e.qok[:n]
+	e.quncode = 0
+	for j, p := range e.points {
+		e.qok[j] = qp.encode(p, e.qcodes[j*st:(j+1)*st])
+		if !e.qok[j] {
+			e.quncode++
+		}
+	}
+	e.qp = qp
+	pruneCodeBytes.Add(qp.codeBytes(n))
 }
 
 // insertWindowEntry inserts en into the (squared distance, slot)-sorted

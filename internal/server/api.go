@@ -154,8 +154,13 @@ type StatsResponse struct {
 	// PruneScanFraction is the share of candidate rows the tier let
 	// through to the exact distance kernel — 1.0 when the tier never
 	// engaged, ≤ 0.6 on the Figure-9 reference workload per check.sh.
-	Prune             neighbors.PruneStats `json:"prune"`
-	PruneScanFraction float64              `json:"prune_scan_fraction"`
+	// PruneSurvivorFraction is the quantized prefilter's equivalent: the
+	// share of bound-tested candidates its 8-bit code bound could NOT
+	// reject — 1.0 when the prefilter never engaged, ≤ 0.15 on the
+	// Figure-9 reference workload per check.sh.
+	Prune                 neighbors.PruneStats `json:"prune"`
+	PruneScanFraction     float64              `json:"prune_scan_fraction"`
+	PruneSurvivorFraction float64              `json:"prune_survivor_fraction"`
 	// ScoreMemo aggregates the per-dataset cached detectors' score memos;
 	// ScoreMemoHits is its hit total (a warm request's subspace scores come
 	// from here without any detector work).

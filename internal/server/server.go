@@ -312,18 +312,19 @@ func (s *Server) Stats() StatsResponse {
 	}
 	prune := neighbors.PruneTotals()
 	resp := StatsResponse{
-		Datasets:          datasets,
-		UptimeMS:          time.Since(s.start).Milliseconds(),
-		Degraded:          s.degraded.Load(),
-		DedupFactor:       dedup,
-		Plane:             plane,
-		PlaneDedupFactor:  plane.DedupFactor(),
-		Prune:             prune,
-		PruneScanFraction: prune.ScanFraction(),
-		ScoreMemo:         memo,
-		ScoreMemoHits:     memo.Hits,
-		Admission:         s.gate.Stats(),
-		Endpoints:         endpoints,
+		Datasets:              datasets,
+		UptimeMS:              time.Since(s.start).Milliseconds(),
+		Degraded:              s.degraded.Load(),
+		DedupFactor:           dedup,
+		Plane:                 plane,
+		PlaneDedupFactor:      plane.DedupFactor(),
+		Prune:                 prune,
+		PruneScanFraction:     prune.ScanFraction(),
+		PruneSurvivorFraction: prune.SurvivorFraction(),
+		ScoreMemo:             memo,
+		ScoreMemoHits:         memo.Hits,
+		Admission:             s.gate.Stats(),
+		Endpoints:             endpoints,
 	}
 	if resp.Degraded {
 		s.mu.Lock()
